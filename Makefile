@@ -1,0 +1,33 @@
+.PHONY: install test bench bench-full examples lint clean
+
+PYTHON ?= python
+
+install:
+	$(PYTHON) -m pip install -e ".[dev]"
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -x -q -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/realtime_moderation.py
+	$(PYTHON) examples/distributed_firehose.py
+	$(PYTHON) examples/related_behaviors.py
+	$(PYTHON) examples/session_detection.py
+	$(PYTHON) examples/drift_laboratory.py
+
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+
+clean:
+	find . -type d -name __pycache__ -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis benchmarks/results

@@ -1,0 +1,60 @@
+"""Extension bench: every streaming model on the same stream.
+
+Beyond the paper's three methods (HT/ARF/SLR), the library ships
+streaming kNN and the Oza ensembles; this bench ranks them all on the
+2-class problem, with majority-class as the floor. Kappa-M is included
+because plain accuracy flatters majority-style predictors on the
+imbalanced stream.
+"""
+
+from __future__ import annotations
+
+import bench_util
+
+MODELS = ("ht", "arf", "slr", "gnb", "knn", "ozabag", "ozaboost", "majority")
+
+_STREAM = 6000  # kNN is O(window) per tweet; keep the stream moderate
+
+
+def _run_all():
+    results = {}
+    for model in MODELS:
+        params = ()
+        if model == "knn":
+            params = (("window_size", 600), ("k", 11))
+        results[model] = bench_util.run_config(
+            n_classes=2, model=model, n_tweets=_STREAM, model_params=params
+        )
+    return results
+
+
+def test_extension_model_zoo(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    rows = []
+    for model, result in sorted(
+        results.items(), key=lambda kv: kv[1].metrics["f1"], reverse=True
+    ):
+        m = result.metrics
+        rows.append([
+            model.upper(), m["accuracy"], m["f1"], m["kappa"], m["kappa_m"],
+        ])
+    bench_util.report(
+        "extension_model_zoo",
+        "Extension — all streaming models, 2-class problem",
+        ["model", "accuracy", "f1", "kappa", "kappa_m"],
+        rows,
+        notes=[f"stream: {_STREAM} tweets; majority-class is the floor"],
+    )
+    f1 = {model: r.metrics["f1"] for model, r in results.items()}
+    kappa_m = {model: r.metrics["kappa_m"] for model, r in results.items()}
+    # Every real model beats the majority baseline decisively.
+    for model in MODELS:
+        if model == "majority":
+            continue
+        assert kappa_m[model] > 0.3, model
+    # Prequential majority hovers at the Kappa-M zero point (tiny
+    # negative values possible from early-stream mispredictions).
+    assert abs(kappa_m["majority"]) < 0.02
+    # The paper's headliner (HT) is at or near the top.
+    best = max(f1.values())
+    assert f1["ht"] > best - 0.03

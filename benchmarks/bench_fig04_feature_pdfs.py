@@ -1,0 +1,89 @@
+"""Fig. 4: per-class feature distributions (PDFs).
+
+The paper plots probability densities of six features per class and
+reports their means; this bench recomputes the per-class mean (and std)
+of every Fig. 4 feature on the synthetic dataset and compares against
+the paper's published statistics.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List
+
+import bench_util
+from repro.core.features import FEATURE_NAMES, FeatureExtractor, LabelEncoder
+
+#: (feature, class) -> mean reported in the paper (§IV-B / Fig. 4).
+PAPER_MEANS = {
+    ("accountAge", "normal"): 1487.74,
+    ("accountAge", "abusive"): 1291.97,
+    ("accountAge", "hateful"): 1379.95,
+    ("numUpperCases", "normal"): 0.96,
+    ("numUpperCases", "abusive"): 1.84,
+    ("numUpperCases", "hateful"): 1.57,
+    ("wordsPerSentence", "normal"): 16.66,
+    ("wordsPerSentence", "abusive"): 12.66,
+    ("wordsPerSentence", "hateful"): 15.93,
+    ("cntSwearWords", "normal"): 0.10,
+    ("cntSwearWords", "abusive"): 2.54,
+    ("cntSwearWords", "hateful"): 1.84,
+}
+
+FIG4_FEATURES = (
+    "accountAge",
+    "numUpperCases",
+    "cntAdjective",
+    "wordsPerSentence",
+    "sentimentScoreNeg",
+    "cntSwearWords",
+)
+
+
+def _per_class_values() -> Dict[str, Dict[str, List[float]]]:
+    extractor = FeatureExtractor(encoder=LabelEncoder(3))
+    values: Dict[str, Dict[str, List[float]]] = {
+        f: {"normal": [], "abusive": [], "hateful": []} for f in FIG4_FEATURES
+    }
+    for tweet in bench_util.abusive_stream():
+        instance = extractor.extract(tweet, update_bow=False)
+        for feature in FIG4_FEATURES:
+            values[feature][tweet.label].append(
+                instance.x[FEATURE_NAMES.index(feature)]
+            )
+    return values
+
+
+def test_fig04_feature_pdfs(benchmark):
+    values = benchmark.pedantic(_per_class_values, rounds=1, iterations=1)
+    rows = []
+    for feature in FIG4_FEATURES:
+        for label in ("normal", "abusive", "hateful"):
+            sample = values[feature][label]
+            mean = statistics.mean(sample)
+            std = statistics.pstdev(sample)
+            paper = PAPER_MEANS.get((feature, label))
+            rows.append(
+                [feature, label, mean, std,
+                 "-" if paper is None else paper]
+            )
+    bench_util.report(
+        "fig04_feature_pdfs",
+        "Fig. 4 — per-class feature distributions (mean/std vs paper mean)",
+        ["feature", "class", "mean", "std", "paper"],
+        rows,
+        notes=[
+            "orderings to check: swears abusive>hateful>>normal; "
+            "account age normal>hateful>abusive; wps normal>hateful>abusive",
+        ],
+    )
+    # Shape assertions: the paper's orderings must hold.
+    def mean(feature, label):
+        return statistics.mean(values[feature][label])
+
+    assert mean("cntSwearWords", "abusive") > mean("cntSwearWords", "hateful")
+    assert mean("cntSwearWords", "hateful") > mean("cntSwearWords", "normal")
+    assert mean("accountAge", "normal") > mean("accountAge", "abusive")
+    assert mean("wordsPerSentence", "normal") > mean("wordsPerSentence", "abusive")
+    assert mean("sentimentScoreNeg", "abusive") < mean("sentimentScoreNeg", "normal")
+    assert mean("cntAdjective", "normal") > mean("cntAdjective", "abusive")

@@ -1,0 +1,34 @@
+"""Fig. 7: effect of normalization on HT (marginal, per the paper)."""
+
+from __future__ import annotations
+
+import bench_util
+
+
+def _run_all():
+    results = {}
+    for c in (2, 3):
+        for norm in ("minmax_no_outliers", "none"):
+            key = f"HT, n={'ON' if norm != 'none' else 'OFF'}, c={c}"
+            results[key] = bench_util.run_config(
+                n_classes=c, model="ht", normalization=norm
+            )
+    return results
+
+
+def test_fig07_normalization_ht(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    curves = {k: r.curve("window_f1") for k, r in results.items()}
+    bench_util.report(
+        "fig07_normalization_ht",
+        "Fig. 7 — F1 vs tweets: normalization ON/OFF (HT, p=ON, ad=ON)",
+        ["tweets"] + list(curves),
+        bench_util.curve_rows(curves, step=2),
+        notes=["final F1: " + ", ".join(
+            f"{k}={r.metrics['f1']:.3f}" for k, r in results.items()
+        )],
+    )
+    f1 = {k: r.metrics["f1"] for k, r in results.items()}
+    # Paper: normalization has only a marginal effect on HT.
+    assert abs(f1["HT, n=ON, c=2"] - f1["HT, n=OFF, c=2"]) < 0.03
+    assert abs(f1["HT, n=ON, c=3"] - f1["HT, n=OFF, c=3"]) < 0.03

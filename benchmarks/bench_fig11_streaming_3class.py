@@ -1,0 +1,40 @@
+"""Fig. 11: F1 over time for HT / ARF / SLR, 3-class problem.
+
+Paper shape: all methods in the 80-90% band; HT and SLR similar (HT
+marginally ahead); ARF ~4% behind; HT/SLR plateau after ~5-10k
+instances, ARF needs ~10-15k.
+"""
+
+from __future__ import annotations
+
+import bench_util
+
+
+def _run_all():
+    return {
+        model.upper(): bench_util.run_config(n_classes=3, model=model)
+        for model in ("ht", "arf", "slr")
+    }
+
+
+def test_fig11_streaming_3class(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    curves = {k: r.curve("f1") for k, r in results.items()}
+    bench_util.report(
+        "fig11_streaming_3class",
+        "Fig. 11 — cumulative F1 vs tweets, 3-class (p=ON, n=ON, ad=ON)",
+        ["tweets"] + list(curves),
+        bench_util.curve_rows(curves, step=2),
+        notes=["final F1: " + ", ".join(
+            f"{k}={r.metrics['f1']:.3f}" for k, r in results.items()
+        )],
+    )
+    f1 = {k: r.metrics["f1"] for k, r in results.items()}
+    # All methods land in the paper's 80-90% band and stay close to
+    # each other (see EXPERIMENTS.md on the HT/ARF ordering deviation).
+    assert all(value > 0.75 for value in f1.values())
+    assert max(f1.values()) - min(f1.values()) < 0.06
+    # HT reaches (near) capacity early: F1 at ~5k within 5 points of final.
+    ht_curve = dict(curves["HT"])
+    at_5k = max(v for n, v in ht_curve.items() if n <= 5500)
+    assert at_5k > f1["HT"] - 0.05

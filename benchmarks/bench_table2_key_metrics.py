@@ -1,0 +1,59 @@
+"""Table II: accuracy / precision / recall / F1 for HT, ARF, SLR.
+
+All three toggles enabled (p=ON, n=ON, ad=ON), both class setups.
+Paper values: 3-class HT .89/.85/.89/.87, ARF .85/.80/.85/.83,
+SLR .89/.85/.89/.87; 2-class HT .93/.92/.90/.91, ARF .92/.85/.93/.89,
+SLR .93/.91/.91/.91.
+"""
+
+from __future__ import annotations
+
+import bench_util
+
+PAPER = {
+    (3, "ht"): (0.89, 0.85, 0.89, 0.87),
+    (3, "arf"): (0.85, 0.80, 0.85, 0.83),
+    (3, "slr"): (0.89, 0.85, 0.89, 0.87),
+    (2, "ht"): (0.93, 0.92, 0.90, 0.91),
+    (2, "arf"): (0.92, 0.85, 0.93, 0.89),
+    (2, "slr"): (0.93, 0.91, 0.91, 0.91),
+}
+
+
+def _run_all():
+    return {
+        (c, model): bench_util.run_config(n_classes=c, model=model)
+        for c in (2, 3)
+        for model in ("ht", "arf", "slr")
+    }
+
+
+def test_table2_key_metrics(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    rows = []
+    for (c, model), result in sorted(results.items()):
+        m = result.metrics
+        paper = PAPER[(c, model)]
+        rows.append([
+            f"{c}-class", model.upper(),
+            m["accuracy"], m["precision"], m["recall"], m["f1"],
+            f"{paper[0]}/{paper[1]}/{paper[2]}/{paper[3]}",
+        ])
+    bench_util.report(
+        "table2_key_metrics",
+        "Table II — key metrics (ours vs paper acc/prec/rec/F1)",
+        ["setup", "model", "accuracy", "precision", "recall", "f1", "paper"],
+        rows,
+    )
+    metrics = {k: r.metrics for k, r in results.items()}
+    for (c, model), m in metrics.items():
+        paper_f1 = PAPER[(c, model)][3]
+        # Every model lands within ~6 F1 points of the paper's value.
+        assert abs(m["f1"] - paper_f1) < 0.06, (c, model, m["f1"])
+    # Shape: 2-class beats 3-class for every model.
+    for model in ("ht", "arf", "slr"):
+        assert metrics[(2, model)]["f1"] > metrics[(3, model)]["f1"]
+    # Shape: HT and ARF stay close. (The paper's ARF lags HT by ~4%; our
+    # from-scratch ARF does not reproduce that streamDM-specific gap —
+    # recorded as a deviation in EXPERIMENTS.md.)
+    assert abs(metrics[(3, "ht")]["f1"] - metrics[(3, "arf")]["f1"]) < 0.05

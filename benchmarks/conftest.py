@@ -1,0 +1,9 @@
+"""Benchmark-suite configuration."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make `bench_util` importable regardless of the pytest rootdir.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,48 @@
+"""repro: real-time aggression detection on social media via streaming ML.
+
+A faithful, self-contained reproduction of Herodotou, Chatzakou &
+Kourtellis, "Catching them red-handed: Real-time Aggression Detection
+on Social Media" (ICDE 2021). The package provides:
+
+* :mod:`repro.core` — the detection pipeline (preprocessing, feature
+  extraction, normalization, training, prediction, alerting,
+  evaluation, sampling, labeling);
+* :mod:`repro.streamml` — from-scratch streaming classifiers (Hoeffding
+  Tree, Adaptive Random Forest, Streaming Logistic Regression, ADWIN);
+* :mod:`repro.batchml` — batch baselines (decision tree, random forest,
+  logistic regression) and grid search;
+* :mod:`repro.text` — tokenizer, POS tagger, sentiment, lexicons;
+* :mod:`repro.data` — Twitter-JSON data model and synthetic datasets
+  calibrated to the paper's statistics;
+* :mod:`repro.engine` — Spark-Streaming-style micro-batch execution,
+  sequential (MOA-like) execution, and a calibrated cluster cost model.
+
+Quickstart::
+
+    from repro import AggressionDetectionPipeline, PipelineConfig
+    from repro.data import AbusiveDatasetGenerator
+
+    pipeline = AggressionDetectionPipeline(PipelineConfig(n_classes=2))
+    result = pipeline.process_stream(
+        AbusiveDatasetGenerator(n_tweets=10_000).generate()
+    )
+    print(result.metrics)
+"""
+
+from repro.core.config import PipelineConfig, create_model
+from repro.core.pipeline import (
+    AggressionDetectionPipeline,
+    PipelineResult,
+    run_pipeline,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PipelineConfig",
+    "create_model",
+    "AggressionDetectionPipeline",
+    "PipelineResult",
+    "run_pipeline",
+    "__version__",
+]

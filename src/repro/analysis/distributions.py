@@ -1,0 +1,171 @@
+"""Distribution statistics over extracted features.
+
+Implements the measurements behind Fig. 4 — per-class feature PDFs and
+their summary statistics — plus two measures of how well a feature
+separates classes: the two-sample Kolmogorov-Smirnov statistic and the
+AUC of the feature as a single-threshold classifier (equivalent to a
+normalized Mann-Whitney U).
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.streamml.instance import Instance
+
+
+@dataclass(frozen=True)
+class FeatureSummary:
+    """Summary statistics of one feature within one class."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "FeatureSummary":
+        if not values:
+            raise ValueError("cannot summarize an empty sample")
+        return cls(
+            n=len(values),
+            mean=statistics.mean(values),
+            std=statistics.pstdev(values) if len(values) > 1 else 0.0,
+            minimum=min(values),
+            maximum=max(values),
+            median=statistics.median(values),
+        )
+
+
+def summarize_by_class(
+    instances: Sequence[Instance],
+    feature_index: int,
+    class_names: Sequence[str],
+) -> Dict[str, FeatureSummary]:
+    """Per-class summaries of one feature over labeled instances."""
+    buckets: Dict[str, List[float]] = {name: [] for name in class_names}
+    for instance in instances:
+        if instance.y is None:
+            continue
+        buckets[class_names[instance.y]].append(instance.x[feature_index])
+    return {
+        name: FeatureSummary.from_values(values)
+        for name, values in buckets.items()
+        if values
+    }
+
+
+def histogram(
+    values: Sequence[float], bins: int = 20
+) -> Tuple[List[float], List[int]]:
+    """Equal-width histogram: returns (bin edges, counts).
+
+    Edges has ``bins + 1`` entries; a degenerate (constant) sample puts
+    everything into one bin.
+    """
+    if not values:
+        raise ValueError("cannot histogram an empty sample")
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    lo, hi = min(values), max(values)
+    width = (hi - lo) / bins
+    if width <= 0.0:
+        # Constant sample, or a range so small the bin width underflows
+        # to zero (denormal floats): one bin holds everything.
+        return [lo, hi], [len(values)]
+    edges = [lo + i * width for i in range(bins)] + [hi]
+    counts = [0] * bins
+    for value in values:
+        index = min(int((value - lo) / width), bins - 1)
+        counts[index] += 1
+    return edges, counts
+
+
+def pdf_points(
+    values: Sequence[float], bins: int = 20
+) -> List[Tuple[float, float]]:
+    """Density estimate as (bin center, density) points (area sums to 1)."""
+    edges, counts = histogram(values, bins)
+    total = len(values)
+    points: List[Tuple[float, float]] = []
+    for index, count in enumerate(counts):
+        width = edges[index + 1] - edges[index]
+        center = (edges[index] + edges[index + 1]) / 2
+        density = count / (total * width) if width > 0 else 0.0
+        points.append((center, density))
+    return points
+
+
+def ks_statistic(a: Sequence[float], b: Sequence[float]) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic (sup CDF distance)."""
+    if not a or not b:
+        raise ValueError("both samples must be non-empty")
+    sa = sorted(a)
+    sb = sorted(b)
+    ia = ib = 0
+    best = 0.0
+    while ia < len(sa) and ib < len(sb):
+        # Advance past every value equal to the current minimum on both
+        # sides before measuring, so ties contribute no false distance.
+        current = min(sa[ia], sb[ib])
+        while ia < len(sa) and sa[ia] == current:
+            ia += 1
+        while ib < len(sb) and sb[ib] == current:
+            ib += 1
+        best = max(best, abs(ia / len(sa) - ib / len(sb)))
+    return best
+
+
+def separation_auc(positive: Sequence[float], negative: Sequence[float]) -> float:
+    """AUC of thresholding this feature to separate the two samples.
+
+    0.5 = useless, 1.0 = perfectly higher in ``positive``, 0.0 =
+    perfectly lower. Computed via the rank-sum (Mann-Whitney) identity,
+    with the average-rank tie correction.
+    """
+    if not positive or not negative:
+        raise ValueError("both samples must be non-empty")
+    combined = [(v, 1) for v in positive] + [(v, 0) for v in negative]
+    combined.sort(key=lambda pair: pair[0])
+    # Assign average ranks to ties.
+    ranks = [0.0] * len(combined)
+    index = 0
+    while index < len(combined):
+        end = index
+        while (
+            end + 1 < len(combined)
+            and combined[end + 1][0] == combined[index][0]
+        ):
+            end += 1
+        average_rank = (index + end) / 2 + 1
+        for j in range(index, end + 1):
+            ranks[j] = average_rank
+        index = end + 1
+    rank_sum = sum(
+        rank for rank, (_, label) in zip(ranks, combined) if label == 1
+    )
+    n_pos = len(positive)
+    n_neg = len(negative)
+    u = rank_sum - n_pos * (n_pos + 1) / 2
+    return u / (n_pos * n_neg)
+
+
+def effect_size(a: Sequence[float], b: Sequence[float]) -> float:
+    """Cohen's d between two samples (pooled population std)."""
+    if len(a) < 2 or len(b) < 2:
+        raise ValueError("both samples need >= 2 values")
+    mean_a = statistics.mean(a)
+    mean_b = statistics.mean(b)
+    var_a = statistics.pvariance(a)
+    var_b = statistics.pvariance(b)
+    pooled = math.sqrt(
+        (len(a) * var_a + len(b) * var_b) / (len(a) + len(b))
+    )
+    if pooled == 0:
+        return 0.0
+    return (mean_a - mean_b) / pooled

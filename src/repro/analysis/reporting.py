@@ -1,0 +1,90 @@
+"""Run reports: terminal charts and markdown summaries.
+
+Turns :class:`~repro.core.pipeline.PipelineResult` objects into
+human-readable artifacts — an ASCII sparkline/chart for metric curves,
+a markdown report for a single run, and a comparison table across runs
+(the shape the paper's figures summarize).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.pipeline import PipelineResult
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def ascii_chart(
+    series: Sequence[Tuple[int, float]],
+    width: int = 60,
+    lo: float = 0.0,
+    hi: float = 1.0,
+) -> str:
+    """One-line block chart of a (x, value) series scaled to [lo, hi]."""
+    if not series:
+        return ""
+    if hi <= lo:
+        raise ValueError("need hi > lo")
+    values = [value for _, value in series]
+    if len(values) > width:
+        # Downsample by averaging consecutive chunks.
+        chunk = len(values) / width
+        values = [
+            sum(values[int(i * chunk):max(int((i + 1) * chunk), int(i * chunk) + 1)])
+            / max(len(values[int(i * chunk):max(int((i + 1) * chunk), int(i * chunk) + 1)]), 1)
+            for i in range(width)
+        ]
+    chars = []
+    for value in values:
+        clamped = min(max((value - lo) / (hi - lo), 0.0), 1.0)
+        chars.append(_BLOCKS[round(clamped * (len(_BLOCKS) - 1))])
+    return "".join(chars)
+
+
+def render_run_report(result: PipelineResult, title: str = "Run report") -> str:
+    """Markdown report for one pipeline run."""
+    lines = [f"# {title}", ""]
+    lines.append(f"- configuration: `{result.config.describe()}`")
+    lines.append(
+        f"- processed: {result.n_processed} tweets "
+        f"({result.n_labeled} labeled, {result.n_unlabeled} unlabeled)"
+    )
+    lines.append(f"- alerts raised: {result.n_alerts}")
+    lines.append(f"- bag-of-words size: {result.bow_size}")
+    lines.append("")
+    lines.append("| metric | value |")
+    lines.append("|---|---|")
+    for name, value in result.metrics.items():
+        lines.append(f"| {name} | {value:.4f} |")
+    curve = result.curve("window_f1")
+    if curve:
+        lines.append("")
+        lines.append("windowed F1 over the stream (0 → 1):")
+        lines.append("")
+        lines.append("```")
+        lines.append(ascii_chart(curve))
+        lines.append("```")
+    return "\n".join(lines)
+
+
+def compare_results(
+    results: Dict[str, PipelineResult],
+    metrics: Sequence[str] = ("accuracy", "precision", "recall", "f1"),
+) -> str:
+    """Markdown comparison table across named runs."""
+    if not results:
+        raise ValueError("need at least one result")
+    header = "| run | " + " | ".join(metrics) + " |"
+    divider = "|---|" + "---|" * len(metrics)
+    rows: List[str] = [header, divider]
+    for name, result in results.items():
+        cells = " | ".join(
+            f"{result.metrics[m]:.4f}" for m in metrics
+        )
+        rows.append(f"| {name} | {cells} |")
+    best_f1 = max(results.items(), key=lambda kv: kv[1].metrics.get("f1", 0.0))
+    rows.append("")
+    rows.append(f"best F1: **{best_f1[0]}** "
+                f"({best_f1[1].metrics.get('f1', 0.0):.4f})")
+    return "\n".join(rows)

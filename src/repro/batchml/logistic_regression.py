@@ -1,0 +1,110 @@
+"""Batch (multinomial) logistic regression — the WEKA Logistic analog.
+
+Full-batch gradient descent on the softmax cross-entropy with L2
+regularization, over standardized inputs. Deterministic given the data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class BatchLogisticRegression:
+    """Softmax regression trained with full-batch gradient descent.
+
+    Args:
+        n_classes: number of classes.
+        learning_rate: gradient step size.
+        l2: ridge penalty coefficient.
+        max_iter: gradient steps.
+        tol: stop early when the loss improves less than this.
+        standardize: z-score the inputs with the training statistics
+            (batch LR needs comparable feature scales).
+    """
+
+    def __init__(
+        self,
+        n_classes: int,
+        learning_rate: float = 0.5,
+        l2: float = 0.01,
+        max_iter: int = 300,
+        tol: float = 1e-6,
+        standardize: bool = True,
+    ) -> None:
+        if n_classes < 2:
+            raise ValueError("n_classes must be >= 2")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.n_classes = n_classes
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.max_iter = max_iter
+        self.tol = tol
+        self.standardize = standardize
+        self.weights: Optional[np.ndarray] = None  # (d, k)
+        self.bias: Optional[np.ndarray] = None  # (k,)
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+        self.n_iterations_run = 0
+
+    def _scale(self, X: np.ndarray) -> np.ndarray:
+        if not self.standardize or self._mean is None or self._std is None:
+            return X
+        return (X - self._mean) / self._std
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BatchLogisticRegression":
+        """Fit on a dense (n, d) matrix and integer labels."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        n_samples, n_features = X.shape
+        if self.standardize:
+            self._mean = X.mean(axis=0)
+            std = X.std(axis=0)
+            std[std == 0] = 1.0
+            self._std = std
+        Xs = self._scale(X)
+        onehot = np.zeros((n_samples, self.n_classes))
+        onehot[np.arange(n_samples), y] = 1.0
+        self.weights = np.zeros((n_features, self.n_classes))
+        self.bias = np.zeros(self.n_classes)
+        previous_loss = np.inf
+        for iteration in range(self.max_iter):
+            probs = self._softmax(Xs @ self.weights + self.bias)
+            error = (probs - onehot) / n_samples
+            grad_w = Xs.T @ error + self.l2 * self.weights
+            grad_b = error.sum(axis=0)
+            self.weights -= self.learning_rate * grad_w
+            self.bias -= self.learning_rate * grad_b
+            loss = self._loss(probs, onehot)
+            self.n_iterations_run = iteration + 1
+            if previous_loss - loss < self.tol:
+                break
+            previous_loss = loss
+        return self
+
+    def _loss(self, probs: np.ndarray, onehot: np.ndarray) -> float:
+        assert self.weights is not None
+        cross_entropy = -np.mean(
+            np.sum(onehot * np.log(np.clip(probs, 1e-12, 1.0)), axis=1)
+        )
+        penalty = 0.5 * self.l2 * float(np.sum(self.weights ** 2))
+        return float(cross_entropy + penalty)
+
+    @staticmethod
+    def _softmax(scores: np.ndarray) -> np.ndarray:
+        shifted = scores - scores.max(axis=1, keepdims=True)
+        exps = np.exp(shifted)
+        return exps / exps.sum(axis=1, keepdims=True)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class probabilities for a dense (n, d) matrix."""
+        if self.weights is None or self.bias is None:
+            raise RuntimeError("fit() must be called before predict()")
+        Xs = self._scale(np.asarray(X, dtype=np.float64))
+        return self._softmax(Xs @ self.weights + self.bias)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Class predictions."""
+        return np.argmax(self.predict_proba(X), axis=1)

@@ -1,0 +1,98 @@
+"""Linear SVM baseline trained with Pegasos (primal SGD).
+
+The paper's related work includes SVM-based detectors (Warner &
+Hirschberg [28]); WEKA ships SMO. This linear SVM (hinge loss, L2
+regularization, Pegasos step schedule) completes the batch-baseline
+family. Multi-class is one-vs-rest.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class LinearSVM:
+    """One-vs-rest linear SVM via the Pegasos solver.
+
+    Args:
+        n_classes: number of classes.
+        lambda_reg: L2 regularization strength (Pegasos lambda).
+        n_epochs: passes over the shuffled training data.
+        standardize: z-score inputs with training statistics.
+        seed: shuffling seed.
+    """
+
+    def __init__(
+        self,
+        n_classes: int,
+        lambda_reg: float = 1e-4,
+        n_epochs: int = 5,
+        standardize: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if n_classes < 2:
+            raise ValueError("n_classes must be >= 2")
+        if lambda_reg <= 0:
+            raise ValueError("lambda_reg must be positive")
+        if n_epochs < 1:
+            raise ValueError("n_epochs must be >= 1")
+        self.n_classes = n_classes
+        self.lambda_reg = lambda_reg
+        self.n_epochs = n_epochs
+        self.standardize = standardize
+        self.seed = seed
+        self.weights: Optional[np.ndarray] = None  # (k, d)
+        self.bias: Optional[np.ndarray] = None  # (k,)
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    def _scale(self, X: np.ndarray) -> np.ndarray:
+        if not self.standardize or self._mean is None:
+            return X
+        return (X - self._mean) / self._std
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearSVM":
+        """Fit one Pegasos model per class (one-vs-rest)."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        n_samples, n_features = X.shape
+        if self.standardize:
+            self._mean = X.mean(axis=0)
+            std = X.std(axis=0)
+            std[std == 0] = 1.0
+            self._std = std
+        Xs = self._scale(X)
+        rng = np.random.RandomState(self.seed)
+        self.weights = np.zeros((self.n_classes, n_features))
+        self.bias = np.zeros(self.n_classes)
+        for cls in range(self.n_classes):
+            targets = np.where(y == cls, 1.0, -1.0)
+            w = np.zeros(n_features)
+            b = 0.0
+            step_count = 0
+            for _ in range(self.n_epochs):
+                order = rng.permutation(n_samples)
+                for index in order:
+                    step_count += 1
+                    eta = 1.0 / (self.lambda_reg * step_count)
+                    margin = targets[index] * (Xs[index] @ w + b)
+                    w *= 1.0 - eta * self.lambda_reg
+                    if margin < 1.0:
+                        w += eta * targets[index] * Xs[index]
+                        b += eta * targets[index]
+            self.weights[cls] = w
+            self.bias[cls] = b
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Per-class margins, shape (n, k)."""
+        if self.weights is None or self.bias is None:
+            raise RuntimeError("fit() must be called before predict()")
+        Xs = self._scale(np.asarray(X, dtype=np.float64))
+        return Xs @ self.weights.T + self.bias
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Highest-margin class per row."""
+        return np.argmax(self.decision_function(X), axis=1)

@@ -1,0 +1,174 @@
+"""Command-line interface.
+
+Subcommands:
+
+* ``generate`` — write a synthetic dataset to a JSONL file;
+* ``run`` — run the detection pipeline over a JSONL stream and report
+  prequential metrics (optionally saving the trained model);
+* ``classify`` — classify a JSONL stream with a saved model, writing
+  one prediction per line;
+* ``simulate`` — project execution time/throughput for the paper's
+  cluster configurations with the calibrated cost model.
+
+Invoke as ``python -m repro <subcommand> ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import AggressionDetectionPipeline
+from repro.data.loader import read_jsonl, write_jsonl
+from repro.data.synthetic import AbusiveDatasetGenerator
+from repro.engine.cluster import PAPER_SPECS, CostModel, SimulatedCluster
+from repro.streamml.serialize import load_model, save_model
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Real-time aggression detection on social media "
+        "(ICDE 2021 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="write a synthetic labeled dataset as JSONL"
+    )
+    generate.add_argument("output", help="output JSONL path")
+    generate.add_argument("--tweets", type=int, default=10_000,
+                          help="number of tweets (default 10000)")
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--days", type=int, default=10,
+                          help="collection days (default 10)")
+    generate.add_argument("--user-pool", type=int, default=None,
+                          help="size of a recurring-author pool")
+
+    run = commands.add_parser(
+        "run", help="run the streaming pipeline over a JSONL stream"
+    )
+    run.add_argument("input", help="input JSONL path")
+    run.add_argument("--classes", type=int, choices=(2, 3), default=2)
+    run.add_argument("--model", default="ht",
+                     choices=("ht", "arf", "slr", "gnb", "majority"))
+    run.add_argument("--no-preprocessing", action="store_true")
+    run.add_argument("--no-adaptive-bow", action="store_true")
+    run.add_argument("--normalization", default="minmax_no_outliers",
+                     choices=("minmax", "minmax_no_outliers", "zscore",
+                              "none"))
+    run.add_argument("--save-model", default=None,
+                     help="write the trained model to this JSON path")
+    run.add_argument("--report", default=None,
+                     help="write a markdown run report to this path")
+
+    classify = commands.add_parser(
+        "classify", help="classify a JSONL stream with a saved model"
+    )
+    classify.add_argument("model", help="model JSON path (from 'run')")
+    classify.add_argument("input", help="input JSONL path")
+    classify.add_argument("--classes", type=int, choices=(2, 3), default=2)
+
+    simulate = commands.add_parser(
+        "simulate", help="project cluster execution time / throughput"
+    )
+    simulate.add_argument("--tweets", type=int, default=2_000_000)
+    simulate.add_argument("--measured-throughput", type=float, default=None,
+                          help="calibrate per-tweet cost from a measured "
+                          "single-thread tweets/s")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    generator = AbusiveDatasetGenerator(
+        n_tweets=args.tweets,
+        seed=args.seed,
+        n_days=args.days,
+        user_pool_size=args.user_pool,
+    )
+    count = write_jsonl(generator.generate(), args.output)
+    counts = dict(zip(("normal", "abusive", "hateful"),
+                      generator.class_counts))
+    print(f"wrote {count} tweets to {args.output} ({counts})")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = PipelineConfig(
+        n_classes=args.classes,
+        model=args.model,
+        preprocessing=not args.no_preprocessing,
+        adaptive_bow=not args.no_adaptive_bow,
+        normalization=args.normalization,
+    )
+    pipeline = AggressionDetectionPipeline(config)
+    result = pipeline.process_stream(read_jsonl(args.input))
+    print(f"configuration : {config.describe()}")
+    print(f"processed     : {result.n_processed} tweets "
+          f"({result.n_labeled} labeled)")
+    for name, value in result.metrics.items():
+        print(f"  {name:10s} {value:.4f}")
+    if result.n_unlabeled:
+        print(f"alerts        : {result.n_alerts}")
+    if args.save_model:
+        size = save_model(pipeline.model, args.save_model)
+        print(f"model saved   : {args.save_model} ({size} bytes)")
+    if args.report:
+        from repro.analysis.reporting import render_run_report
+
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(render_run_report(result))
+        print(f"report saved  : {args.report}")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.core.features import FeatureExtractor, LabelEncoder
+
+    model = load_model(args.model)
+    encoder = LabelEncoder(args.classes)
+    extractor = FeatureExtractor(encoder=encoder)
+    for tweet in read_jsonl(args.input):
+        instance = extractor.extract(tweet, update_bow=False)
+        predicted = model.predict_one(instance.x)
+        print(json.dumps({
+            "id_str": tweet.tweet_id,
+            "predicted": encoder.decode(predicted),
+        }, separators=(",", ":")))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.measured_throughput:
+        cost_model = CostModel.calibrated(args.measured_throughput)
+    else:
+        cost_model = CostModel()
+    print(f"{'config':<13s}{'time (s)':>12s}{'tweets/s':>12s}")
+    for spec in PAPER_SPECS:
+        cluster = SimulatedCluster(spec, cost_model)
+        result = cluster.simulate(args.tweets)
+        print(f"{spec.name:<13s}{result.execution_time_s:>12.1f}"
+              f"{result.throughput:>12,.0f}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "run": _cmd_run,
+    "classify": _cmd_classify,
+    "simulate": _cmd_simulate,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,393 @@
+"""Pipeline checkpointing: save and resume the full detector state.
+
+A production stream processor must survive restarts without losing its
+model, its normalization statistics, or its adaptive vocabulary (Spark
+Streaming checkpoints its state for the same reason). This module
+serializes the *entire* :class:`AggressionDetectionPipeline` — model,
+normalizer, adaptive bag-of-words, prequential evaluator, alert
+history, sampler reservoir, and counters — to a JSON file, such that a
+resumed pipeline continues the stream *exactly* as the original would
+have (verified by the equivalence tests).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.core.adaptive_bow import AdaptiveBagOfWords, FixedBagOfWords
+from repro.core.config import PipelineConfig
+from repro.core.evaluation import MetricsPoint, PrequentialEvaluator
+from repro.core.normalization import (
+    IdentityNormalizer,
+    MinMaxNoOutliersNormalizer,
+    MinMaxNormalizer,
+    Normalizer,
+    ZScoreNormalizer,
+)
+from repro.core.pipeline import AggressionDetectionPipeline
+from repro.streamml.serialize import (
+    SerializationError,
+    _minmax_from_dict,
+    _minmax_to_dict,
+    _stats_from_dict,
+    _stats_to_dict,
+    model_from_dict,
+    model_to_dict,
+)
+from repro.streamml.instance import ClassifiedInstance, Instance
+from repro.streamml.stats import P2Quantile
+
+CHECKPOINT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# Normalizers
+# ----------------------------------------------------------------------
+
+def _p2_to_dict(sketch: P2Quantile) -> Dict[str, Any]:
+    return {
+        "quantile": sketch.quantile,
+        "count": sketch.count,
+        "initial": list(sketch._initial),
+        "q": list(sketch._q),
+        "n": list(sketch._n),
+        "np": list(sketch._np),
+        "dn": list(sketch._dn),
+    }
+
+
+def _p2_from_dict(payload: Dict[str, Any]) -> P2Quantile:
+    sketch = P2Quantile(float(payload["quantile"]))
+    sketch.count = int(payload["count"])
+    sketch._initial = [float(v) for v in payload["initial"]]
+    sketch._q = [float(v) for v in payload["q"]]
+    sketch._n = [float(v) for v in payload["n"]]
+    sketch._np = [float(v) for v in payload["np"]]
+    sketch._dn = [float(v) for v in payload["dn"]]
+    return sketch
+
+
+def normalizer_to_dict(normalizer: Normalizer) -> Dict[str, Any]:
+    """Serialize any normalizer kind."""
+    base = {"n_features": normalizer.n_features, "observed": normalizer.observed}
+    if isinstance(normalizer, MinMaxNoOutliersNormalizer):
+        return dict(
+            base,
+            kind="minmax_no_outliers",
+            lower_quantile=normalizer.lower_quantile,
+            upper_quantile=normalizer.upper_quantile,
+            lower=[_p2_to_dict(s) for s in normalizer._lower],
+            upper=[_p2_to_dict(s) for s in normalizer._upper],
+        )
+    if isinstance(normalizer, MinMaxNormalizer):
+        return dict(
+            base,
+            kind="minmax",
+            trackers=[_minmax_to_dict(t) for t in normalizer._trackers],
+        )
+    if isinstance(normalizer, ZScoreNormalizer):
+        return dict(
+            base,
+            kind="zscore",
+            stats=[_stats_to_dict(s) for s in normalizer._stats],
+        )
+    if isinstance(normalizer, IdentityNormalizer):
+        return dict(base, kind="none")
+    raise SerializationError(f"unknown normalizer type {type(normalizer)!r}")
+
+
+def normalizer_from_dict(payload: Dict[str, Any]) -> Normalizer:
+    """Reconstruct a normalizer from :func:`normalizer_to_dict`."""
+    kind = payload["kind"]
+    n_features = int(payload["n_features"])
+    if kind == "minmax_no_outliers":
+        normalizer = MinMaxNoOutliersNormalizer(
+            n_features,
+            lower_quantile=float(payload["lower_quantile"]),
+            upper_quantile=float(payload["upper_quantile"]),
+        )
+        normalizer._lower = [_p2_from_dict(s) for s in payload["lower"]]
+        normalizer._upper = [_p2_from_dict(s) for s in payload["upper"]]
+    elif kind == "minmax":
+        normalizer = MinMaxNormalizer(n_features)
+        normalizer._trackers = [
+            _minmax_from_dict(t) for t in payload["trackers"]
+        ]
+    elif kind == "zscore":
+        normalizer = ZScoreNormalizer(n_features)
+        normalizer._stats = [_stats_from_dict(s) for s in payload["stats"]]
+    elif kind == "none":
+        normalizer = IdentityNormalizer(n_features)
+    else:
+        raise SerializationError(f"unknown normalizer kind {kind!r}")
+    normalizer.observed = int(payload["observed"])
+    return normalizer
+
+
+# ----------------------------------------------------------------------
+# Bag of words
+# ----------------------------------------------------------------------
+
+def _bow_to_dict(bow: Union[AdaptiveBagOfWords, FixedBagOfWords]) -> Dict[str, Any]:
+    if isinstance(bow, FixedBagOfWords):
+        return {"kind": "fixed", "words": sorted(bow.words)}
+    return {
+        "kind": "adaptive",
+        "words": sorted(bow.words),
+        "seed": sorted(bow.seed),
+        "update_interval": bow.update_interval,
+        "decay": bow.decay,
+        "add_min_count": bow.add_min_count,
+        "add_ratio": bow.add_ratio,
+        "remove_min_count": bow.remove_min_count,
+        "remove_ratio": bow.remove_ratio,
+        "min_word_length": bow.min_word_length,
+        "aggressive_counts": bow._aggressive_counts,
+        "normal_counts": bow._normal_counts,
+        "aggressive_tweets": bow._aggressive_tweets,
+        "normal_tweets": bow._normal_tweets,
+        "since_maintenance": bow._since_maintenance,
+        "n_added": bow.n_added,
+        "n_removed": bow.n_removed,
+        "size_history": [list(p) for p in bow.size_history],
+        "labeled_seen": bow._labeled_seen,
+    }
+
+
+def _bow_from_dict(payload: Dict[str, Any]):
+    if payload["kind"] == "fixed":
+        return FixedBagOfWords(seed_words=payload["words"])
+    bow = AdaptiveBagOfWords(
+        seed_words=payload["words"],
+        update_interval=int(payload["update_interval"]),
+        decay=float(payload["decay"]),
+        add_min_count=float(payload["add_min_count"]),
+        add_ratio=float(payload["add_ratio"]),
+        remove_min_count=float(payload["remove_min_count"]),
+        remove_ratio=float(payload["remove_ratio"]),
+        min_word_length=int(payload["min_word_length"]),
+    )
+    bow.seed = set(payload["seed"])
+    bow._aggressive_counts = {
+        k: float(v) for k, v in payload["aggressive_counts"].items()
+    }
+    bow._normal_counts = {
+        k: float(v) for k, v in payload["normal_counts"].items()
+    }
+    bow._aggressive_tweets = float(payload["aggressive_tweets"])
+    bow._normal_tweets = float(payload["normal_tweets"])
+    bow._since_maintenance = int(payload["since_maintenance"])
+    bow.n_added = int(payload["n_added"])
+    bow.n_removed = int(payload["n_removed"])
+    bow.size_history = [tuple(p) for p in payload["size_history"]]
+    bow._labeled_seen = int(payload["labeled_seen"])
+    return bow
+
+
+# ----------------------------------------------------------------------
+# Evaluator / sampler
+# ----------------------------------------------------------------------
+
+def _evaluator_to_dict(evaluator: PrequentialEvaluator) -> Dict[str, Any]:
+    return {
+        "n_classes": evaluator.n_classes,
+        "window": evaluator.window,
+        "record_every": evaluator.record_every,
+        "cumulative": evaluator.cumulative.matrix,
+        "windowed": evaluator.windowed.matrix,
+        "window_contents": [list(p) for p in evaluator._window_contents],
+        "n_labeled": evaluator.n_labeled,
+        "history": [vars(p) for p in evaluator.history],
+        "unlabeled_counts": {
+            str(k): v for k, v in evaluator.unlabeled_stats.counts.items()
+        },
+        "unlabeled_total": evaluator.unlabeled_stats.total,
+    }
+
+
+def _evaluator_from_dict(payload: Dict[str, Any]) -> PrequentialEvaluator:
+    from collections import deque
+
+    evaluator = PrequentialEvaluator(
+        n_classes=int(payload["n_classes"]),
+        window=int(payload["window"]),
+        record_every=int(payload["record_every"]),
+    )
+    evaluator.cumulative.matrix = [
+        [float(v) for v in row] for row in payload["cumulative"]
+    ]
+    evaluator.cumulative.total = sum(
+        sum(row) for row in evaluator.cumulative.matrix
+    )
+    evaluator.windowed.matrix = [
+        [float(v) for v in row] for row in payload["windowed"]
+    ]
+    evaluator.windowed.total = sum(
+        sum(row) for row in evaluator.windowed.matrix
+    )
+    evaluator._window_contents = deque(
+        (int(t), int(p)) for t, p in payload["window_contents"]
+    )
+    evaluator.n_labeled = int(payload["n_labeled"])
+    evaluator.history = [MetricsPoint(**p) for p in payload["history"]]
+    evaluator.unlabeled_stats.counts = {
+        int(k): int(v) for k, v in payload["unlabeled_counts"].items()
+    }
+    evaluator.unlabeled_stats.total = int(payload["unlabeled_total"])
+    return evaluator
+
+
+def _classified_to_dict(classified: ClassifiedInstance) -> Dict[str, Any]:
+    instance = classified.instance
+    return {
+        "x": list(instance.x),
+        "y": instance.y,
+        "weight": instance.weight,
+        "timestamp": instance.timestamp,
+        "tweet_id": instance.tweet_id,
+        "predicted": classified.predicted,
+        "proba": list(classified.proba),
+    }
+
+
+def _classified_from_dict(payload: Dict[str, Any]) -> ClassifiedInstance:
+    return ClassifiedInstance(
+        instance=Instance(
+            x=tuple(payload["x"]),
+            y=payload["y"],
+            weight=float(payload["weight"]),
+            timestamp=float(payload["timestamp"]),
+            tweet_id=payload["tweet_id"],
+        ),
+        predicted=int(payload["predicted"]),
+        proba=tuple(payload["proba"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+
+def pipeline_to_dict(pipeline: AggressionDetectionPipeline) -> Dict[str, Any]:
+    """Serialize the full pipeline state (JSON-safe)."""
+    config = pipeline.config
+    sampler = pipeline.sampler
+    return {
+        "checkpoint_version": CHECKPOINT_VERSION,
+        "config": {
+            "n_classes": config.n_classes,
+            "preprocessing": config.preprocessing,
+            "normalization": config.normalization,
+            "adaptive_bow": config.adaptive_bow,
+            "deobfuscate": config.deobfuscate,
+            "model": config.model,
+            "model_params": dict(config.model_params),
+            "evaluation_window": config.evaluation_window,
+            "record_every": config.record_every,
+            "alert_min_confidence": config.alert_min_confidence,
+            "sample_capacity": config.sample_capacity,
+            "sample_boost": config.sample_boost,
+            "seed": config.seed,
+        },
+        "model": model_to_dict(pipeline.model),
+        "normalizer": normalizer_to_dict(pipeline.normalizer),
+        "bag_of_words": _bow_to_dict(pipeline.bag_of_words),
+        "evaluator": _evaluator_to_dict(pipeline.evaluator),
+        "counters": {
+            "n_processed": pipeline.n_processed,
+            "n_labeled": pipeline.n_labeled,
+            "n_unlabeled": pipeline.n_unlabeled,
+        },
+        "alerting": {
+            "suspended_users": dict(pipeline.alert_manager.suspended_users),
+            "user_history": {
+                user: list(history)
+                for user, history in pipeline.alert_manager._user_history.items()
+            },
+            "n_alerts": pipeline.alert_manager.n_alerts,
+        },
+        "sampler": {
+            "rng_state": _rng_state_to_json(sampler._rng.getstate()),
+            "counter": sampler._counter,
+            "n_offered": sampler.n_offered,
+            "n_aggressive_offered": sampler.n_aggressive_offered,
+            "heap": [
+                {"key": key, "tiebreak": tiebreak,
+                 "item": _classified_to_dict(item)}
+                for key, tiebreak, item in sampler._heap
+            ],
+        },
+    }
+
+
+def pipeline_from_dict(payload: Dict[str, Any]) -> AggressionDetectionPipeline:
+    """Rebuild a pipeline that continues exactly where the saved one was."""
+    version = payload.get("checkpoint_version")
+    if version != CHECKPOINT_VERSION:
+        raise SerializationError(f"unsupported checkpoint version {version!r}")
+    config = PipelineConfig(**payload["config"])
+    pipeline = AggressionDetectionPipeline(config)
+    pipeline.model = model_from_dict(payload["model"])
+    pipeline.normalizer = normalizer_from_dict(payload["normalizer"])
+    pipeline.bag_of_words = _bow_from_dict(payload["bag_of_words"])
+    pipeline.extractor.bag_of_words = pipeline.bag_of_words
+    pipeline.evaluator = _evaluator_from_dict(payload["evaluator"])
+    counters = payload["counters"]
+    pipeline.n_processed = int(counters["n_processed"])
+    pipeline.n_labeled = int(counters["n_labeled"])
+    pipeline.n_unlabeled = int(counters["n_unlabeled"])
+    from collections import deque
+
+    alerting = payload["alerting"]
+    pipeline.alert_manager.suspended_users = {
+        user: float(ts) for user, ts in alerting["suspended_users"].items()
+    }
+    pipeline.alert_manager._user_history = {
+        user: deque(float(t) for t in history)
+        for user, history in alerting["user_history"].items()
+    }
+    # Alert objects themselves are an audit log, not live state; the
+    # count is restored so reporting stays consistent.
+    pipeline.alert_manager.alerts = []
+    pipeline.alert_manager._restored_alerts = int(alerting["n_alerts"])
+    sampler_state = payload["sampler"]
+    sampler = pipeline.sampler
+    sampler._rng.setstate(_rng_state_from_json(sampler_state["rng_state"]))
+    sampler._counter = int(sampler_state["counter"])
+    sampler.n_offered = int(sampler_state["n_offered"])
+    sampler.n_aggressive_offered = int(sampler_state["n_aggressive_offered"])
+    sampler._heap = [
+        (float(e["key"]), int(e["tiebreak"]), _classified_from_dict(e["item"]))
+        for e in sampler_state["heap"]
+    ]
+    import heapq
+
+    heapq.heapify(sampler._heap)
+    return pipeline
+
+
+def save_pipeline(pipeline: AggressionDetectionPipeline, path: PathLike) -> int:
+    """Write a checkpoint file; returns the byte size written."""
+    text = json.dumps(pipeline_to_dict(pipeline), separators=(",", ":"))
+    Path(path).write_text(text, encoding="utf-8")
+    return len(text.encode("utf-8"))
+
+
+def load_pipeline(path: PathLike) -> AggressionDetectionPipeline:
+    """Load a checkpoint written by :func:`save_pipeline`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return pipeline_from_dict(payload)
+
+
+def _rng_state_to_json(state) -> List[Any]:
+    version, internal, gauss_next = state
+    return [version, list(internal), gauss_next]
+
+
+def _rng_state_from_json(payload) -> tuple:
+    version, internal, gauss_next = payload
+    return (int(version), tuple(int(v) for v in internal), gauss_next)

@@ -1,0 +1,217 @@
+"""Feature extraction (Fig. 1, step 2; §IV-B).
+
+Extracts the paper's 16 features — profile, network, basic text,
+syntactic (POS), stylistic, sentiment, and swear counts — plus the
+bag-of-words feature (adaptive or fixed). Features that count removed
+content (hashtags, URLs, mentions, uppercase words) are computed on the
+raw token stream; word-level features use the preprocessed tokens when
+preprocessing is enabled, or the polluted raw word view when disabled
+(the p=OFF arm of Fig. 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.adaptive_bow import AdaptiveBagOfWords, FixedBagOfWords
+from repro.core.preprocessing import preprocess_tokens, raw_word_tokens
+from repro.data.tweet import Tweet
+from repro.streamml.instance import Instance
+from repro.text.lexicons import SWEAR_WORDS
+from repro.text.pos import PosTag, PosTagger
+from repro.text.sentiment import SentimentAnalyzer
+from repro.text.tokenizer import Token, TokenType, split_sentences, tokenize
+
+#: Feature order. The first 16 are the paper's features (Fig. 5); the
+#: 17th is the (adaptive or fixed) bag-of-words match count.
+FEATURE_NAMES: Tuple[str, ...] = (
+    "accountAge",
+    "cntPosts",
+    "cntLists",
+    "cntFollowers",
+    "cntFriends",
+    "numHashtags",
+    "numUpperCases",
+    "numUrls",
+    "cntAdjective",
+    "cntAdverbs",
+    "cntVerbs",
+    "wordsPerSentence",
+    "meanWordLength",
+    "sentimentScorePos",
+    "sentimentScoreNeg",
+    "cntSwearWords",
+    "bowMatches",
+)
+
+N_FEATURES = len(FEATURE_NAMES)
+
+BagOfWords = Union[AdaptiveBagOfWords, FixedBagOfWords]
+
+
+class LabelEncoder:
+    """Maps string class labels to contiguous integers.
+
+    The 2-class setup folds "abusive" and "hateful" into a single
+    "aggressive" class (§V-A).
+    """
+
+    def __init__(self, n_classes: int) -> None:
+        if n_classes not in (2, 3):
+            raise ValueError(f"n_classes must be 2 or 3, got {n_classes}")
+        self.n_classes = n_classes
+        if n_classes == 3:
+            self._mapping: Dict[str, int] = {
+                "normal": 0, "abusive": 1, "hateful": 2,
+            }
+            self.class_names: Tuple[str, ...] = ("normal", "abusive", "hateful")
+        else:
+            self._mapping = {
+                "normal": 0, "abusive": 1, "hateful": 1, "aggressive": 1,
+            }
+            self.class_names = ("normal", "aggressive")
+
+    def encode(self, label: Optional[str]) -> Optional[int]:
+        """Integer class for a label string (``None`` passes through)."""
+        if label is None:
+            return None
+        if label not in self._mapping:
+            raise ValueError(f"unknown label {label!r}")
+        return self._mapping[label]
+
+    def decode(self, index: int) -> str:
+        """Class name for an integer class."""
+        return self.class_names[index]
+
+    def is_aggressive(self, index: int) -> bool:
+        """Whether an encoded class is an aggressive one (non-normal)."""
+        return index != 0
+
+    @property
+    def aggressive_classes(self) -> Tuple[int, ...]:
+        """All non-normal class indices."""
+        return tuple(range(1, self.n_classes))
+
+
+class FeatureExtractor:
+    """Turns a :class:`Tweet` into a numeric :class:`Instance`.
+
+    Args:
+        encoder: label encoder for the 2- or 3-class problem.
+        preprocessing: apply text cleaning before word-level features
+            (the p toggle of Fig. 6).
+        bag_of_words: adaptive or fixed BoW supplying the 17th feature;
+            ``None`` falls back to a fixed seed-lexicon BoW.
+    """
+
+    def __init__(
+        self,
+        encoder: Optional[LabelEncoder] = None,
+        preprocessing: bool = True,
+        bag_of_words: Optional[BagOfWords] = None,
+        deobfuscate: bool = False,
+    ) -> None:
+        self.encoder = encoder if encoder is not None else LabelEncoder(3)
+        self.preprocessing = preprocessing
+        self.bag_of_words: BagOfWords = (
+            bag_of_words if bag_of_words is not None else FixedBagOfWords()
+        )
+        self.deobfuscate = deobfuscate
+        self._deobfuscator = None
+        if deobfuscate:
+            from repro.text.deobfuscate import Deobfuscator
+
+            self._deobfuscator = Deobfuscator()
+        self._tagger = PosTagger()
+        self._sentiment = SentimentAnalyzer()
+
+    def extract(self, tweet: Tweet, update_bow: bool = True) -> Instance:
+        """Extract the full feature vector.
+
+        When the tweet is labeled and ``update_bow`` is true, the tweet
+        also updates the adaptive BoW's rolling statistics (training
+        path of Fig. 1).
+        """
+        raw_tokens = tokenize(tweet.text)
+        word_tokens = self._word_view(raw_tokens)
+        lower_words = [t.lower for t in word_tokens]
+        if self._deobfuscator is not None:
+            # Normalize disguised profanity ("sh1t", "i.d.i.o.t") back
+            # to canonical forms before lexicon/BoW matching.
+            lower_words = [
+                self._deobfuscator.deobfuscate(w) for w in lower_words
+            ]
+        label = self.encoder.encode(tweet.label)
+        if update_bow and label is not None:
+            self.bag_of_words.update(
+                lower_words, is_aggressive=self.encoder.is_aggressive(label)
+            )
+        x = self._feature_vector(tweet, raw_tokens, word_tokens, lower_words)
+        return Instance(
+            x=x,
+            y=label,
+            timestamp=tweet.created_at,
+            tweet_id=tweet.tweet_id,
+        )
+
+    def _word_view(self, raw_tokens: Sequence[Token]) -> List[Token]:
+        if self.preprocessing:
+            return preprocess_tokens(raw_tokens)
+        return raw_word_tokens(raw_tokens)
+
+    def _feature_vector(
+        self,
+        tweet: Tweet,
+        raw_tokens: Sequence[Token],
+        word_tokens: Sequence[Token],
+        lower_words: Sequence[str],
+    ) -> Tuple[float, ...]:
+        user = tweet.user
+        n_hashtags = sum(
+            1 for t in raw_tokens if t.type is TokenType.HASHTAG
+        )
+        n_urls = sum(1 for t in raw_tokens if t.type is TokenType.URL)
+        n_upper = sum(1 for t in raw_tokens if t.is_uppercase_word)
+        tags = self._tagger.tag_tokens(word_tokens)
+        n_adjectives = sum(1 for tag in tags if tag is PosTag.ADJECTIVE)
+        n_adverbs = sum(1 for tag in tags if tag is PosTag.ADVERB)
+        n_verbs = sum(1 for tag in tags if tag is PosTag.VERB)
+        words_per_sentence = self._words_per_sentence(tweet.text, len(word_tokens))
+        mean_word_length = (
+            sum(len(t.text) for t in word_tokens) / len(word_tokens)
+            if word_tokens
+            else 0.0
+        )
+        sentiment = self._sentiment.score_tokens(raw_tokens)
+        n_swear = sum(1 for w in lower_words if w in SWEAR_WORDS)
+        n_bow = self.bag_of_words.count_matches(lower_words)
+        return (
+            user.account_age_days(tweet.created_at),
+            float(user.statuses_count),
+            float(user.listed_count),
+            float(user.followers_count),
+            float(user.friends_count),
+            float(n_hashtags),
+            float(n_upper),
+            float(n_urls),
+            float(n_adjectives),
+            float(n_adverbs),
+            float(n_verbs),
+            words_per_sentence,
+            mean_word_length,
+            float(sentiment.positive),
+            float(sentiment.negative),
+            float(n_swear),
+            float(n_bow),
+        )
+
+    @staticmethod
+    def _words_per_sentence(text: str, n_words: int) -> float:
+        sentences = split_sentences(text)
+        if not sentences:
+            return float(n_words)
+        return n_words / len(sentences)
+
+    def feature_index(self, name: str) -> int:
+        """Index of a feature by name."""
+        return FEATURE_NAMES.index(name)

@@ -1,0 +1,118 @@
+"""Labeling (Fig. 1, step 9): turning sampled tweets into training data.
+
+Actual annotation is done by human moderators or crowdsourcing and is
+out of the paper's scope; this module provides the queueing glue and an
+oracle labeler used to close the loop in simulations: sampled tweets
+enter a :class:`LabelingQueue`, a labeler assigns labels, and the
+labeled tweets feed back into the pipeline's training stream.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.data.tweet import Tweet
+
+
+class Labeler(abc.ABC):
+    """Anything that can assign a class label to a tweet."""
+
+    @abc.abstractmethod
+    def label(self, tweet: Tweet) -> Optional[str]:
+        """Return the label, or ``None`` when undecidable."""
+
+
+class OracleLabeler(Labeler):
+    """Simulation labeler: looks the truth up from a provided table.
+
+    Mirrors a perfectly accurate crowd; tests can wrap it to inject
+    annotator error rates.
+    """
+
+    def __init__(self, truth: Dict[str, str], error_rate: float = 0.0,
+                 wrong_label: str = "normal") -> None:
+        if not 0.0 <= error_rate < 1.0:
+            raise ValueError("error_rate must be in [0, 1)")
+        self._truth = truth
+        self.error_rate = error_rate
+        self.wrong_label = wrong_label
+        self._flip = 0
+
+    def label(self, tweet: Tweet) -> Optional[str]:
+        truth = self._truth.get(tweet.tweet_id)
+        if truth is None:
+            return None
+        if self.error_rate > 0:
+            # Deterministic error injection: every k-th label is wrong.
+            self._flip += 1
+            if self._flip * self.error_rate >= 1.0:
+                self._flip = 0
+                return self.wrong_label
+        return truth
+
+
+class LabelingQueue:
+    """FIFO queue between the sampling and labeling steps.
+
+    Args:
+        max_pending: drop-oldest bound on unprocessed tweets, so a slow
+            labeling team never grows the queue without limit.
+    """
+
+    def __init__(self, max_pending: int = 10_000) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.max_pending = max_pending
+        self._pending: Deque[Tweet] = deque()
+        self.n_submitted = 0
+        self.n_dropped = 0
+        self.n_labeled = 0
+
+    def submit(self, tweet: Tweet) -> None:
+        """Enqueue a tweet for labeling."""
+        self._pending.append(tweet)
+        self.n_submitted += 1
+        while len(self._pending) > self.max_pending:
+            self._pending.popleft()
+            self.n_dropped += 1
+
+    def submit_many(self, tweets: List[Tweet]) -> None:
+        """Enqueue a batch of tweets."""
+        for tweet in tweets:
+            self.submit(tweet)
+
+    @property
+    def pending(self) -> int:
+        """Tweets awaiting labels."""
+        return len(self._pending)
+
+    def process(self, labeler: Labeler, limit: Optional[int] = None) -> List[Tweet]:
+        """Label up to ``limit`` pending tweets; returns labeled copies.
+
+        Tweets the labeler cannot decide are dropped (counted in
+        ``n_dropped``).
+        """
+        labeled: List[Tweet] = []
+        budget = limit if limit is not None else len(self._pending)
+        while self._pending and budget > 0:
+            tweet = self._pending.popleft()
+            budget -= 1
+            label = labeler.label(tweet)
+            if label is None:
+                self.n_dropped += 1
+                continue
+            self.n_labeled += 1
+            labeled.append(
+                Tweet(
+                    tweet_id=tweet.tweet_id,
+                    text=tweet.text,
+                    created_at=tweet.created_at,
+                    user=tweet.user,
+                    is_retweet=tweet.is_retweet,
+                    is_reply=tweet.is_reply,
+                    label=label,
+                )
+            )
+        return labeled

@@ -1,0 +1,231 @@
+"""Feature normalization (Fig. 1, step 3; §III-A).
+
+Three incremental normalizers, matching the paper:
+
+* :class:`MinMaxNormalizer` — scales each feature into [0, 1] using the
+  running min/max;
+* :class:`MinMaxNoOutliersNormalizer` — same, but the bounds are robust
+  streaming quantile estimates (P² algorithm), so statistical outliers
+  do not stretch the range (§V-B finds this variant ~2% better);
+* :class:`ZScoreNormalizer` — zero mean, unit standard deviation using
+  running moments.
+
+All statistics are computed incrementally during stream processing
+(observe-then-transform), and support merging across partitions.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence, Tuple
+
+from repro.streamml.instance import Instance
+from repro.streamml.stats import P2Quantile, RunningMinMax, RunningStats
+
+MINMAX = "minmax"
+MINMAX_NO_OUTLIERS = "minmax_no_outliers"
+ZSCORE = "zscore"
+KINDS = (MINMAX, MINMAX_NO_OUTLIERS, ZSCORE)
+
+
+class Normalizer(abc.ABC):
+    """Incremental per-feature scaler."""
+
+    def __init__(self, n_features: int) -> None:
+        if n_features < 1:
+            raise ValueError("n_features must be >= 1")
+        self.n_features = n_features
+        self.observed = 0
+
+    def _check(self, x: Sequence[float]) -> None:
+        if len(x) != self.n_features:
+            raise ValueError(f"expected {self.n_features} features, got {len(x)}")
+
+    @abc.abstractmethod
+    def observe(self, x: Sequence[float]) -> None:
+        """Fold one raw feature vector into the statistics."""
+
+    @abc.abstractmethod
+    def transform(self, x: Sequence[float]) -> Tuple[float, ...]:
+        """Scale one raw feature vector with the current statistics."""
+
+    def observe_and_transform(self, x: Sequence[float]) -> Tuple[float, ...]:
+        """Observe then transform (the streaming usage pattern)."""
+        self.observe(x)
+        return self.transform(x)
+
+    def transform_instance(self, instance: Instance) -> Instance:
+        """Observe and transform an instance, preserving its metadata."""
+        return instance.with_features(self.observe_and_transform(instance.x))
+
+    @abc.abstractmethod
+    def merge(self, other: "Normalizer") -> None:
+        """Fold another partition's statistics into this normalizer."""
+
+
+class MinMaxNormalizer(Normalizer):
+    """Scale to [0, 1] with the running min/max of each feature."""
+
+    def __init__(self, n_features: int) -> None:
+        super().__init__(n_features)
+        self._trackers: List[RunningMinMax] = [
+            RunningMinMax() for _ in range(n_features)
+        ]
+
+    def observe(self, x: Sequence[float]) -> None:
+        self._check(x)
+        self.observed += 1
+        for tracker, value in zip(self._trackers, x):
+            tracker.update(value)
+
+    def transform(self, x: Sequence[float]) -> Tuple[float, ...]:
+        self._check(x)
+        result = []
+        for tracker, value in zip(self._trackers, x):
+            span = tracker.range
+            if tracker.count == 0 or span <= 0:
+                result.append(0.0)
+            else:
+                scaled = (value - tracker.min) / span
+                result.append(min(max(scaled, 0.0), 1.0))
+        return tuple(result)
+
+    def merge(self, other: Normalizer) -> None:
+        if not isinstance(other, MinMaxNormalizer):
+            raise TypeError(f"cannot merge MinMaxNormalizer with {type(other)}")
+        self.observed += other.observed
+        self._trackers = [
+            mine.merge(theirs)
+            for mine, theirs in zip(self._trackers, other._trackers)
+        ]
+
+
+class MinMaxNoOutliersNormalizer(Normalizer):
+    """Min-max over robust quantile bounds instead of the raw extremes.
+
+    Bounds default to the 5th/95th percentile, estimated online with
+    the P² algorithm; values beyond the bounds clip to 0/1.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        lower_quantile: float = 0.05,
+        upper_quantile: float = 0.95,
+    ) -> None:
+        super().__init__(n_features)
+        if not 0.0 < lower_quantile < upper_quantile < 1.0:
+            raise ValueError("need 0 < lower_quantile < upper_quantile < 1")
+        self.lower_quantile = lower_quantile
+        self.upper_quantile = upper_quantile
+        self._lower: List[P2Quantile] = [
+            P2Quantile(lower_quantile) for _ in range(n_features)
+        ]
+        self._upper: List[P2Quantile] = [
+            P2Quantile(upper_quantile) for _ in range(n_features)
+        ]
+
+    def observe(self, x: Sequence[float]) -> None:
+        self._check(x)
+        self.observed += 1
+        for lower, upper, value in zip(self._lower, self._upper, x):
+            lower.update(value)
+            upper.update(value)
+
+    def transform(self, x: Sequence[float]) -> Tuple[float, ...]:
+        self._check(x)
+        result = []
+        for lower, upper, value in zip(self._lower, self._upper, x):
+            lo = lower.value
+            hi = upper.value
+            if lo is None or hi is None or hi - lo <= 0:
+                result.append(0.0)
+                continue
+            scaled = (value - lo) / (hi - lo)
+            result.append(min(max(scaled, 0.0), 1.0))
+        return tuple(result)
+
+    def merge(self, other: Normalizer) -> None:
+        """Approximate merge: keep the side with more observations.
+
+        P² sketches are not exactly mergeable; within a micro-batch the
+        drift between partitions is negligible, so the engine keeps the
+        statistically heavier sketch.
+        """
+        if not isinstance(other, MinMaxNoOutliersNormalizer):
+            raise TypeError(
+                f"cannot merge MinMaxNoOutliersNormalizer with {type(other)}"
+            )
+        if other.observed > self.observed:
+            self._lower = other._lower
+            self._upper = other._upper
+        self.observed += other.observed
+
+
+class ZScoreNormalizer(Normalizer):
+    """Standardize each feature to zero mean and unit std."""
+
+    def __init__(self, n_features: int) -> None:
+        super().__init__(n_features)
+        self._stats: List[RunningStats] = [
+            RunningStats() for _ in range(n_features)
+        ]
+
+    def observe(self, x: Sequence[float]) -> None:
+        self._check(x)
+        self.observed += 1
+        for stats, value in zip(self._stats, x):
+            stats.update(value)
+
+    def transform(self, x: Sequence[float]) -> Tuple[float, ...]:
+        self._check(x)
+        result = []
+        for stats, value in zip(self._stats, x):
+            std = stats.std
+            if stats.count < 2 or std <= 0:
+                result.append(0.0)
+            else:
+                result.append((value - stats.mean) / std)
+        return tuple(result)
+
+    def merge(self, other: Normalizer) -> None:
+        if not isinstance(other, ZScoreNormalizer):
+            raise TypeError(f"cannot merge ZScoreNormalizer with {type(other)}")
+        self.observed += other.observed
+        self._stats = [
+            mine.merge(theirs)
+            for mine, theirs in zip(self._stats, other._stats)
+        ]
+
+
+class IdentityNormalizer(Normalizer):
+    """The n=OFF baseline: passes features through unchanged."""
+
+    def observe(self, x: Sequence[float]) -> None:
+        self._check(x)
+        self.observed += 1
+
+    def transform(self, x: Sequence[float]) -> Tuple[float, ...]:
+        self._check(x)
+        return tuple(float(v) for v in x)
+
+    def merge(self, other: Normalizer) -> None:
+        self.observed += other.observed
+
+
+def make_normalizer(kind: str, n_features: int) -> Normalizer:
+    """Factory over the paper's three normalization forms (+identity).
+
+    Args:
+        kind: "minmax", "minmax_no_outliers", "zscore", or "none".
+        n_features: feature-vector width.
+    """
+    if kind == MINMAX:
+        return MinMaxNormalizer(n_features)
+    if kind == MINMAX_NO_OUTLIERS:
+        return MinMaxNoOutliersNormalizer(n_features)
+    if kind == ZSCORE:
+        return ZScoreNormalizer(n_features)
+    if kind in ("none", "identity"):
+        return IdentityNormalizer(n_features)
+    raise ValueError(f"unknown normalizer kind {kind!r}; expected one of {KINDS}")

@@ -1,0 +1,185 @@
+"""The end-to-end aggression-detection pipeline (Fig. 1).
+
+:class:`AggressionDetectionPipeline` is the single-process reference
+implementation wiring all nine stages together. Labeled tweets follow
+the prequential path (predict → evaluate → update adaptive BoW → train);
+unlabeled tweets are predicted, alerted on, and offered to the boosted
+sampler. The distributed engine (:mod:`repro.engine`) runs the same
+stage logic partition-parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.adaptive_bow import AdaptiveBagOfWords, FixedBagOfWords
+from repro.core.alerting import Alert, AlertManager, AlertPolicy
+from repro.core.config import PipelineConfig, create_model
+from repro.core.evaluation import MetricsPoint, PrequentialEvaluator
+from repro.core.features import N_FEATURES, FeatureExtractor, LabelEncoder
+from repro.core.normalization import Normalizer, make_normalizer
+from repro.core.sampling import BoostedRandomSampler
+from repro.data.tweet import Tweet
+from repro.streamml.base import StreamClassifier
+from repro.streamml.instance import ClassifiedInstance, Instance
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of a full stream run."""
+
+    config: PipelineConfig
+    n_processed: int
+    n_labeled: int
+    n_unlabeled: int
+    metrics: Dict[str, float]
+    history: List[MetricsPoint]
+    n_alerts: int
+    bow_size: int
+    bow_size_history: List[Tuple[int, int]] = field(default_factory=list)
+
+    def curve(self, metric: str = "window_f1") -> List[Tuple[int, float]]:
+        """(n_labeled_seen, metric) series for plotting."""
+        return [(p.n_seen, getattr(p, metric)) for p in self.history]
+
+
+class AggressionDetectionPipeline:
+    """Streaming aggression detector over labeled + unlabeled tweets."""
+
+    def __init__(self, config: Optional[PipelineConfig] = None) -> None:
+        self.config = config if config is not None else PipelineConfig()
+        self.encoder = LabelEncoder(self.config.n_classes)
+        if self.config.adaptive_bow:
+            self.bag_of_words = AdaptiveBagOfWords()
+        else:
+            self.bag_of_words = FixedBagOfWords()
+        self.extractor = FeatureExtractor(
+            encoder=self.encoder,
+            preprocessing=self.config.preprocessing,
+            bag_of_words=self.bag_of_words,
+            deobfuscate=self.config.deobfuscate,
+        )
+        self.normalizer: Normalizer = make_normalizer(
+            self.config.normalization
+            if self.config.normalization_enabled
+            else "none",
+            N_FEATURES,
+        )
+        self.model: StreamClassifier = create_model(self.config)
+        self.evaluator = PrequentialEvaluator(
+            n_classes=self.config.n_classes,
+            window=self.config.evaluation_window,
+            record_every=self.config.record_every,
+        )
+        self.alert_manager = AlertManager(
+            AlertPolicy(
+                aggressive_classes=self.encoder.aggressive_classes,
+                min_confidence=self.config.alert_min_confidence,
+            )
+        )
+        self.sampler = BoostedRandomSampler(
+            capacity=self.config.sample_capacity,
+            boost=self.config.sample_boost,
+            aggressive_classes=self.encoder.aggressive_classes,
+            seed=self.config.seed,
+        )
+        self.n_processed = 0
+        self.n_labeled = 0
+        self.n_unlabeled = 0
+
+    # ------------------------------------------------------------------
+    # Per-tweet processing
+    # ------------------------------------------------------------------
+
+    def process(self, tweet: Tweet) -> ClassifiedInstance:
+        """Run one tweet through the full pipeline.
+
+        Labeled tweets: extract → normalize → predict (prequential test)
+        → evaluate → train. Unlabeled tweets: extract → normalize →
+        predict → alert → sample.
+        """
+        self.n_processed += 1
+        instance = self.extractor.extract(tweet)
+        normalized = self.normalizer.transform_instance(instance)
+        proba = self.model.predict_proba_one(normalized.x)
+        predicted = _argmax(proba)
+        classified = ClassifiedInstance(
+            instance=normalized, predicted=predicted, proba=proba
+        )
+        if normalized.is_labeled:
+            self.n_labeled += 1
+            assert normalized.y is not None
+            self.evaluator.add_labeled(normalized.y, predicted)
+            self.model.learn_one(normalized)
+        else:
+            self.n_unlabeled += 1
+            self.evaluator.add_unlabeled(predicted)
+            self.alert_manager.process(classified, user_id=tweet.user.user_id)
+            self.sampler.offer(classified)
+        return classified
+
+    def predict(self, tweet: Tweet) -> Tuple[int, Tuple[float, ...]]:
+        """Classify a tweet without touching any pipeline state."""
+        instance = self.extractor.extract(tweet, update_bow=False)
+        x = self.normalizer.transform(instance.x)
+        proba = self.model.predict_proba_one(x)
+        return _argmax(proba), proba
+
+    def predict_label(self, tweet: Tweet) -> str:
+        """Class-name prediction for a tweet (stateless)."""
+        predicted, _ = self.predict(tweet)
+        return self.encoder.decode(predicted)
+
+    # ------------------------------------------------------------------
+    # Stream processing
+    # ------------------------------------------------------------------
+
+    def process_stream(self, tweets: Iterable[Tweet]) -> PipelineResult:
+        """Run the pipeline over a tweet stream and summarize."""
+        for tweet in tweets:
+            self.process(tweet)
+        return self.result()
+
+    def result(self) -> PipelineResult:
+        """Snapshot the run's metrics and counters."""
+        if (
+            self.evaluator.n_labeled % self.evaluator.record_every != 0
+            and self.evaluator.n_labeled > 0
+        ):
+            self.evaluator.record_point()
+        bow_history: List[Tuple[int, int]] = []
+        if isinstance(self.bag_of_words, AdaptiveBagOfWords):
+            bow_history = list(self.bag_of_words.size_history)
+        return PipelineResult(
+            config=self.config,
+            n_processed=self.n_processed,
+            n_labeled=self.n_labeled,
+            n_unlabeled=self.n_unlabeled,
+            metrics=self.evaluator.summary(),
+            history=list(self.evaluator.history),
+            n_alerts=self.alert_manager.n_alerts,
+            bow_size=len(self.bag_of_words),
+            bow_size_history=bow_history,
+        )
+
+    @property
+    def alerts(self) -> List[Alert]:
+        """All alerts raised so far."""
+        return self.alert_manager.alerts
+
+
+def run_pipeline(
+    tweets: Iterable[Tweet], config: Optional[PipelineConfig] = None
+) -> PipelineResult:
+    """One-shot convenience: build a pipeline and process a stream."""
+    pipeline = AggressionDetectionPipeline(config)
+    return pipeline.process_stream(tweets)
+
+
+def _argmax(proba: Tuple[float, ...]) -> int:
+    best = 0
+    for index in range(1, len(proba)):
+        if proba[index] > proba[best]:
+            best = index
+    return best

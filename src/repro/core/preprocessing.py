@@ -1,0 +1,58 @@
+"""Tweet-text preprocessing (Fig. 1, step 1).
+
+Cleans tweet text before word-level feature extraction: removes numbers,
+punctuation, special symbols, and URLs; condenses whitespace; and strips
+tweet-specific content — known abbreviations (RT, MT, ...), hashtags,
+and user mentions. Case is preserved (the uppercase-word feature needs
+it). Counting features that depend on the removed content (hashtags,
+URLs, mentions) are extracted from the raw token stream *before* this
+step runs.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Sequence
+
+from repro.text.tokenizer import Token, TokenType, tokenize
+
+#: Twitter-specific abbreviations removed during preprocessing.
+TWITTER_ABBREVIATIONS: FrozenSet[str] = frozenset(
+    ("rt", "mt", "ht", "via", "cc", "dm", "ff", "icymi", "tbt", "smh",
+     "imo", "imho", "fyi", "btw", "irl", "ikr")
+)
+
+_KEPT_TYPES = (TokenType.WORD,)
+
+
+def preprocess_tokens(tokens: Sequence[Token]) -> List[Token]:
+    """Filter a token stream down to clean word tokens.
+
+    Drops URLs, mentions, hashtags, numbers, punctuation, emoticons,
+    symbols, and known Twitter abbreviations.
+    """
+    return [
+        token
+        for token in tokens
+        if token.type in _KEPT_TYPES
+        and token.lower not in TWITTER_ABBREVIATIONS
+    ]
+
+
+def preprocess(text: str) -> str:
+    """Clean raw tweet text into a whitespace-condensed word string."""
+    return " ".join(token.text for token in preprocess_tokens(tokenize(text)))
+
+
+def raw_word_tokens(tokens: Sequence[Token]) -> List[Token]:
+    """The "no preprocessing" token view used when the stage is disabled.
+
+    Everything except pure punctuation is treated as a word-ish token,
+    so URLs, hashtags, mentions, and numbers pollute the word-level
+    features exactly as skipping the cleaning step would.
+    """
+    return [
+        token
+        for token in tokens
+        if token.type
+        not in (TokenType.PUNCTUATION, TokenType.EMOTICON, TokenType.SYMBOL)
+    ]

@@ -1,0 +1,94 @@
+"""Firehose-style workload composition for scalability experiments.
+
+The paper's scaling study (§V-E) feeds each configuration "a fixed
+number of unlabeled tweets (ranged from 250k to 2m) intermixed with the
+86k labeled tweets". :class:`FirehoseWorkload` builds exactly that
+mixture: a large unlabeled stream (same synthetic tweet model, labels
+stripped) interleaved uniformly with a labeled stream, in timestamp
+order, generated lazily so multi-million-tweet workloads never
+materialize in memory.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.data.loader import interleave_streams, strip_labels
+from repro.data.synthetic import (
+    DEFAULT_START_TIME,
+    AbusiveDatasetGenerator,
+    DriftConfig,
+    NoiseConfig,
+)
+from repro.data.tweet import Tweet
+
+
+class FirehoseWorkload:
+    """Labeled + unlabeled mixed stream at a configurable scale.
+
+    Args:
+        n_unlabeled: size of the unlabeled traffic (paper: 250k-2M).
+        n_labeled: size of the labeled stream (paper: 86k).
+        seed: base RNG seed; the unlabeled stream uses ``seed + 1`` so
+            the two streams carry different tweets.
+        n_days: collection horizon shared by both streams.
+    """
+
+    def __init__(
+        self,
+        n_unlabeled: int,
+        n_labeled: int = 86_000,
+        seed: int = 42,
+        n_days: int = 10,
+        noise: Optional[NoiseConfig] = None,
+        drift: Optional[DriftConfig] = None,
+    ) -> None:
+        if n_unlabeled < 0 or n_labeled < 0:
+            raise ValueError("stream sizes must be non-negative")
+        if n_unlabeled + n_labeled == 0:
+            raise ValueError("workload must contain at least one tweet")
+        self.n_unlabeled = n_unlabeled
+        self.n_labeled = n_labeled
+        self.seed = seed
+        self.n_days = n_days
+        self.noise = noise
+        self.drift = drift
+
+    @property
+    def total_tweets(self) -> int:
+        return self.n_unlabeled + self.n_labeled
+
+    def labeled_stream(self) -> Iterator[Tweet]:
+        """The labeled training stream."""
+        if self.n_labeled == 0:
+            return iter(())
+        return AbusiveDatasetGenerator(
+            n_tweets=self.n_labeled,
+            seed=self.seed,
+            n_days=self.n_days,
+            start_time=DEFAULT_START_TIME,
+            noise=self.noise,
+            drift=self.drift,
+        ).generate()
+
+    def unlabeled_stream(self) -> Iterator[Tweet]:
+        """The unlabeled monitoring traffic (labels stripped)."""
+        if self.n_unlabeled == 0:
+            return iter(())
+        generator = AbusiveDatasetGenerator(
+            n_tweets=self.n_unlabeled,
+            seed=self.seed + 1,
+            n_days=self.n_days,
+            start_time=DEFAULT_START_TIME,
+            noise=self.noise,
+            drift=self.drift,
+        )
+        return strip_labels(generator.generate())
+
+    def stream(self) -> Iterator[Tweet]:
+        """The full interleaved workload in timestamp order (lazy)."""
+        return interleave_streams(self.labeled_stream(), self.unlabeled_stream())
+
+    def labeled_fraction(self) -> float:
+        """Share of the workload that is labeled."""
+        return self.n_labeled / self.total_tweets

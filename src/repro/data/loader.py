@@ -1,0 +1,90 @@
+"""JSONL stream I/O and stream-composition utilities.
+
+The system's inputs are two JSON streams (labeled and unlabeled tweets,
+Fig. 1). These helpers read/write JSONL files lazily, strip labels to
+build an unlabeled stream, interleave multiple streams by timestamp,
+and split a stream into collection days (for the batch-training
+regimes of Fig. 13/14).
+"""
+
+from __future__ import annotations
+
+import heapq
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Sequence, Union
+
+from repro.data.tweet import Tweet
+
+PathLike = Union[str, Path]
+
+
+def write_jsonl(tweets: Iterable[Tweet], path: PathLike) -> int:
+    """Write tweets to a JSONL file; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for tweet in tweets:
+            handle.write(tweet.to_json_line())
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: PathLike) -> Iterator[Tweet]:
+    """Lazily read tweets from a JSONL file (blank lines skipped)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield Tweet.from_json_line(line)
+
+
+def strip_labels(tweets: Iterable[Tweet]) -> Iterator[Tweet]:
+    """Yield copies of the tweets without labels (the unlabeled stream)."""
+    for tweet in tweets:
+        yield Tweet(
+            tweet_id=tweet.tweet_id,
+            text=tweet.text,
+            created_at=tweet.created_at,
+            user=tweet.user,
+            is_retweet=tweet.is_retweet,
+            is_reply=tweet.is_reply,
+            label=None,
+        )
+
+
+def interleave_streams(*streams: Iterable[Tweet]) -> Iterator[Tweet]:
+    """Merge timestamp-ordered streams into one ordered stream.
+
+    Each input stream must already be sorted by ``created_at``; the
+    merge is lazy (heap-based), so arbitrarily long streams are fine.
+    """
+    return heapq.merge(*streams, key=lambda t: t.created_at)
+
+
+def split_by_day(
+    tweets: Iterable[Tweet], stream_start: float
+) -> Dict[int, List[Tweet]]:
+    """Group tweets by 0-based collection day relative to ``stream_start``."""
+    days: Dict[int, List[Tweet]] = {}
+    for tweet in tweets:
+        days.setdefault(tweet.day_index(stream_start), []).append(tweet)
+    return days
+
+
+def take(stream: Iterable[Tweet], n: int) -> List[Tweet]:
+    """First ``n`` tweets of a stream."""
+    result: List[Tweet] = []
+    for tweet in stream:
+        if len(result) >= n:
+            break
+        result.append(tweet)
+    return result
+
+
+def class_histogram(tweets: Sequence[Tweet]) -> Dict[str, int]:
+    """Count tweets per label ("unlabeled" bucket for missing labels)."""
+    histogram: Dict[str, int] = {}
+    for tweet in tweets:
+        key = tweet.label if tweet.label is not None else "unlabeled"
+        histogram[key] = histogram.get(key, 0) + 1
+    return histogram

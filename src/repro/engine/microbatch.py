@@ -1,0 +1,374 @@
+"""Micro-batch execution of the pipeline (Fig. 2 dataflow).
+
+Each micro-batch of tweets becomes a partitioned RDD and flows through
+the numbered operations of Fig. 2:
+
+1. ``map`` — preprocessing + feature extraction + normalization
+   (normalization uses the statistics broadcast from previous batches,
+   so it stays incremental);
+2. ``filter`` — keep the labeled instances;
+3. ``aggregate`` — each task trains a *local* model (a structure copy
+   of the global Hoeffding Tree / ARF, or a weight copy for SLR), and
+   the driver merges the local models into the global model;
+4. ``map`` — predictions with the model broadcast at batch start;
+5. ``map`` — local confusion statistics;
+6. ``reduce`` — global evaluation metrics.
+
+Alerting and sampling consume the classified instances on the driver.
+The updated global model (serialized well under 1 MB, as the paper
+notes) is "broadcast" — passed to the next batch's tasks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.adaptive_bow import AdaptiveBagOfWords, FixedBagOfWords
+from repro.core.alerting import AlertManager, AlertPolicy
+from repro.core.config import PipelineConfig, create_model
+from repro.core.evaluation import ConfusionMatrix
+from repro.core.features import N_FEATURES, FeatureExtractor, LabelEncoder
+from repro.core.normalization import Normalizer, make_normalizer
+from repro.core.sampling import BoostedRandomSampler
+from repro.data.tweet import Tweet
+from repro.engine.rdd import parallelize
+from repro.engine.runners import Runner, SerialRunner
+from repro.streamml.arf import AdaptiveRandomForest
+from repro.streamml.base import StreamClassifier
+from repro.streamml.hoeffding_tree import HoeffdingTree
+from repro.streamml.instance import ClassifiedInstance, Instance
+from repro.streamml.slr import StreamingLogisticRegression
+
+
+@dataclass
+class _PartitionOutput:
+    """Everything a partition task sends back to the driver."""
+
+    classified: List[ClassifiedInstance]
+    local_model: Optional[StreamClassifier]
+    bow_delta: Optional[AdaptiveBagOfWords]
+    local_stats: ConfusionMatrix
+    raw_vectors: List[Tuple[float, ...]]
+    n_labeled: int
+    n_unlabeled: int
+    user_ids: List[Optional[str]]
+
+
+class _PartitionTask:
+    """Picklable per-partition work unit (ops #1-#5 of Fig. 2)."""
+
+    def __init__(
+        self,
+        tweets: List[Tweet],
+        n_classes: int,
+        preprocessing: bool,
+        deobfuscate: bool,
+        bow_words: frozenset,
+        adaptive_bow: bool,
+        normalizer: Normalizer,
+        model: StreamClassifier,
+        local_model: Optional[StreamClassifier],
+    ) -> None:
+        self.tweets = tweets
+        self.n_classes = n_classes
+        self.preprocessing = preprocessing
+        self.deobfuscate = deobfuscate
+        self.bow_words = bow_words
+        self.adaptive_bow = adaptive_bow
+        self.normalizer = normalizer
+        self.model = model
+        self.local_model = local_model
+
+    def __call__(self) -> _PartitionOutput:
+        encoder = LabelEncoder(self.n_classes)
+        bow_delta: Optional[AdaptiveBagOfWords] = None
+        if self.adaptive_bow:
+            bow_delta = AdaptiveBagOfWords(
+                seed_words=self.bow_words, update_interval=10 ** 9
+            )
+            bag = bow_delta
+        else:
+            bag = FixedBagOfWords(seed_words=self.bow_words)
+        extractor = FeatureExtractor(
+            encoder=encoder,
+            preprocessing=self.preprocessing,
+            bag_of_words=bag,
+            deobfuscate=self.deobfuscate,
+        )
+        classified: List[ClassifiedInstance] = []
+        raw_vectors: List[Tuple[float, ...]] = []
+        stats = ConfusionMatrix(self.n_classes)
+        labeled: List[Instance] = []
+        user_ids: List[Optional[str]] = []
+        n_labeled = 0
+        n_unlabeled = 0
+        for tweet in self.tweets:
+            instance = extractor.extract(tweet)  # op #1 (extract)
+            raw_vectors.append(instance.x)
+            normalized = instance.with_features(
+                self.normalizer.transform(instance.x)
+            )  # op #1 (normalize, broadcast statistics)
+            proba = self.model.predict_proba_one(normalized.x)  # op #4
+            predicted = max(range(len(proba)), key=proba.__getitem__)
+            classified.append(
+                ClassifiedInstance(
+                    instance=normalized, predicted=predicted, proba=proba
+                )
+            )
+            user_ids.append(tweet.user.user_id)
+            if normalized.is_labeled:
+                n_labeled += 1
+                assert normalized.y is not None
+                stats.add(normalized.y, predicted)  # op #5
+                labeled.append(normalized)  # op #2 (filter)
+            else:
+                n_unlabeled += 1
+        if self.local_model is not None:
+            for instance in labeled:  # op #3, local part
+                self.local_model.learn_one(instance)
+        return _PartitionOutput(
+            classified=classified,
+            local_model=self.local_model,
+            bow_delta=bow_delta,
+            local_stats=stats,
+            raw_vectors=raw_vectors,
+            n_labeled=n_labeled,
+            n_unlabeled=n_unlabeled,
+            user_ids=user_ids,
+        )
+
+
+@dataclass
+class MicroBatchResult:
+    """Per-micro-batch outcome."""
+
+    batch_index: int
+    n_processed: int
+    n_labeled: int
+    n_unlabeled: int
+    elapsed_seconds: float
+    cumulative_f1: float
+    cumulative_accuracy: float
+
+
+@dataclass
+class EngineResult:
+    """Aggregated outcome of a full engine run."""
+
+    n_processed: int
+    n_labeled: int
+    n_unlabeled: int
+    metrics: Dict[str, float]
+    batches: List[MicroBatchResult]
+    elapsed_seconds: float
+    n_alerts: int
+
+    @property
+    def throughput(self) -> float:
+        """Processed tweets per second of wall-clock time."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.n_processed / self.elapsed_seconds
+
+
+class MicroBatchEngine:
+    """Spark-Streaming-style execution of the detection pipeline.
+
+    Args:
+        config: pipeline configuration (same knobs as the sequential
+            pipeline).
+        n_partitions: parallel tasks per micro-batch.
+        batch_size: tweets per micro-batch.
+        runner: partition executor (serial / threads / processes).
+    """
+
+    def __init__(
+        self,
+        config: Optional[PipelineConfig] = None,
+        n_partitions: int = 4,
+        batch_size: int = 5000,
+        runner: Optional[Runner] = None,
+    ) -> None:
+        if n_partitions < 1:
+            raise ValueError("n_partitions must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.config = config if config is not None else PipelineConfig()
+        self.n_partitions = n_partitions
+        self.batch_size = batch_size
+        self.runner = runner if runner is not None else SerialRunner()
+        self.encoder = LabelEncoder(self.config.n_classes)
+        if self.config.adaptive_bow:
+            self.bag_of_words: object = AdaptiveBagOfWords()
+        else:
+            self.bag_of_words = FixedBagOfWords()
+        self.normalizer = make_normalizer(
+            self.config.normalization
+            if self.config.normalization_enabled
+            else "none",
+            N_FEATURES,
+        )
+        self.model: StreamClassifier = create_model(self.config)
+        self.cumulative = ConfusionMatrix(self.config.n_classes)
+        self.alert_manager = AlertManager(
+            AlertPolicy(
+                aggressive_classes=self.encoder.aggressive_classes,
+                min_confidence=self.config.alert_min_confidence,
+            )
+        )
+        self.sampler = BoostedRandomSampler(
+            capacity=self.config.sample_capacity,
+            boost=self.config.sample_boost,
+            aggressive_classes=self.encoder.aggressive_classes,
+            seed=self.config.seed,
+        )
+        self.batches: List[MicroBatchResult] = []
+        self.n_processed = 0
+        self.n_labeled = 0
+        self.n_unlabeled = 0
+
+    # ------------------------------------------------------------------
+    # Model-parallel adapters (op #3: local train + global merge)
+    # ------------------------------------------------------------------
+
+    def _local_model(self) -> StreamClassifier:
+        model = self.model
+        if hasattr(model, "structure_copy"):
+            # HT/ARF/Oza ensembles: statistics-accumulating copies.
+            return model.structure_copy()
+        if isinstance(model, StreamingLogisticRegression):
+            local = model.clone()
+            local.merge(model)  # copy current weights
+            local.instances_seen = 0
+            return local
+        return model.clone()
+
+    def _combine_models(self, locals_: Sequence[StreamClassifier]) -> None:
+        model = self.model
+        trained = [m for m in locals_ if m.instances_seen > 0]
+        if not trained:
+            return
+        if hasattr(model, "structure_copy"):
+            for local in trained:
+                model.merge(local)
+            if hasattr(model, "attempt_deferred_splits"):
+                model.attempt_deferred_splits()
+            return
+        if isinstance(model, StreamingLogisticRegression):
+            self._average_slr(model, trained)
+            return
+        for local in trained:
+            model.merge(local)
+
+    @staticmethod
+    def _average_slr(
+        model: StreamingLogisticRegression,
+        locals_: Sequence[StreamClassifier],
+    ) -> None:
+        # Iterative parameter mixing: the new global weights are the
+        # example-weighted average of the local weights (each local
+        # started from the old global weights).
+        total = sum(m.instances_seen for m in locals_)
+        if total == 0:
+            return
+        first = locals_[0]
+        assert isinstance(first, StreamingLogisticRegression)
+        if not first.weights:
+            return
+        n_classes = model.n_classes
+        n_features = len(first.weights[0])
+        new_weights = [[0.0] * n_features for _ in range(n_classes)]
+        new_bias = [0.0] * n_classes
+        for local in locals_:
+            assert isinstance(local, StreamingLogisticRegression)
+            share = local.instances_seen / total
+            for cls in range(n_classes):
+                row = local.weights[cls]
+                target = new_weights[cls]
+                for feature in range(n_features):
+                    target[feature] += share * row[feature]
+                new_bias[cls] += share * local.bias[cls]
+        model._weights = new_weights
+        model._bias = new_bias
+        model.instances_seen += total
+
+    # ------------------------------------------------------------------
+    # Batch processing
+    # ------------------------------------------------------------------
+
+    def process_batch(self, tweets: Sequence[Tweet]) -> MicroBatchResult:
+        """Run one micro-batch through the Fig. 2 dataflow."""
+        start = time.perf_counter()
+        rdd = parallelize(tweets, self.n_partitions, runner=self.runner)
+        bow_words = frozenset(self.bag_of_words.words)
+        tasks = [
+            _PartitionTask(
+                tweets=partition,
+                n_classes=self.config.n_classes,
+                preprocessing=self.config.preprocessing,
+                deobfuscate=self.config.deobfuscate,
+                bow_words=bow_words,
+                adaptive_bow=self.config.adaptive_bow,
+                normalizer=self.normalizer,
+                model=self.model,
+                local_model=self._local_model(),
+            )
+            for partition in rdd.partitions
+        ]
+        outputs: List[_PartitionOutput] = self.runner.run(tasks)
+        self._combine_models([o.local_model for o in outputs if o.local_model])
+        if isinstance(self.bag_of_words, AdaptiveBagOfWords):
+            for output in outputs:
+                if output.bow_delta is not None:
+                    self.bag_of_words.absorb(output.bow_delta)
+            self.bag_of_words.maintain()
+        n_labeled = 0
+        n_unlabeled = 0
+        for output in outputs:
+            self.cumulative.merge(output.local_stats)  # op #6
+            n_labeled += output.n_labeled
+            n_unlabeled += output.n_unlabeled
+            for vector in output.raw_vectors:
+                self.normalizer.observe(vector)
+            for classified, user_id in zip(output.classified, output.user_ids):
+                if not classified.instance.is_labeled:
+                    self.alert_manager.process(classified, user_id=user_id)
+                    self.sampler.offer(classified)
+        self.n_processed += len(tweets)
+        self.n_labeled += n_labeled
+        self.n_unlabeled += n_unlabeled
+        result = MicroBatchResult(
+            batch_index=len(self.batches),
+            n_processed=len(tweets),
+            n_labeled=n_labeled,
+            n_unlabeled=n_unlabeled,
+            elapsed_seconds=time.perf_counter() - start,
+            cumulative_f1=self.cumulative.weighted_f1,
+            cumulative_accuracy=self.cumulative.accuracy,
+        )
+        self.batches.append(result)
+        return result
+
+    def run(self, tweets: Iterable[Tweet]) -> EngineResult:
+        """Discretize a stream into micro-batches and process them all."""
+        start = time.perf_counter()
+        batch: List[Tweet] = []
+        for tweet in tweets:
+            batch.append(tweet)
+            if len(batch) >= self.batch_size:
+                self.process_batch(batch)
+                batch = []
+        if batch:
+            self.process_batch(batch)
+        elapsed = time.perf_counter() - start
+        return EngineResult(
+            n_processed=self.n_processed,
+            n_labeled=self.n_labeled,
+            n_unlabeled=self.n_unlabeled,
+            metrics=self.cumulative.as_dict(),
+            batches=list(self.batches),
+            elapsed_seconds=elapsed,
+            n_alerts=self.alert_manager.n_alerts,
+        )

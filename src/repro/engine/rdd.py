@@ -1,0 +1,176 @@
+"""Partitioned in-memory datasets with Spark-like transformations.
+
+An :class:`RDD` holds a list of partitions; transformations (map,
+filter, map_partitions) are lazy in spirit but executed eagerly per
+call through a pluggable :class:`~repro.engine.runners.Runner`, which
+decides whether partitions run serially, on a thread pool, or on a
+process pool. ``aggregate`` implements Spark's seqOp/combOp contract,
+which the micro-batch engine uses for local-model training + global
+merge (op #3 of Fig. 2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, List, Optional, Sequence, TypeVar
+
+from repro.engine.runners import Runner, SerialRunner
+
+T = TypeVar("T")
+U = TypeVar("U")
+A = TypeVar("A")
+
+
+class RDD(Generic[T]):
+    """An immutable partitioned dataset."""
+
+    def __init__(
+        self,
+        partitions: Sequence[Sequence[T]],
+        runner: Optional[Runner] = None,
+    ) -> None:
+        if not partitions:
+            raise ValueError("RDD needs at least one partition")
+        self.partitions: List[List[T]] = [list(p) for p in partitions]
+        self.runner: Runner = runner if runner is not None else SerialRunner()
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.partitions)
+
+    def count(self) -> int:
+        """Total number of elements."""
+        return sum(len(p) for p in self.partitions)
+
+    def collect(self) -> List[T]:
+        """All elements, partition order preserved."""
+        result: List[T] = []
+        for partition in self.partitions:
+            result.extend(partition)
+        return result
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def map(self, func: Callable[[T], U]) -> "RDD[U]":
+        """Element-wise transformation, partitions processed in parallel."""
+        new_partitions = self.runner.run(
+            [_MapTask(partition, func) for partition in self.partitions]
+        )
+        return RDD(new_partitions, runner=self.runner)
+
+    def filter(self, predicate: Callable[[T], bool]) -> "RDD[T]":
+        """Keep elements matching the predicate."""
+        new_partitions = self.runner.run(
+            [_FilterTask(partition, predicate) for partition in self.partitions]
+        )
+        return RDD(new_partitions, runner=self.runner)
+
+    def map_partitions(
+        self, func: Callable[[List[T]], List[U]]
+    ) -> "RDD[U]":
+        """Partition-wise transformation."""
+        new_partitions = self.runner.run(
+            [_PartitionTask(partition, func) for partition in self.partitions]
+        )
+        return RDD(new_partitions, runner=self.runner)
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+
+    def aggregate(
+        self,
+        zero: Callable[[], A],
+        seq_op: Callable[[A, T], A],
+        comb_op: Callable[[A, A], A],
+    ) -> A:
+        """Spark-style aggregate: per-partition fold, then combine.
+
+        ``zero`` is a factory so each partition gets an independent
+        accumulator (matters for mutable accumulators like models).
+        """
+        locals_: List[A] = self.runner.run(
+            [_AggregateTask(partition, zero, seq_op) for partition in self.partitions]
+        )
+        result = locals_[0]
+        for local in locals_[1:]:
+            result = comb_op(result, local)
+        return result
+
+    def reduce(self, func: Callable[[T, T], T]) -> T:
+        """Pairwise reduction over all elements."""
+        items = self.collect()
+        if not items:
+            raise ValueError("cannot reduce an empty RDD")
+        result = items[0]
+        for item in items[1:]:
+            result = func(result, item)
+        return result
+
+
+class _MapTask:
+    """Picklable element-wise map over one partition."""
+
+    def __init__(self, partition: List, func: Callable) -> None:
+        self.partition = partition
+        self.func = func
+
+    def __call__(self) -> List:
+        return [self.func(item) for item in self.partition]
+
+
+class _FilterTask:
+    """Picklable filter over one partition."""
+
+    def __init__(self, partition: List, predicate: Callable) -> None:
+        self.partition = partition
+        self.predicate = predicate
+
+    def __call__(self) -> List:
+        return [item for item in self.partition if self.predicate(item)]
+
+
+class _PartitionTask:
+    """Picklable partition-wise transform."""
+
+    def __init__(self, partition: List, func: Callable) -> None:
+        self.partition = partition
+        self.func = func
+
+    def __call__(self) -> List:
+        return self.func(self.partition)
+
+
+class _AggregateTask:
+    """Picklable per-partition fold."""
+
+    def __init__(self, partition: List, zero: Callable, seq_op: Callable) -> None:
+        self.partition = partition
+        self.zero = zero
+        self.seq_op = seq_op
+
+    def __call__(self):
+        acc = self.zero()
+        for item in self.partition:
+            acc = self.seq_op(acc, item)
+        return acc
+
+
+def parallelize(
+    data: Sequence[T],
+    n_partitions: int,
+    runner: Optional[Runner] = None,
+) -> RDD[T]:
+    """Split a sequence into ``n_partitions`` round-robin partitions.
+
+    Round-robin (rather than contiguous chunks) mirrors Spark's random
+    partitioning of streaming receivers and keeps the label mix of each
+    partition representative.
+    """
+    if n_partitions < 1:
+        raise ValueError("n_partitions must be >= 1")
+    partitions: List[List[T]] = [[] for _ in range(n_partitions)]
+    for index, item in enumerate(data):
+        partitions[index % n_partitions].append(item)
+    return RDD(partitions, runner=runner)

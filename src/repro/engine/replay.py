@@ -1,0 +1,149 @@
+"""Stream replay and end-to-end latency measurement.
+
+"Real-time" detection is a latency claim, not just a throughput claim:
+an alert is only useful if it fires moments after the tweet is posted.
+This module replays a recorded tweet stream against the pipeline at a
+configurable arrival rate — in *simulated* time by default, so tests
+and benches stay fast and deterministic — and tracks per-tweet
+detection latency (arrival → classified) plus queueing behaviour when
+the offered rate exceeds the pipeline's service rate.
+
+The simulation is a simple single-server queue fed by the arrival
+process: each tweet needs ``service_time`` seconds of pipeline compute
+(measured, or supplied), waits behind earlier tweets, and its latency
+is (completion - arrival). This is exactly the back-pressure behaviour
+a single-node deployment exhibits, and it shows the crossover where a
+configuration stops being real-time (utilization >= 1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.data.tweet import Tweet
+from repro.streamml.stats import percentile
+
+
+@dataclass
+class LatencyReport:
+    """Latency distribution of one replay."""
+
+    n_tweets: int
+    offered_rate: float
+    service_rate: float
+    mean_latency_s: float
+    p50_latency_s: float
+    p95_latency_s: float
+    p99_latency_s: float
+    max_latency_s: float
+    max_queue_depth: int
+
+    @property
+    def utilization(self) -> float:
+        """Offered load relative to capacity (>= 1 means unstable)."""
+        if self.service_rate <= 0:
+            return float("inf")
+        return self.offered_rate / self.service_rate
+
+    @property
+    def is_real_time(self) -> bool:
+        """Whether the queue is stable (latency does not grow unboundedly)."""
+        return self.utilization < 1.0
+
+
+class StreamReplayer:
+    """Replays tweets at a fixed rate against a per-tweet processor.
+
+    Args:
+        process: callable invoked once per tweet (the pipeline's
+            ``process``); its measured cost defines the service rate
+            unless ``service_time_s`` is given.
+        service_time_s: fixed per-tweet service time for the queueing
+            simulation; ``None`` measures each call with a wall clock.
+    """
+
+    def __init__(
+        self,
+        process: Callable[[Tweet], object],
+        service_time_s: Optional[float] = None,
+    ) -> None:
+        self.process = process
+        self.service_time_s = service_time_s
+
+    def replay(
+        self,
+        tweets: Iterable[Tweet],
+        arrival_rate: float,
+    ) -> LatencyReport:
+        """Replay a stream arriving at ``arrival_rate`` tweets/second.
+
+        Time is simulated: tweet *i* arrives at ``i / arrival_rate``;
+        the single server processes tweets FIFO, each costing its
+        (measured or fixed) service time. Latency is completion minus
+        arrival.
+        """
+        if arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive")
+        latencies: List[float] = []
+        service_times: List[float] = []
+        server_free_at = 0.0
+        max_queue_depth = 0
+        queue_depth = 0
+        last_completion = 0.0
+        completions: List[float] = []
+        for index, tweet in enumerate(tweets):
+            arrival = index / arrival_rate
+            if self.service_time_s is None:
+                started = time.perf_counter()
+                self.process(tweet)
+                service = time.perf_counter() - started
+            else:
+                self.process(tweet)
+                service = self.service_time_s
+            service_times.append(service)
+            start = max(arrival, server_free_at)
+            completion = start + service
+            server_free_at = completion
+            latencies.append(completion - arrival)
+            completions.append(completion)
+            # Queue depth at this arrival: completed jobs leave.
+            queue_depth = sum(1 for c in completions if c > arrival)
+            max_queue_depth = max(max_queue_depth, queue_depth)
+            last_completion = completion
+        if not latencies:
+            raise ValueError("cannot replay an empty stream")
+        mean_service = sum(service_times) / len(service_times)
+        return LatencyReport(
+            n_tweets=len(latencies),
+            offered_rate=arrival_rate,
+            service_rate=1.0 / mean_service if mean_service > 0 else 0.0,
+            mean_latency_s=sum(latencies) / len(latencies),
+            p50_latency_s=percentile(latencies, 50),
+            p95_latency_s=percentile(latencies, 95),
+            p99_latency_s=percentile(latencies, 99),
+            max_latency_s=max(latencies),
+            max_queue_depth=max_queue_depth,
+        )
+
+    def find_max_stable_rate(
+        self,
+        tweets: Sequence[Tweet],
+        rates: Sequence[float],
+        latency_budget_s: float,
+    ) -> Optional[float]:
+        """Largest offered rate whose p95 latency fits the budget.
+
+        Rates are probed in increasing order against fresh replays of
+        the same recorded stream; returns ``None`` if even the smallest
+        rate misses the budget.
+        """
+        best: Optional[float] = None
+        for rate in sorted(rates):
+            report = self.replay(list(tweets), rate)
+            if report.p95_latency_s <= latency_budget_s:
+                best = rate
+            else:
+                break
+        return best

@@ -1,0 +1,68 @@
+"""Sequential (MOA-like) execution of the pipeline.
+
+MOA processes the stream on a single thread with no batching or
+scheduling overhead; this engine does the same by delegating to the
+reference :class:`~repro.core.pipeline.AggressionDetectionPipeline`,
+while recording wall-clock time and throughput so the scalability study
+can compare it against the micro-batch engine (Figs. 15/16).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import AggressionDetectionPipeline, PipelineResult
+from repro.data.tweet import Tweet
+
+
+@dataclass
+class SequentialRunResult:
+    """Timing-annotated outcome of a sequential run."""
+
+    pipeline_result: PipelineResult
+    elapsed_seconds: float
+
+    @property
+    def throughput(self) -> float:
+        """Tweets processed per second."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.pipeline_result.n_processed / self.elapsed_seconds
+
+    @property
+    def metrics(self) -> Dict[str, float]:
+        return self.pipeline_result.metrics
+
+
+class SequentialEngine:
+    """Single-threaded, per-record execution (the MOA baseline)."""
+
+    def __init__(self, config: Optional[PipelineConfig] = None) -> None:
+        self.pipeline = AggressionDetectionPipeline(config)
+
+    def run(self, tweets: Iterable[Tweet]) -> SequentialRunResult:
+        """Process the whole stream one tweet at a time."""
+        start = time.perf_counter()
+        result = self.pipeline.process_stream(tweets)
+        elapsed = time.perf_counter() - start
+        return SequentialRunResult(pipeline_result=result, elapsed_seconds=elapsed)
+
+    def measure_throughput(
+        self, tweets: Iterable[Tweet], warmup: int = 1000
+    ) -> float:
+        """Steady-state tweets/second after a warm-up prefix."""
+        iterator = iter(tweets)
+        for _, tweet in zip(range(warmup), iterator):
+            self.pipeline.process(tweet)
+        start = time.perf_counter()
+        count = 0
+        for tweet in iterator:
+            self.pipeline.process(tweet)
+            count += 1
+        elapsed = time.perf_counter() - start
+        if elapsed <= 0 or count == 0:
+            return 0.0
+        return count / elapsed

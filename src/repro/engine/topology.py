@@ -1,0 +1,135 @@
+"""Task-oriented operator DAG (Fig. 3): the Storm/Heron/Flink view.
+
+Per-record engines deploy a directed acyclic graph of operators, each
+instantiated as parallel tasks. This module models that topology: the
+aggression pipeline is expressed as operators (extract → filter → train
+/ predict → statistics → metrics), records flow one at a time, each
+operator fans its input across its task instances (hash or round-robin
+grouping), and shared state (the global model) is refreshed
+periodically — demonstrating that the architecture is engine-agnostic
+(§III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+ProcessFn = Callable[[Any, int], Optional[Any]]
+
+
+@dataclass
+class Operator:
+    """One streaming operator with ``parallelism`` task instances.
+
+    Args:
+        name: operator name (unique within a topology).
+        process: function of (record, task_index) returning the output
+            record, or ``None`` to drop it (filter semantics).
+        parallelism: number of task instances.
+        grouping: "round_robin" or "hash" (by the record's hash).
+    """
+
+    name: str
+    process: ProcessFn
+    parallelism: int = 1
+    grouping: str = "round_robin"
+    _next_task: int = field(default=0, repr=False)
+    processed_per_task: List[int] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        if self.grouping not in ("round_robin", "hash"):
+            raise ValueError(f"unknown grouping {self.grouping!r}")
+        self.processed_per_task = [0] * self.parallelism
+
+    def route(self, record: Any) -> int:
+        """Pick the task instance that will process this record."""
+        if self.grouping == "hash":
+            return hash(record) % self.parallelism
+        task = self._next_task
+        self._next_task = (self._next_task + 1) % self.parallelism
+        return task
+
+    def run(self, record: Any) -> Optional[Any]:
+        """Process one record on its routed task."""
+        task = self.route(record)
+        self.processed_per_task[task] += 1
+        return self.process(record, task)
+
+
+class Topology:
+    """A linear-or-branching DAG of operators.
+
+    Edges are declared with :meth:`connect`; :meth:`push` injects one
+    record at the source and propagates it through every downstream
+    path (depth-first), honoring drops.
+    """
+
+    def __init__(self, source_name: str = "source") -> None:
+        self.source_name = source_name
+        self._operators: Dict[str, Operator] = {}
+        self._edges: Dict[str, List[str]] = {source_name: []}
+        self.n_pushed = 0
+
+    def add_operator(self, operator: Operator) -> "Topology":
+        """Register an operator node."""
+        if operator.name in self._operators or operator.name == self.source_name:
+            raise ValueError(f"duplicate operator name {operator.name!r}")
+        self._operators[operator.name] = operator
+        self._edges.setdefault(operator.name, [])
+        return self
+
+    def connect(self, upstream: str, downstream: str) -> "Topology":
+        """Add an edge; both endpoints must already exist."""
+        if upstream != self.source_name and upstream not in self._operators:
+            raise ValueError(f"unknown upstream {upstream!r}")
+        if downstream not in self._operators:
+            raise ValueError(f"unknown downstream {downstream!r}")
+        self._edges[upstream].append(downstream)
+        self._check_acyclic()
+        return self
+
+    def _check_acyclic(self) -> None:
+        state: Dict[str, int] = {}
+
+        def visit(node: str) -> None:
+            if state.get(node) == 1:
+                raise ValueError("topology contains a cycle")
+            if state.get(node) == 2:
+                return
+            state[node] = 1
+            for nxt in self._edges.get(node, []):
+                visit(nxt)
+            state[node] = 2
+
+        visit(self.source_name)
+
+    def operator(self, name: str) -> Operator:
+        """Look an operator up by name."""
+        return self._operators[name]
+
+    def push(self, record: Any) -> None:
+        """Inject one record at the source and propagate it."""
+        self.n_pushed += 1
+        self._propagate(self.source_name, record)
+
+    def _propagate(self, node: str, record: Any) -> None:
+        for downstream_name in self._edges.get(node, []):
+            operator = self._operators[downstream_name]
+            output = operator.run(record)
+            if output is not None:
+                self._propagate(downstream_name, output)
+
+    def push_many(self, records: Sequence[Any]) -> None:
+        """Inject a sequence of records."""
+        for record in records:
+            self.push(record)
+
+    def stats(self) -> Dict[str, List[int]]:
+        """Per-operator, per-task processed-record counts."""
+        return {
+            name: list(op.processed_per_task)
+            for name, op in self._operators.items()
+        }

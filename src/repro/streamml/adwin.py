@@ -1,0 +1,227 @@
+"""ADWIN adaptive-windowing drift detector (Bifet & Gavalda, 2007).
+
+ADWIN maintains a variable-length window of recent real values (here:
+per-instance error indicators) and shrinks it whenever two sufficiently
+large sub-windows exhibit means that differ more than a threshold derived
+from the Hoeffding bound. The Adaptive Random Forest uses two ADWIN
+instances per tree: a sensitive one for *warnings* (start training a
+background tree) and a stricter one for *drifts* (replace the tree).
+
+The implementation follows the canonical exponential-histogram bucket
+scheme: buckets store (sum, variance) of 2^i elements, with at most
+``max_buckets`` buckets per level.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+
+class _BucketRow:
+    """All buckets holding 2^level elements each."""
+
+    __slots__ = ("totals", "variances")
+
+    def __init__(self) -> None:
+        self.totals: List[float] = []
+        self.variances: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self.totals)
+
+    def append(self, total: float, variance: float) -> None:
+        self.totals.append(total)
+        self.variances.append(variance)
+
+    def pop_oldest(self) -> None:
+        self.totals.pop(0)
+        self.variances.pop(0)
+
+
+class Adwin:
+    """Adaptive windowing change detector.
+
+    Args:
+        delta: confidence parameter; smaller values make the detector
+            more conservative (fewer false alarms, slower detection).
+        max_buckets: maximum buckets per exponential-histogram level.
+        min_window_len: minimum sub-window length considered for a cut.
+        check_period: only check for cuts every this many updates
+            (amortizes the cut test, as in the reference implementation).
+    """
+
+    def __init__(
+        self,
+        delta: float = 0.002,
+        max_buckets: int = 5,
+        min_window_len: int = 5,
+        check_period: int = 32,
+    ) -> None:
+        if not 0.0 < delta < 1.0:
+            raise ValueError(f"delta must be in (0, 1), got {delta}")
+        self.delta = delta
+        self.max_buckets = max_buckets
+        self.min_window_len = min_window_len
+        self.check_period = check_period
+        self._rows: List[_BucketRow] = [_BucketRow()]
+        self.width = 0
+        self.total = 0.0
+        self._variance_times_width = 0.0
+        self.n_detections = 0
+        self._ticks = 0
+
+    @property
+    def mean(self) -> float:
+        """Mean of the current window."""
+        if self.width == 0:
+            return 0.0
+        return self.total / self.width
+
+    @property
+    def variance(self) -> float:
+        """Variance of the current window."""
+        if self.width == 0:
+            return 0.0
+        return max(self._variance_times_width / self.width, 0.0)
+
+    def update(self, value: float) -> bool:
+        """Add a value; return True iff a change was detected (window cut)."""
+        self._insert(value)
+        self._ticks += 1
+        if self._ticks % self.check_period != 0:
+            return False
+        return self._detect_and_shrink()
+
+    def _insert(self, value: float) -> None:
+        row0 = self._rows[0]
+        if self.width > 0:
+            mean = self.mean
+            incremental_variance = (
+                (self.width / (self.width + 1.0)) * (value - mean) * (value - mean)
+            )
+        else:
+            incremental_variance = 0.0
+        row0.totals.insert(0, value)
+        row0.variances.insert(0, 0.0)
+        self.width += 1
+        self.total += value
+        self._variance_times_width += incremental_variance
+        self._compress()
+
+    def _compress(self) -> None:
+        level = 0
+        while level < len(self._rows):
+            row = self._rows[level]
+            if len(row) <= self.max_buckets:
+                break
+            if level + 1 == len(self._rows):
+                self._rows.append(_BucketRow())
+            # Merge the two oldest buckets of this level into the next.
+            t1 = row.totals[-1]
+            t2 = row.totals[-2]
+            v1 = row.variances[-1]
+            v2 = row.variances[-2]
+            n = float(2 ** level)
+            mean1 = t1 / n
+            mean2 = t2 / n
+            merged_var = v1 + v2 + (n * n / (2 * n)) * (mean1 - mean2) ** 2
+            self._rows[level + 1].totals.insert(0, t1 + t2)
+            self._rows[level + 1].variances.insert(0, merged_var)
+            row.totals.pop()
+            row.totals.pop()
+            row.variances.pop()
+            row.variances.pop()
+            level += 1
+
+    def _detect_and_shrink(self) -> bool:
+        if self.width < 2 * self.min_window_len:
+            return False
+        change_found = False
+        shrunk = True
+        while shrunk:
+            shrunk = False
+            # Walk buckets oldest-first, testing every cut point.
+            n0 = 0.0
+            sum0 = 0.0
+            n1 = float(self.width)
+            sum1 = self.total
+            for level in range(len(self._rows) - 1, -1, -1):
+                row = self._rows[level]
+                bucket_size = float(2 ** level)
+                for idx in range(len(row) - 1, -1, -1):
+                    n0 += bucket_size
+                    sum0 += row.totals[idx]
+                    n1 -= bucket_size
+                    sum1 -= row.totals[idx]
+                    if n1 < self.min_window_len:
+                        break
+                    if n0 < self.min_window_len:
+                        continue
+                    if self._cut_expression(n0, n1, sum0, sum1):
+                        change_found = True
+                        self.n_detections += 1
+                        self._drop_oldest_bucket()
+                        shrunk = True
+                        break
+                if shrunk or n1 < self.min_window_len:
+                    break
+        return change_found
+
+    def _cut_expression(
+        self, n0: float, n1: float, sum0: float, sum1: float
+    ) -> bool:
+        mean0 = sum0 / n0
+        mean1 = sum1 / n1
+        harmonic = 1.0 / (1.0 / n0 + 1.0 / n1)
+        total_n = float(self.width)
+        delta_prime = self.delta / math.log(max(total_n, math.e))
+        variance = self.variance
+        epsilon = math.sqrt(
+            (2.0 / harmonic) * variance * math.log(2.0 / delta_prime)
+        ) + (2.0 / (3.0 * harmonic)) * math.log(2.0 / delta_prime)
+        return abs(mean0 - mean1) > epsilon
+
+    def _drop_oldest_bucket(self) -> None:
+        # The oldest bucket lives at the highest non-empty level.
+        for level in range(len(self._rows) - 1, -1, -1):
+            row = self._rows[level]
+            if len(row) == 0:
+                continue
+            n = float(2 ** level)
+            total = row.totals[-1]
+            variance = row.variances[-1]
+            mean_removed = total / n
+            mean_after = (
+                (self.total - total) / (self.width - n)
+                if self.width > n
+                else 0.0
+            )
+            self.width -= int(n)
+            self.total -= total
+            removed_var = variance
+            if self.width > 0:
+                removed_var += (
+                    n * (self.width) / (n + self.width)
+                ) * (mean_removed - mean_after) ** 2
+            self._variance_times_width = max(
+                self._variance_times_width - removed_var, 0.0
+            )
+            row.pop_oldest()
+            if len(row) == 0 and level == len(self._rows) - 1 and level > 0:
+                self._rows.pop()
+            return
+
+    def reset(self) -> None:
+        """Forget everything (used when a tree is replaced)."""
+        self._rows = [_BucketRow()]
+        self.width = 0
+        self.total = 0.0
+        self._variance_times_width = 0.0
+        self._ticks = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Adwin(width={self.width}, mean={self.mean:.4f}, "
+            f"detections={self.n_detections})"
+        )

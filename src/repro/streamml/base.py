@@ -1,0 +1,132 @@
+"""Common interface for streaming classifiers.
+
+Every streaming model in this package learns one instance at a time
+(``learn_one``), predicts class probabilities (``predict_proba_one``),
+and supports the two operations the distributed engine needs:
+
+* ``clone()`` — a fresh, untrained model with the same hyperparameters,
+  used to spin up per-partition local models; and
+* ``merge(other)`` — fold another model trained on a disjoint partition
+  into this one, producing the global model of Fig. 2.
+
+Merging two arbitrary incremental models exactly is impossible in
+general; each classifier documents its merge semantics (e.g. SLR
+averages weight vectors, ARF merges tree statistics per member).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.streamml.instance import Instance
+
+
+class StreamClassifier(abc.ABC):
+    """Abstract incremental classifier over dense numeric instances."""
+
+    def __init__(self, n_classes: int) -> None:
+        if n_classes < 2:
+            raise ValueError(f"n_classes must be >= 2, got {n_classes}")
+        self.n_classes = n_classes
+        self.instances_seen = 0
+
+    @abc.abstractmethod
+    def learn_one(self, instance: Instance) -> None:
+        """Update the model with a single labeled instance."""
+
+    @abc.abstractmethod
+    def predict_proba_one(self, x: Sequence[float]) -> Tuple[float, ...]:
+        """Return a probability per class (sums to 1)."""
+
+    def predict_one(self, x: Sequence[float]) -> int:
+        """Return the most probable class index."""
+        proba = self.predict_proba_one(x)
+        best_class = 0
+        best_proba = proba[0]
+        for idx in range(1, len(proba)):
+            if proba[idx] > best_proba:
+                best_proba = proba[idx]
+                best_class = idx
+        return best_class
+
+    @abc.abstractmethod
+    def clone(self) -> "StreamClassifier":
+        """Return a fresh untrained copy with the same hyperparameters."""
+
+    @abc.abstractmethod
+    def merge(self, other: "StreamClassifier") -> None:
+        """Fold a model trained on a disjoint data partition into this one."""
+
+    def learn_many(self, instances: Sequence[Instance]) -> None:
+        """Convenience: sequentially learn a batch of instances."""
+        for instance in instances:
+            self.learn_one(instance)
+
+    def _check_labeled(self, instance: Instance) -> int:
+        """Validate an instance for training and return its label."""
+        if instance.y is None:
+            raise ValueError("cannot train on an unlabeled instance")
+        if not 0 <= instance.y < self.n_classes:
+            raise ValueError(
+                f"label {instance.y} out of range for {self.n_classes} classes"
+            )
+        return instance.y
+
+    @staticmethod
+    def _normalize(votes: Sequence[float]) -> Tuple[float, ...]:
+        """Normalize a non-negative vote vector into probabilities."""
+        total = float(sum(votes))
+        if total <= 0:
+            n = len(votes)
+            return tuple(1.0 / n for _ in range(n))
+        return tuple(v / total for v in votes)
+
+
+class ClassifierSnapshot:
+    """Serializable description of a model, for broadcast-size accounting.
+
+    The engine uses ``estimate_size_bytes`` to model the cost of
+    distributing the global model across the cluster after each
+    micro-batch (the paper notes the serialized model is < 1 MB).
+    """
+
+    def __init__(self, payload: Dict[str, object]) -> None:
+        self.payload = payload
+
+    def estimate_size_bytes(self) -> int:
+        """Rough serialized size estimate of the payload."""
+        return _estimate_size(self.payload)
+
+
+def _estimate_size(obj: object) -> int:
+    """Recursively estimate the serialized size of plain data structures."""
+    if obj is None:
+        return 1
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, (int, float)):
+        return 8
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8"))
+    if isinstance(obj, (list, tuple)):
+        return 8 + sum(_estimate_size(v) for v in obj)
+    if isinstance(obj, dict):
+        return 8 + sum(
+            _estimate_size(k) + _estimate_size(v) for k, v in obj.items()
+        )
+    return 64
+
+
+def merge_all(models: List[StreamClassifier]) -> Optional[StreamClassifier]:
+    """Merge a list of per-partition models into a single global model.
+
+    Returns ``None`` for an empty list. The first model is used as the
+    accumulator; the rest are folded into it left to right.
+    """
+    if not models:
+        return None
+    accumulator = models[0]
+    for model in models[1:]:
+        accumulator.merge(model)
+    return accumulator

@@ -1,0 +1,153 @@
+"""DDM and EDDM drift detectors (alternatives to ADWIN).
+
+DDM (Gama et al., 2004) monitors the error rate's mean + std and
+signals *warning* when it exceeds the historical minimum by 2 sigmas
+and *drift* at 3 sigmas. EDDM (Baena-Garcia et al., 2006) monitors the
+*distance between errors* instead, which detects gradual drift earlier.
+Both share the :class:`DriftDetector` interface so they can replace
+ADWIN in experiments.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+
+class DriftDetector(abc.ABC):
+    """Binary-error drift detector interface."""
+
+    def __init__(self) -> None:
+        self.in_warning = False
+        self.n_detections = 0
+
+    @abc.abstractmethod
+    def update(self, error: float) -> bool:
+        """Feed one error indicator (1 = misclassified); True on drift."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Forget all state (called after the model is replaced)."""
+
+
+class DDM(DriftDetector):
+    """Drift Detection Method over the running error rate.
+
+    Args:
+        min_instances: observations before detection can trigger.
+        warning_level: sigmas above the minimum for a warning.
+        drift_level: sigmas above the minimum for a drift.
+    """
+
+    def __init__(
+        self,
+        min_instances: int = 100,
+        warning_level: float = 2.0,
+        drift_level: float = 3.0,
+    ) -> None:
+        super().__init__()
+        if min_instances < 1:
+            raise ValueError("min_instances must be >= 1")
+        if not 0 < warning_level < drift_level:
+            raise ValueError("need 0 < warning_level < drift_level")
+        self.min_instances = min_instances
+        self.warning_level = warning_level
+        self.drift_level = drift_level
+        self._n = 0
+        self._p = 1.0
+        self._min_p_plus_s = math.inf
+        self._min_p = math.inf
+        self._min_s = math.inf
+
+    def update(self, error: float) -> bool:
+        self._n += 1
+        self._p += (error - self._p) / self._n
+        s = math.sqrt(self._p * (1 - self._p) / self._n)
+        if self._n < self.min_instances:
+            return False
+        if self._p + s < self._min_p_plus_s:
+            self._min_p_plus_s = self._p + s
+            self._min_p = self._p
+            self._min_s = s
+        level = self._p + s
+        if level > self._min_p + self.drift_level * self._min_s:
+            self.n_detections += 1
+            self.in_warning = False
+            self.reset()
+            return True
+        self.in_warning = (
+            level > self._min_p + self.warning_level * self._min_s
+        )
+        return False
+
+    def reset(self) -> None:
+        self._n = 0
+        self._p = 1.0
+        self._min_p_plus_s = math.inf
+        self._min_p = math.inf
+        self._min_s = math.inf
+
+
+class EDDM(DriftDetector):
+    """Early DDM: monitors the mean distance between consecutive errors.
+
+    Args:
+        min_errors: errors observed before detection can trigger.
+        warning_threshold / drift_threshold: ratio of the current
+            (mean + 2 std) of the error distance to its historical
+            maximum below which warning/drift fire.
+    """
+
+    def __init__(
+        self,
+        min_errors: int = 30,
+        warning_threshold: float = 0.95,
+        drift_threshold: float = 0.90,
+    ) -> None:
+        super().__init__()
+        if not 0 < drift_threshold < warning_threshold <= 1.0:
+            raise ValueError("need 0 < drift_threshold < warning_threshold <= 1")
+        self.min_errors = min_errors
+        self.warning_threshold = warning_threshold
+        self.drift_threshold = drift_threshold
+        self._ticks = 0
+        self._last_error_tick = 0
+        self._n_errors = 0
+        self._mean_distance = 0.0
+        self._m2 = 0.0
+        self._max_mean_plus_2std = 0.0
+
+    def update(self, error: float) -> bool:
+        self._ticks += 1
+        if error < 0.5:
+            return False
+        distance = self._ticks - self._last_error_tick
+        self._last_error_tick = self._ticks
+        self._n_errors += 1
+        delta = distance - self._mean_distance
+        self._mean_distance += delta / self._n_errors
+        self._m2 += delta * (distance - self._mean_distance)
+        if self._n_errors < self.min_errors:
+            return False
+        std = math.sqrt(max(self._m2 / self._n_errors, 0.0))
+        current = self._mean_distance + 2.0 * std
+        if current > self._max_mean_plus_2std:
+            self._max_mean_plus_2std = current
+            self.in_warning = False
+            return False
+        ratio = current / self._max_mean_plus_2std
+        if ratio < self.drift_threshold:
+            self.n_detections += 1
+            self.in_warning = False
+            self.reset()
+            return True
+        self.in_warning = ratio < self.warning_threshold
+        return False
+
+    def reset(self) -> None:
+        self._ticks = 0
+        self._last_error_tick = 0
+        self._n_errors = 0
+        self._mean_distance = 0.0
+        self._m2 = 0.0
+        self._max_mean_plus_2std = 0.0

@@ -1,0 +1,248 @@
+"""Online bagging and boosting ensembles (Oza & Russell, 2001).
+
+Wrappers that lift any :class:`StreamClassifier` into an ensemble:
+
+* :class:`OzaBagging` — each member sees each instance Poisson(1)
+  times, the online analog of bootstrap resampling;
+* :class:`OzaBoosting` — the online AdaBoost analog: each member's
+  Poisson rate for an instance grows when earlier members misclassify
+  it, and votes are weighted by the members' running error rates.
+
+Both are the classic MOA algorithms; ARF (in :mod:`repro.streamml.arf`)
+is OzaBagging + random subspaces + drift detectors specialized to
+Hoeffding Trees.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, List, Sequence, Tuple
+
+from repro.streamml.base import StreamClassifier
+from repro.streamml.hoeffding_tree import HoeffdingTree
+from repro.streamml.instance import Instance
+
+BaseFactory = Callable[[], StreamClassifier]
+
+
+def _default_base(n_classes: int) -> BaseFactory:
+    return lambda: HoeffdingTree(n_classes=n_classes, grace_period=100)
+
+
+def _poisson(rng: random.Random, rate: float) -> int:
+    if rate <= 0:
+        return 0
+    threshold = math.exp(-rate)
+    k = 0
+    product = rng.random()
+    while product > threshold:
+        k += 1
+        product *= rng.random()
+    return k
+
+
+class OzaBagging(StreamClassifier):
+    """Online bagging: Poisson(1)-weighted training per member.
+
+    Args:
+        n_classes: number of classes.
+        ensemble_size: member count.
+        base_factory: constructor for member models (defaults to HTs).
+        lambda_poisson: Poisson rate (1.0 in the original algorithm).
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        n_classes: int,
+        ensemble_size: int = 10,
+        base_factory: BaseFactory = None,
+        lambda_poisson: float = 1.0,
+        seed: int = 1,
+    ) -> None:
+        super().__init__(n_classes)
+        if ensemble_size < 1:
+            raise ValueError("ensemble_size must be >= 1")
+        if lambda_poisson <= 0:
+            raise ValueError("lambda_poisson must be positive")
+        self.ensemble_size = ensemble_size
+        self.base_factory = (
+            base_factory if base_factory is not None
+            else _default_base(n_classes)
+        )
+        self.lambda_poisson = lambda_poisson
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.members: List[StreamClassifier] = [
+            self.base_factory() for _ in range(ensemble_size)
+        ]
+
+    def learn_one(self, instance: Instance) -> None:
+        self._check_labeled(instance)
+        self.instances_seen += 1
+        for member in self.members:
+            weight = _poisson(self._rng, self.lambda_poisson)
+            if weight > 0:
+                member.learn_one(instance.with_weight(weight * instance.weight))
+
+    def predict_proba_one(self, x: Sequence[float]) -> Tuple[float, ...]:
+        votes = [0.0] * self.n_classes
+        for member in self.members:
+            proba = member.predict_proba_one(x)
+            for cls in range(self.n_classes):
+                votes[cls] += proba[cls]
+        return self._normalize(votes)
+
+    def clone(self) -> "OzaBagging":
+        return OzaBagging(
+            n_classes=self.n_classes,
+            ensemble_size=self.ensemble_size,
+            base_factory=self.base_factory,
+            lambda_poisson=self.lambda_poisson,
+            seed=self.seed,
+        )
+
+    def merge(self, other: StreamClassifier) -> None:
+        """Member-wise merge (members must be pairwise mergeable)."""
+        if not isinstance(other, OzaBagging):
+            raise TypeError(f"cannot merge OzaBagging with {type(other)}")
+        if len(other.members) != len(self.members):
+            raise ValueError("ensemble-size mismatch in merge")
+        self.instances_seen += other.instances_seen
+        for mine, theirs in zip(self.members, other.members):
+            mine.merge(theirs)
+
+    def structure_copy(self) -> "OzaBagging":
+        """Member-wise structure copy for partition-parallel training."""
+        copy = self.clone()
+        copy.members = [_structure_copy_member(m) for m in self.members]
+        return copy
+
+    def attempt_deferred_splits(self) -> int:
+        """Driver-side split attempts after merging partition copies."""
+        return sum(
+            member.attempt_deferred_splits()
+            for member in self.members
+            if hasattr(member, "attempt_deferred_splits")
+        )
+
+
+class OzaBoosting(StreamClassifier):
+    """Online boosting: later members focus on earlier members' errors.
+
+    Tracks per-member correct/wrong weight sums (lambda_sc / lambda_sw);
+    an instance's weight is scaled up for the next member after a
+    mistake and down after a correct prediction, and members vote with
+    log((1 - error) / error).
+    """
+
+    def __init__(
+        self,
+        n_classes: int,
+        ensemble_size: int = 10,
+        base_factory: BaseFactory = None,
+        seed: int = 1,
+    ) -> None:
+        super().__init__(n_classes)
+        if ensemble_size < 1:
+            raise ValueError("ensemble_size must be >= 1")
+        self.ensemble_size = ensemble_size
+        self.base_factory = (
+            base_factory if base_factory is not None
+            else _default_base(n_classes)
+        )
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.members: List[StreamClassifier] = [
+            self.base_factory() for _ in range(ensemble_size)
+        ]
+        self._correct_weight = [0.0] * ensemble_size
+        self._wrong_weight = [0.0] * ensemble_size
+
+    def learn_one(self, instance: Instance) -> None:
+        label = self._check_labeled(instance)
+        self.instances_seen += 1
+        lam = 1.0
+        for index, member in enumerate(self.members):
+            weight = _poisson(self._rng, lam)
+            if weight > 0:
+                member.learn_one(instance.with_weight(weight * instance.weight))
+            if member.predict_one(instance.x) == label:
+                self._correct_weight[index] += lam
+                total = self._correct_weight[index]
+                if total > 0:
+                    lam *= (
+                        (self._correct_weight[index] + self._wrong_weight[index])
+                        / (2 * self._correct_weight[index])
+                    )
+            else:
+                self._wrong_weight[index] += lam
+                if self._wrong_weight[index] > 0:
+                    lam *= (
+                        (self._correct_weight[index] + self._wrong_weight[index])
+                        / (2 * self._wrong_weight[index])
+                    )
+            lam = min(lam, 100.0)  # keep Poisson rates sane
+
+    def _member_weight(self, index: int) -> float:
+        total = self._correct_weight[index] + self._wrong_weight[index]
+        if total == 0:
+            return 1.0
+        error = self._wrong_weight[index] / total
+        error = min(max(error, 1e-6), 1 - 1e-6)
+        if error >= 0.5:
+            return 0.0
+        return math.log((1 - error) / error)
+
+    def predict_proba_one(self, x: Sequence[float]) -> Tuple[float, ...]:
+        votes = [0.0] * self.n_classes
+        for index, member in enumerate(self.members):
+            weight = self._member_weight(index)
+            if weight <= 0:
+                continue
+            votes[member.predict_one(x)] += weight
+        return self._normalize(votes)
+
+    def clone(self) -> "OzaBoosting":
+        return OzaBoosting(
+            n_classes=self.n_classes,
+            ensemble_size=self.ensemble_size,
+            base_factory=self.base_factory,
+            seed=self.seed,
+        )
+
+    def merge(self, other: StreamClassifier) -> None:
+        """Member-wise merge, summing the boosting weight accumulators."""
+        if not isinstance(other, OzaBoosting):
+            raise TypeError(f"cannot merge OzaBoosting with {type(other)}")
+        if len(other.members) != len(self.members):
+            raise ValueError("ensemble-size mismatch in merge")
+        self.instances_seen += other.instances_seen
+        for index, (mine, theirs) in enumerate(
+            zip(self.members, other.members)
+        ):
+            mine.merge(theirs)
+            self._correct_weight[index] += other._correct_weight[index]
+            self._wrong_weight[index] += other._wrong_weight[index]
+
+    def structure_copy(self) -> "OzaBoosting":
+        """Member-wise structure copy for partition-parallel training."""
+        copy = self.clone()
+        copy.members = [_structure_copy_member(m) for m in self.members]
+        return copy
+
+    def attempt_deferred_splits(self) -> int:
+        """Driver-side split attempts after merging partition copies."""
+        return sum(
+            member.attempt_deferred_splits()
+            for member in self.members
+            if hasattr(member, "attempt_deferred_splits")
+        )
+
+
+def _structure_copy_member(member: StreamClassifier) -> StreamClassifier:
+    """Statistics-accumulating copy of an ensemble member."""
+    if hasattr(member, "structure_copy"):
+        return member.structure_copy()
+    return member.clone()

@@ -1,0 +1,152 @@
+"""Synthetic instance-stream generators with controlled concept drift.
+
+MOA-style generators used to validate the streaming learners and drift
+detectors independently of the tweet domain:
+
+* :class:`SEAGenerator` — the classic SEA concepts stream (Street &
+  Kim, 2001): three uniform features, label = (f1 + f2 <= θ), with θ
+  switching between predefined concepts;
+* :class:`STAGGERGenerator` — the STAGGER concepts (Schlimmer &
+  Granger, 1986) over categorical attributes encoded one-hot;
+* :class:`DriftStream` — wraps any two generators with an abrupt or
+  gradual (sigmoid-probability) transition at a chosen position.
+
+All generators are deterministic per seed and yield
+:class:`repro.streamml.Instance`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterator, Optional
+
+from repro.streamml.instance import Instance
+
+
+class SEAGenerator:
+    """SEA concepts: label = 1 iff feature1 + feature2 <= threshold.
+
+    Args:
+        concept: 0-3, selecting thresholds 8 / 9 / 7 / 9.5.
+        noise: probability of flipping the label.
+        seed: RNG seed.
+    """
+
+    THRESHOLDS = (8.0, 9.0, 7.0, 9.5)
+
+    def __init__(self, concept: int = 0, noise: float = 0.0, seed: int = 1) -> None:
+        if not 0 <= concept < len(self.THRESHOLDS):
+            raise ValueError(f"concept must be in [0, 3], got {concept}")
+        if not 0.0 <= noise < 1.0:
+            raise ValueError("noise must be in [0, 1)")
+        self.concept = concept
+        self.noise = noise
+        self.seed = seed
+
+    @property
+    def threshold(self) -> float:
+        return self.THRESHOLDS[self.concept]
+
+    def generate(self, n: Optional[int] = None) -> Iterator[Instance]:
+        """Yield ``n`` instances (infinite when ``n`` is None)."""
+        rng = random.Random(self.seed)
+        count = 0
+        while n is None or count < n:
+            x = (
+                rng.uniform(0, 10),
+                rng.uniform(0, 10),
+                rng.uniform(0, 10),  # irrelevant feature
+            )
+            label = int(x[0] + x[1] <= self.threshold)
+            if self.noise > 0 and rng.random() < self.noise:
+                label = 1 - label
+            yield Instance(x=x, y=label, timestamp=float(count))
+            count += 1
+
+
+class STAGGERGenerator:
+    """STAGGER concepts over (size, color, shape), one-hot encoded.
+
+    Concepts: 0 = (small and red), 1 = (green or circle),
+    2 = (medium or large).
+    """
+
+    N_VALUES = 3  # each attribute takes 3 values
+
+    def __init__(self, concept: int = 0, seed: int = 1) -> None:
+        if not 0 <= concept <= 2:
+            raise ValueError(f"concept must be in [0, 2], got {concept}")
+        self.concept = concept
+        self.seed = seed
+
+    def _label(self, size: int, color: int, shape: int) -> int:
+        if self.concept == 0:
+            return int(size == 0 and color == 0)  # small and red
+        if self.concept == 1:
+            return int(color == 1 or shape == 0)  # green or circle
+        return int(size in (1, 2))  # medium or large
+
+    def generate(self, n: Optional[int] = None) -> Iterator[Instance]:
+        """Yield ``n`` instances (infinite when ``n`` is None)."""
+        rng = random.Random(self.seed)
+        count = 0
+        while n is None or count < n:
+            size = rng.randrange(self.N_VALUES)
+            color = rng.randrange(self.N_VALUES)
+            shape = rng.randrange(self.N_VALUES)
+            x = [0.0] * (3 * self.N_VALUES)
+            x[size] = 1.0
+            x[self.N_VALUES + color] = 1.0
+            x[2 * self.N_VALUES + shape] = 1.0
+            yield Instance(
+                x=tuple(x),
+                y=self._label(size, color, shape),
+                timestamp=float(count),
+            )
+            count += 1
+
+
+class DriftStream:
+    """Concatenates two streams with an abrupt or gradual transition.
+
+    Args:
+        before / after: generators with a ``generate()`` method.
+        position: instance index where the drift is centered.
+        width: transition width; 1 gives an abrupt switch, larger
+            values blend the two concepts with a sigmoid probability
+            (MOA's drift model).
+        seed: RNG seed for the gradual blending.
+    """
+
+    def __init__(
+        self,
+        before,
+        after,
+        position: int,
+        width: int = 1,
+        seed: int = 5,
+    ) -> None:
+        if position < 0:
+            raise ValueError("position must be non-negative")
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        self.before = before
+        self.after = after
+        self.position = position
+        self.width = width
+        self.seed = seed
+
+    def generate(self, n: int) -> Iterator[Instance]:
+        """Yield exactly ``n`` instances across the drift."""
+        rng = random.Random(self.seed)
+        old = self.before.generate(None)
+        new = self.after.generate(None)
+        for index in range(n):
+            # P(new concept) follows MOA's sigmoid centered at position.
+            exponent = -4.0 * (index - self.position) / self.width
+            exponent = max(min(exponent, 700.0), -700.0)
+            probability_new = 1.0 / (1.0 + math.exp(exponent))
+            source = new if rng.random() < probability_new else old
+            instance = next(source)
+            yield Instance(x=instance.x, y=instance.y, timestamp=float(index))

@@ -1,0 +1,104 @@
+"""Feature instances flowing through the streaming pipeline.
+
+An :class:`Instance` is the unit of work after feature extraction: a dense
+numeric feature vector, an optional integer class label (``None`` for the
+unlabeled stream), a sample weight (used by online bagging), and the
+timestamp of the originating tweet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+
+@dataclass
+class Instance:
+    """A single (x, y) example in the stream.
+
+    Attributes:
+        x: dense feature vector.
+        y: integer class label, or ``None`` if unlabeled.
+        weight: sample weight (defaults to 1.0).
+        timestamp: seconds since epoch of the originating tweet (0 if unknown).
+        tweet_id: identifier of the originating tweet, for alerting/sampling.
+    """
+
+    x: Tuple[float, ...]
+    y: Optional[int] = None
+    weight: float = 1.0
+    timestamp: float = 0.0
+    tweet_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.x, tuple):
+            self.x = tuple(float(v) for v in self.x)
+        if self.weight < 0:
+            raise ValueError(f"weight must be non-negative, got {self.weight}")
+
+    @property
+    def is_labeled(self) -> bool:
+        """Whether this instance carries a ground-truth label."""
+        return self.y is not None
+
+    @property
+    def n_features(self) -> int:
+        """Number of features in the vector."""
+        return len(self.x)
+
+    def with_label(self, y: int) -> "Instance":
+        """Return a copy of this instance carrying label ``y``."""
+        return Instance(
+            x=self.x,
+            y=y,
+            weight=self.weight,
+            timestamp=self.timestamp,
+            tweet_id=self.tweet_id,
+        )
+
+    def with_weight(self, weight: float) -> "Instance":
+        """Return a copy of this instance with sample weight ``weight``."""
+        return Instance(
+            x=self.x,
+            y=self.y,
+            weight=weight,
+            timestamp=self.timestamp,
+            tweet_id=self.tweet_id,
+        )
+
+    def with_features(self, x: Sequence[float]) -> "Instance":
+        """Return a copy of this instance with a replaced feature vector."""
+        return Instance(
+            x=tuple(float(v) for v in x),
+            y=self.y,
+            weight=self.weight,
+            timestamp=self.timestamp,
+            tweet_id=self.tweet_id,
+        )
+
+
+@dataclass
+class ClassifiedInstance:
+    """An instance together with the model's prediction for it.
+
+    Produced by the prediction stage and consumed by alerting, sampling,
+    and evaluation (Fig. 1 / Fig. 2 "classified instances" RDD).
+    """
+
+    instance: Instance
+    predicted: int
+    proba: Tuple[float, ...] = field(default_factory=tuple)
+
+    @property
+    def is_correct(self) -> Optional[bool]:
+        """True/False if the instance was labeled, else ``None``."""
+        if self.instance.y is None:
+            return None
+        return self.instance.y == self.predicted
+
+    @property
+    def confidence(self) -> float:
+        """Probability assigned to the predicted class (0 if unavailable)."""
+        if not self.proba:
+            return 0.0
+        return self.proba[self.predicted]

@@ -1,0 +1,68 @@
+"""Trivial baselines: majority-class and no-change classifiers.
+
+These are the sanity floors any real streaming classifier must beat; the
+test suite and ablation benches use them as reference points.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.streamml.base import StreamClassifier
+from repro.streamml.instance import Instance
+
+
+class MajorityClassClassifier(StreamClassifier):
+    """Always predicts the class most frequent so far."""
+
+    def __init__(self, n_classes: int) -> None:
+        super().__init__(n_classes)
+        self.class_counts: List[float] = [0.0] * n_classes
+
+    def learn_one(self, instance: Instance) -> None:
+        label = self._check_labeled(instance)
+        self.class_counts[label] += instance.weight
+        self.instances_seen += 1
+
+    def predict_proba_one(self, x: Sequence[float]) -> Tuple[float, ...]:
+        return self._normalize(self.class_counts)
+
+    def clone(self) -> "MajorityClassClassifier":
+        return MajorityClassClassifier(self.n_classes)
+
+    def merge(self, other: StreamClassifier) -> None:
+        if not isinstance(other, MajorityClassClassifier):
+            raise TypeError(
+                f"cannot merge MajorityClassClassifier with {type(other)}"
+            )
+        self.class_counts = [
+            a + b for a, b in zip(self.class_counts, other.class_counts)
+        ]
+        self.instances_seen += other.instances_seen
+
+
+class NoChangeClassifier(StreamClassifier):
+    """Predicts the label of the most recent training instance."""
+
+    def __init__(self, n_classes: int) -> None:
+        super().__init__(n_classes)
+        self.last_label = 0
+
+    def learn_one(self, instance: Instance) -> None:
+        self.last_label = self._check_labeled(instance)
+        self.instances_seen += 1
+
+    def predict_proba_one(self, x: Sequence[float]) -> Tuple[float, ...]:
+        votes = [0.0] * self.n_classes
+        votes[self.last_label] = 1.0
+        return tuple(votes)
+
+    def clone(self) -> "NoChangeClassifier":
+        return NoChangeClassifier(self.n_classes)
+
+    def merge(self, other: StreamClassifier) -> None:
+        if not isinstance(other, NoChangeClassifier):
+            raise TypeError(f"cannot merge NoChangeClassifier with {type(other)}")
+        if other.instances_seen > 0:
+            self.last_label = other.last_label
+        self.instances_seen += other.instances_seen

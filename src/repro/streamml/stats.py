@@ -1,0 +1,288 @@
+"""Incremental statistics used across the streaming pipeline.
+
+Everything here is single-pass and mergeable: the normalization stage, the
+Gaussian attribute observers inside the Hoeffding Tree, and the adaptive
+bag-of-words all rely on these primitives, and the distributed engine
+merges per-partition statistics into global ones.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+
+class RunningStats:
+    """Welford's online mean/variance with support for merging.
+
+    Supports weighted updates. ``merge`` implements the parallel variance
+    combination (Chan et al.) so per-partition statistics can be combined
+    exactly.
+    """
+
+    __slots__ = ("count", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0.0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, value: float, weight: float = 1.0) -> None:
+        """Fold one observation into the statistics."""
+        if weight <= 0:
+            return
+        self.count += weight
+        delta = value - self.mean
+        self.mean += (weight / self.count) * delta
+        self._m2 += weight * delta * (value - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0 when fewer than two observations)."""
+        if self.count <= 1:
+            return 0.0
+        return max(self._m2 / self.count, 0.0)
+
+    @property
+    def sample_variance(self) -> float:
+        """Unbiased sample variance (0 when fewer than two observations)."""
+        if self.count <= 1:
+            return 0.0
+        return max(self._m2 / (self.count - 1), 0.0)
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def sample_std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.sample_variance)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Return a new RunningStats equal to processing both inputs."""
+        merged = RunningStats()
+        total = self.count + other.count
+        if total == 0:
+            return merged
+        delta = other.mean - self.mean
+        merged.count = total
+        merged.mean = self.mean + delta * (other.count / total)
+        merged._m2 = (
+            self._m2 + other._m2 + delta * delta * self.count * other.count / total
+        )
+        return merged
+
+    def copy(self) -> "RunningStats":
+        """Return an independent copy."""
+        out = RunningStats()
+        out.count = self.count
+        out.mean = self.mean
+        out._m2 = self._m2
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"RunningStats(count={self.count:.1f}, mean={self.mean:.4f}, "
+            f"std={self.std:.4f})"
+        )
+
+
+class RunningMinMax:
+    """Tracks the running minimum and maximum of a stream."""
+
+    __slots__ = ("count", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def update(self, value: float) -> None:
+        """Fold one observation."""
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def range(self) -> float:
+        """max - min, or 0 if empty."""
+        if self.count == 0:
+            return 0.0
+        return self.max - self.min
+
+    def merge(self, other: "RunningMinMax") -> "RunningMinMax":
+        """Return a new RunningMinMax covering both inputs."""
+        merged = RunningMinMax()
+        merged.count = self.count + other.count
+        merged.min = min(self.min, other.min)
+        merged.max = max(self.max, other.max)
+        return merged
+
+    def copy(self) -> "RunningMinMax":
+        """Return an independent copy."""
+        out = RunningMinMax()
+        out.count = self.count
+        out.min = self.min
+        out.max = self.max
+        return out
+
+    def __repr__(self) -> str:
+        if self.count == 0:
+            return "RunningMinMax(empty)"
+        return f"RunningMinMax(min={self.min:.4f}, max={self.max:.4f})"
+
+
+class P2Quantile:
+    """Streaming quantile estimate via the P² algorithm (Jain & Chlamtac).
+
+    Used by the "minmax without outliers" normalizer to estimate robust
+    lower/upper feature bounds (e.g. the 5th/95th percentiles) in a single
+    pass without storing observations.
+    """
+
+    def __init__(self, quantile: float) -> None:
+        if not 0.0 < quantile < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+        self.quantile = quantile
+        self._initial: List[float] = []
+        # Marker heights, positions, and desired positions.
+        self._q: List[float] = []
+        self._n: List[float] = []
+        self._np: List[float] = []
+        self._dn: List[float] = []
+        self.count = 0
+
+    def update(self, value: float) -> None:
+        """Fold one observation."""
+        self.count += 1
+        if len(self._initial) < 5:
+            self._initial.append(value)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                p = self.quantile
+                self._q = list(self._initial)
+                self._n = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._np = [1.0, 1 + 2 * p, 1 + 4 * p, 3 + 2 * p, 5.0]
+                self._dn = [0.0, p / 2, p, (1 + p) / 2, 1.0]
+            return
+
+        # Find cell k such that q[k] <= value < q[k+1].
+        if value < self._q[0]:
+            self._q[0] = value
+            k = 0
+        elif value >= self._q[4]:
+            self._q[4] = value
+            k = 3
+        else:
+            k = 0
+            for i in range(4):
+                if self._q[i] <= value < self._q[i + 1]:
+                    k = i
+                    break
+
+        for i in range(k + 1, 5):
+            self._n[i] += 1
+        for i in range(5):
+            self._np[i] += self._dn[i]
+
+        # Adjust interior markers.
+        for i in range(1, 4):
+            d = self._np[i] - self._n[i]
+            right_gap = self._n[i + 1] - self._n[i]
+            left_gap = self._n[i - 1] - self._n[i]
+            if (d >= 1 and right_gap > 1) or (d <= -1 and left_gap < -1):
+                sign = 1.0 if d >= 1 else -1.0
+                candidate = self._parabolic(i, sign)
+                if self._q[i - 1] < candidate < self._q[i + 1]:
+                    self._q[i] = candidate
+                else:
+                    self._q[i] = self._linear(i, sign)
+                self._n[i] += sign
+
+    def _parabolic(self, i: int, sign: float) -> float:
+        n, q = self._n, self._q
+        term1 = sign / (n[i + 1] - n[i - 1])
+        term2 = (n[i] - n[i - 1] + sign) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+        term3 = (n[i + 1] - n[i] - sign) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        return q[i] + term1 * (term2 + term3)
+
+    def _linear(self, i: int, sign: float) -> float:
+        n, q = self._n, self._q
+        j = i + int(sign)
+        return q[i] + sign * (q[j] - q[i]) / (n[j] - n[i])
+
+    @property
+    def value(self) -> Optional[float]:
+        """Current quantile estimate (``None`` until any data arrives)."""
+        if self.count == 0:
+            return None
+        if len(self._initial) < 5:
+            ordered = sorted(self._initial)
+            idx = min(int(self.quantile * len(ordered)), len(ordered) - 1)
+            return ordered[idx]
+        return self._q[2]
+
+    def __repr__(self) -> str:
+        return f"P2Quantile(q={self.quantile}, value={self.value})"
+
+
+class ExponentialMovingStats:
+    """Exponentially weighted mean/variance for rolling word statistics.
+
+    The adaptive bag-of-words keeps one of these per (word, class-group)
+    pair so that word frequencies adapt to recent behaviour rather than
+    the full history.
+    """
+
+    __slots__ = ("alpha", "mean", "_var", "count")
+
+    def __init__(self, alpha: float = 0.01) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.mean = 0.0
+        self._var = 0.0
+        self.count = 0
+
+    def update(self, value: float) -> None:
+        """Fold one observation with exponential decay."""
+        self.count += 1
+        if self.count == 1:
+            self.mean = value
+            self._var = 0.0
+            return
+        delta = value - self.mean
+        self.mean += self.alpha * delta
+        self._var = (1 - self.alpha) * (self._var + self.alpha * delta * delta)
+
+    @property
+    def std(self) -> float:
+        """Exponentially weighted standard deviation."""
+        return math.sqrt(max(self._var, 0.0))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Exact percentile of a finite sequence (linear interpolation).
+
+    Args:
+        values: non-empty sequence.
+        q: percentile in [0, 100].
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (q / 100.0) * (len(ordered) - 1)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return ordered[lo]
+    frac = pos - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac

@@ -1,0 +1,120 @@
+"""Lexicon + suffix-rule part-of-speech tagger.
+
+The paper's syntactic features are the relative frequencies of
+adjectives, adverbs, and verbs. A full statistical tagger is overkill
+for counting three coarse categories, so this tagger combines:
+
+1. closed-class lexicons (pronouns, determiners, prepositions,
+   conjunctions) — always exact;
+2. open-class lexicons for common adjectives/adverbs/verbs;
+3. suffix rules for everything else ("-ly" → adverb, "-ous"/"-ful"/...
+   → adjective, "-ize"/"-ate"/... → verb, default noun).
+
+This mirrors the coarse POS counting behaviour of off-the-shelf taggers
+closely enough for the feature distributions in Fig. 4c.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Sequence
+
+from repro.text import lexicons
+from repro.text.tokenizer import Token, TokenType, tokenize
+
+
+class PosTag(enum.Enum):
+    """Coarse part-of-speech categories."""
+
+    ADJECTIVE = "ADJ"
+    ADVERB = "ADV"
+    VERB = "VERB"
+    NOUN = "NOUN"
+    PRONOUN = "PRON"
+    DETERMINER = "DET"
+    PREPOSITION = "PREP"
+    CONJUNCTION = "CONJ"
+    NUMBER = "NUM"
+    OTHER = "OTHER"
+
+
+_ADJECTIVE_SUFFIXES = (
+    "ous", "ful", "able", "ible", "ish", "ive", "less", "ant", "ent",
+    "al", "ic", "est",
+)
+_ADVERB_SUFFIXES = ("ly",)
+_VERB_SUFFIXES = ("ize", "ise", "ate", "ify", "en")
+_VERB_INFLECTIONS = ("ing", "ed")
+
+
+class PosTagger:
+    """Tags word tokens with coarse POS categories."""
+
+    def __init__(self) -> None:
+        self._adjectives = lexicons.ADJECTIVES
+        self._adverbs = lexicons.ADVERBS
+        self._verbs = lexicons.VERBS
+        self._pronouns = lexicons.PRONOUNS
+        self._determiners = lexicons.DETERMINERS
+        self._prepositions = lexicons.PREPOSITIONS
+        self._conjunctions = lexicons.CONJUNCTIONS
+
+    def tag_word(self, word: str) -> PosTag:
+        """Tag a single lowercase word."""
+        lower = word.lower()
+        if lower in self._pronouns:
+            return PosTag.PRONOUN
+        if lower in self._determiners:
+            return PosTag.DETERMINER
+        if lower in self._prepositions:
+            return PosTag.PREPOSITION
+        if lower in self._conjunctions:
+            return PosTag.CONJUNCTION
+        if lower in self._adverbs:
+            return PosTag.ADVERB
+        if lower in self._adjectives:
+            return PosTag.ADJECTIVE
+        if lower in self._verbs:
+            return PosTag.VERB
+        return self._tag_by_suffix(lower)
+
+    def _tag_by_suffix(self, lower: str) -> PosTag:
+        if len(lower) <= 2:
+            return PosTag.OTHER
+        for suffix in _ADVERB_SUFFIXES:
+            if lower.endswith(suffix) and len(lower) > len(suffix) + 2:
+                return PosTag.ADVERB
+        for suffix in _ADJECTIVE_SUFFIXES:
+            if lower.endswith(suffix) and len(lower) > len(suffix) + 2:
+                return PosTag.ADJECTIVE
+        for suffix in _VERB_SUFFIXES:
+            if lower.endswith(suffix) and len(lower) > len(suffix) + 1:
+                return PosTag.VERB
+        for suffix in _VERB_INFLECTIONS:
+            if lower.endswith(suffix) and len(lower) > len(suffix) + 2:
+                # "-ed"/"-ing" forms whose stem looks verbal.
+                stem = lower[: -len(suffix)]
+                if stem in self._verbs or stem + "e" in self._verbs:
+                    return PosTag.VERB
+                return PosTag.VERB
+        return PosTag.NOUN
+
+    def tag_tokens(self, tokens: Sequence[Token]) -> List[PosTag]:
+        """Tag a token sequence; non-word tokens get NUMBER/OTHER."""
+        tags: List[PosTag] = []
+        for token in tokens:
+            if token.type is TokenType.NUMBER:
+                tags.append(PosTag.NUMBER)
+            elif token.is_word:
+                tags.append(self.tag_word(token.text))
+            else:
+                tags.append(PosTag.OTHER)
+        return tags
+
+    def tag_text(self, text: str) -> List[PosTag]:
+        """Tokenize and tag raw text."""
+        return self.tag_tokens(tokenize(text))
+
+    def count(self, text: str, tag: PosTag) -> int:
+        """Count occurrences of one POS tag in raw text."""
+        return sum(1 for t in self.tag_text(text) if t is tag)

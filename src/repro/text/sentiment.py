@@ -1,0 +1,131 @@
+"""SentiStrength-like lexicon sentiment scorer.
+
+SentiStrength reports, for a short text, a *positive* strength in
+[+1, +5] and a *negative* strength in [-5, -1] (1 = neutral). This
+module reimplements that behaviour with the AFINN-style lexicon in
+:mod:`repro.text.lexicons` plus the standard modifiers:
+
+* booster words amplify/dampen the next sentiment word by one level;
+* negation words flip the polarity of the next sentiment word;
+* repeated letters ("noooo") and exclamation marks boost by one level;
+* all-caps sentiment words boost by one level.
+
+The text's positive score is the maximum positive word strength and the
+negative score the minimum negative word strength, exactly as
+SentiStrength's default "max of each polarity" aggregation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.text.lexicons import booster_words, negation_words, sentiment_lexicon
+from repro.text.tokenizer import Token, tokenize
+
+_REPEATED_LETTERS = re.compile(r"(\w)\1{2,}")
+
+
+@dataclass(frozen=True)
+class SentimentScore:
+    """Positive strength in [1, 5] and negative strength in [-5, -1]."""
+
+    positive: int
+    negative: int
+
+    @property
+    def net(self) -> int:
+        """positive + negative: overall polarity in [-4, 4]."""
+        return self.positive + self.negative
+
+    @property
+    def is_negative(self) -> bool:
+        return -self.negative > self.positive
+
+    @property
+    def is_positive(self) -> bool:
+        return self.positive > -self.negative
+
+
+def _squeeze_repeats(word: str) -> str:
+    """Collapse runs of 3+ identical letters to a single letter."""
+    return _REPEATED_LETTERS.sub(r"\1", word)
+
+
+class SentimentAnalyzer:
+    """Scores short texts on the SentiStrength [-5, 5] dual scale."""
+
+    def __init__(self) -> None:
+        self._lexicon = sentiment_lexicon()
+        self._boosters = booster_words()
+        self._negations = negation_words()
+
+    def word_strength(self, word: str) -> int:
+        """Base strength of a word (0 if not in the lexicon)."""
+        lower = word.lower()
+        if lower in self._lexicon:
+            return self._lexicon[lower]
+        squeezed = _squeeze_repeats(lower)
+        if squeezed != lower and squeezed in self._lexicon:
+            # Letter repetition signals emphasis: one level stronger.
+            base = self._lexicon[squeezed]
+            return _clamp(base + (1 if base > 0 else -1))
+        return 0
+
+    def score_tokens(self, tokens: Sequence[Token]) -> SentimentScore:
+        """Score a tokenized text."""
+        words = [t for t in tokens if t.is_word]
+        has_exclamation = any(
+            "!" in t.text for t in tokens if not t.is_word
+        )
+        max_positive = 1
+        min_negative = -1
+        for index, token in enumerate(words):
+            strength = self.word_strength(token.text)
+            if strength == 0:
+                continue
+            strength = self._apply_modifiers(words, index, token, strength)
+            if strength > 0:
+                max_positive = max(max_positive, min(strength, 5))
+            elif strength < 0:
+                min_negative = min(min_negative, max(strength, -5))
+        if has_exclamation:
+            if max_positive > -min_negative and max_positive < 5:
+                max_positive += 1
+            elif -min_negative > max_positive and min_negative > -5:
+                min_negative -= 1
+        return SentimentScore(positive=max_positive, negative=min_negative)
+
+    def _apply_modifiers(
+        self,
+        words: Sequence[Token],
+        index: int,
+        token: Token,
+        strength: int,
+    ) -> int:
+        previous: Optional[Token] = words[index - 1] if index > 0 else None
+        if previous is not None:
+            prev_lower = previous.lower
+            if prev_lower in self._negations:
+                strength = -strength
+            elif prev_lower in self._boosters:
+                delta = self._boosters[prev_lower]
+                strength += delta if strength > 0 else -delta
+        if token.is_uppercase_word:
+            strength += 1 if strength > 0 else -1
+        return _clamp(strength)
+
+    def score(self, text: str) -> SentimentScore:
+        """Tokenize and score raw text."""
+        return self.score_tokens(tokenize(text))
+
+
+def _clamp(strength: int) -> int:
+    return max(-5, min(5, strength))
+
+
+def score_many(texts: Sequence[str]) -> List[SentimentScore]:
+    """Score a batch of texts with a shared analyzer."""
+    analyzer = SentimentAnalyzer()
+    return [analyzer.score(text) for text in texts]

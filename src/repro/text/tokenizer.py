@@ -1,0 +1,114 @@
+"""Tweet-aware tokenizer.
+
+Splits raw tweet text into typed tokens: URLs, user mentions, hashtags,
+emoticons, words, numbers, and punctuation. Downstream consumers rely on
+the types — e.g. preprocessing removes URL/MENTION/HASHTAG tokens, the
+feature extractor counts them first, and the sentence splitter uses
+terminal punctuation.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import List
+
+
+class TokenType(enum.Enum):
+    """Categories a tweet token can take."""
+
+    WORD = "word"
+    URL = "url"
+    MENTION = "mention"
+    HASHTAG = "hashtag"
+    NUMBER = "number"
+    EMOTICON = "emoticon"
+    PUNCTUATION = "punctuation"
+    SYMBOL = "symbol"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single token with its surface text and category."""
+
+    text: str
+    type: TokenType
+
+    @property
+    def is_word(self) -> bool:
+        return self.type is TokenType.WORD
+
+    @property
+    def lower(self) -> str:
+        return self.text.lower()
+
+    @property
+    def is_uppercase_word(self) -> bool:
+        """All-caps word of length >= 2 (the 'shouting' signal)."""
+        return (
+            self.type is TokenType.WORD
+            and len(self.text) >= 2
+            and self.text.isupper()
+        )
+
+
+_EMOTICONS = (
+    ":)", ":-)", ":(", ":-(", ":D", ":-D", ";)", ";-)", ":P", ":-P",
+    ":/", ":-/", ":|", ":-|", ":o", ":O", "<3", "</3", "xD", "XD",
+    ":'(", ":')",
+)
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<URL>https?://\S+|www\.\S+)
+  | (?P<MENTION>@\w+)
+  | (?P<HASHTAG>\#\w+)
+  | (?P<EMOTICON>%s)
+  | (?P<NUMBER>\d+(?:[.,]\d+)*)
+  | (?P<WORD>[A-Za-z](?:[A-Za-z'*$0-9-]*[A-Za-z*$0-9])?)
+  | (?P<PUNCTUATION>[.!?,;:"'()\[\]{}…-]+)
+  | (?P<SYMBOL>\S)
+    """
+    % "|".join(re.escape(e) for e in _EMOTICONS),
+    re.VERBOSE,
+)
+
+_GROUP_TO_TYPE = {
+    "URL": TokenType.URL,
+    "MENTION": TokenType.MENTION,
+    "HASHTAG": TokenType.HASHTAG,
+    "EMOTICON": TokenType.EMOTICON,
+    "NUMBER": TokenType.NUMBER,
+    "WORD": TokenType.WORD,
+    "PUNCTUATION": TokenType.PUNCTUATION,
+    "SYMBOL": TokenType.SYMBOL,
+}
+
+_SENTENCE_TERMINATORS = re.compile(r"[.!?…]+")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize tweet text into typed tokens."""
+    tokens: List[Token] = []
+    for match in _TOKEN_PATTERN.finditer(text):
+        group = match.lastgroup
+        if group is None:
+            continue
+        tokens.append(Token(text=match.group(), type=_GROUP_TO_TYPE[group]))
+    return tokens
+
+
+def words(text: str) -> List[str]:
+    """Lowercased word tokens only."""
+    return [t.lower for t in tokenize(text) if t.is_word]
+
+
+def split_sentences(text: str) -> List[str]:
+    """Split text into sentences on terminal punctuation.
+
+    Empty fragments are dropped; text without terminators is a single
+    sentence.
+    """
+    parts = _SENTENCE_TERMINATORS.split(text)
+    return [part.strip() for part in parts if part.strip()]

@@ -1,0 +1,149 @@
+"""Tests for distribution statistics."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.distributions import (
+    FeatureSummary,
+    effect_size,
+    histogram,
+    ks_statistic,
+    pdf_points,
+    separation_auc,
+    summarize_by_class,
+)
+from repro.streamml.instance import Instance
+
+samples = st.lists(
+    st.floats(-100, 100, allow_nan=False), min_size=2, max_size=100
+)
+
+
+class TestFeatureSummary:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureSummary.from_values([])
+
+    def test_known_values(self):
+        summary = FeatureSummary.from_values([1.0, 2.0, 3.0])
+        assert summary.n == 3
+        assert summary.mean == 2.0
+        assert summary.median == 2.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+
+    def test_summarize_by_class(self):
+        instances = [
+            Instance(x=(1.0,), y=0),
+            Instance(x=(3.0,), y=0),
+            Instance(x=(10.0,), y=1),
+            Instance(x=(5.0,)),  # unlabeled ignored
+        ]
+        summaries = summarize_by_class(instances, 0, ("a", "b"))
+        assert summaries["a"].mean == 2.0
+        assert summaries["b"].n == 1
+
+
+class TestHistogram:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            histogram([])
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            histogram([1.0], bins=0)
+
+    def test_constant_sample(self):
+        edges, counts = histogram([5.0] * 10)
+        assert counts == [10]
+
+    def test_counts_sum_to_n(self):
+        rng = random.Random(0)
+        values = [rng.gauss(0, 1) for _ in range(500)]
+        _, counts = histogram(values, bins=13)
+        assert sum(counts) == 500
+
+    @given(samples)
+    @settings(max_examples=50, deadline=None)
+    def test_all_values_covered(self, values):
+        edges, counts = histogram(values, bins=7)
+        assert sum(counts) == len(values)
+        assert edges[0] == min(values)
+        assert edges[-1] == max(values)
+
+    def test_pdf_integrates_to_one(self):
+        rng = random.Random(1)
+        values = [rng.expovariate(1.0) for _ in range(2000)]
+        points = pdf_points(values, bins=25)
+        edges, _ = histogram(values, bins=25)
+        width = edges[1] - edges[0]
+        area = sum(density * width for _, density in points)
+        assert area == pytest.approx(1.0, rel=1e-6)
+
+
+class TestKS:
+    def test_identical_samples_zero(self):
+        values = [1.0, 2.0, 3.0]
+        assert ks_statistic(values, values) == 0.0
+
+    def test_disjoint_samples_one(self):
+        assert ks_statistic([1, 2, 3], [10, 11, 12]) == 1.0
+
+    def test_symmetry(self):
+        rng = random.Random(2)
+        a = [rng.gauss(0, 1) for _ in range(100)]
+        b = [rng.gauss(1, 1) for _ in range(80)]
+        assert ks_statistic(a, b) == pytest.approx(ks_statistic(b, a))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_statistic([], [1.0])
+
+    @given(samples, samples)
+    @settings(max_examples=50, deadline=None)
+    def test_bounds(self, a, b):
+        assert 0.0 <= ks_statistic(a, b) <= 1.0
+
+
+class TestSeparationAuc:
+    def test_perfect_separation(self):
+        assert separation_auc([10, 11, 12], [1, 2, 3]) == 1.0
+
+    def test_reversed_separation(self):
+        assert separation_auc([1, 2, 3], [10, 11, 12]) == 0.0
+
+    def test_identical_distributions_half(self):
+        assert separation_auc([1, 2, 3], [1, 2, 3]) == pytest.approx(0.5)
+
+    def test_overlapping_gaussians(self):
+        rng = random.Random(3)
+        positive = [rng.gauss(1, 1) for _ in range(500)]
+        negative = [rng.gauss(0, 1) for _ in range(500)]
+        auc = separation_auc(positive, negative)
+        # Theoretical AUC for unit shift: Phi(1/sqrt(2)) ~ 0.76.
+        assert auc == pytest.approx(0.76, abs=0.05)
+
+    @given(samples, samples)
+    @settings(max_examples=50, deadline=None)
+    def test_antisymmetry(self, a, b):
+        assert separation_auc(a, b) == pytest.approx(
+            1.0 - separation_auc(b, a)
+        )
+
+
+class TestEffectSize:
+    def test_zero_for_identical(self):
+        assert effect_size([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_sign(self):
+        assert effect_size([5, 6, 7], [1, 2, 3]) > 0
+        assert effect_size([1, 2, 3], [5, 6, 7]) < 0
+
+    def test_small_sample_rejected(self):
+        with pytest.raises(ValueError):
+            effect_size([1.0], [1.0, 2.0])

@@ -1,0 +1,78 @@
+"""Tests for the linear SVM baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batchml.svm import LinearSVM
+
+
+def _data(n, rng, sep=3.0):
+    y = rng.randint(0, 2, size=n)
+    X = rng.randn(n, 3)
+    X[:, 0] += y * sep
+    return X, y
+
+
+class TestConstruction:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LinearSVM(n_classes=1)
+        with pytest.raises(ValueError):
+            LinearSVM(n_classes=2, lambda_reg=0.0)
+        with pytest.raises(ValueError):
+            LinearSVM(n_classes=2, n_epochs=0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearSVM(n_classes=2).predict(np.zeros((1, 3)))
+
+
+class TestLearning:
+    def test_learns_separable_data(self):
+        rng = np.random.RandomState(0)
+        X, y = _data(2000, rng)
+        Xt, yt = _data(500, rng)
+        model = LinearSVM(n_classes=2, seed=1).fit(X, y)
+        assert (model.predict(Xt) == yt).mean() > 0.9
+
+    def test_three_class_ovr(self):
+        rng = np.random.RandomState(1)
+        y = rng.randint(0, 3, size=3000)
+        X = rng.randn(3000, 2)
+        X[:, 0] += y * 4.0
+        model = LinearSVM(n_classes=3, seed=2).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.9
+
+    def test_handles_bad_scaling(self):
+        rng = np.random.RandomState(2)
+        X, y = _data(1500, rng)
+        X_scaled = X * np.array([1e4, 1e-3, 1.0])
+        model = LinearSVM(n_classes=2, seed=3).fit(X_scaled, y)
+        assert (model.predict(X_scaled) == y).mean() > 0.9
+
+    def test_decision_function_shape(self):
+        rng = np.random.RandomState(3)
+        X, y = _data(400, rng)
+        model = LinearSVM(n_classes=2).fit(X, y)
+        assert model.decision_function(X[:7]).shape == (7, 2)
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.RandomState(4)
+        X, y = _data(500, rng)
+        a = LinearSVM(n_classes=2, seed=9).fit(X, y)
+        b = LinearSVM(n_classes=2, seed=9).fit(X, y)
+        assert np.array_equal(a.predict(X[:50]), b.predict(X[:50]))
+
+    def test_comparable_to_logistic_regression(self):
+        from repro.batchml.logistic_regression import BatchLogisticRegression
+
+        rng = np.random.RandomState(5)
+        X, y = _data(2000, rng, sep=2.0)
+        Xt, yt = _data(600, rng, sep=2.0)
+        svm_acc = (LinearSVM(n_classes=2, seed=6).fit(X, y).predict(Xt)
+                   == yt).mean()
+        lr_acc = (BatchLogisticRegression(n_classes=2).fit(X, y).predict(Xt)
+                  == yt).mean()
+        assert abs(svm_acc - lr_acc) < 0.05

@@ -1,0 +1,117 @@
+"""Tests for pipeline checkpointing (save → resume equivalence)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.checkpoint import (
+    load_pipeline,
+    normalizer_from_dict,
+    normalizer_to_dict,
+    pipeline_from_dict,
+    pipeline_to_dict,
+    save_pipeline,
+)
+from repro.core.config import PipelineConfig
+from repro.core.normalization import make_normalizer
+from repro.core.pipeline import AggressionDetectionPipeline
+from repro.data.loader import strip_labels
+
+
+class TestNormalizerRoundTrip:
+    @pytest.mark.parametrize(
+        "kind", ["minmax", "minmax_no_outliers", "zscore", "none"]
+    )
+    def test_transform_identical(self, kind):
+        import random
+
+        rng = random.Random(0)
+        normalizer = make_normalizer(kind, 3)
+        for _ in range(500):
+            normalizer.observe(
+                (rng.gauss(5, 2), rng.expovariate(0.1), rng.random())
+            )
+        restored = normalizer_from_dict(normalizer_to_dict(normalizer))
+        for _ in range(50):
+            probe = (rng.gauss(5, 2), rng.expovariate(0.1), rng.random())
+            assert restored.transform(probe) == pytest.approx(
+                normalizer.transform(probe)
+            )
+
+
+class TestResumeEquivalence:
+    """A resumed pipeline must continue exactly as an uninterrupted one."""
+
+    @pytest.mark.parametrize("model", ["ht", "slr"])
+    def test_metrics_identical_after_resume(self, medium_stream, model):
+        stream = medium_stream[:5000]
+        half = len(stream) // 2
+        config = PipelineConfig(n_classes=2, model=model)
+
+        uninterrupted = AggressionDetectionPipeline(config)
+        uninterrupted.process_stream(stream)
+
+        first = AggressionDetectionPipeline(config)
+        first.process_stream(stream[:half])
+        resumed = pipeline_from_dict(pipeline_to_dict(first))
+        resumed.process_stream(stream[half:])
+
+        assert resumed.evaluator.summary() == pytest.approx(
+            uninterrupted.evaluator.summary()
+        )
+        assert resumed.n_processed == uninterrupted.n_processed
+        assert len(resumed.bag_of_words) == len(uninterrupted.bag_of_words)
+
+    def test_unlabeled_path_state_restored(self, small_stream):
+        config = PipelineConfig(n_classes=2)
+        pipeline = AggressionDetectionPipeline(config)
+        pipeline.process_stream(small_stream)
+        for tweet in strip_labels(small_stream[:400]):
+            pipeline.process(tweet)
+        restored = pipeline_from_dict(pipeline_to_dict(pipeline))
+        assert restored.n_unlabeled == pipeline.n_unlabeled
+        assert restored.sampler.n_offered == pipeline.sampler.n_offered
+        assert len(restored.sampler.sample()) == len(pipeline.sampler.sample())
+        assert (
+            restored.alert_manager.suspended_users
+            == pipeline.alert_manager.suspended_users
+        )
+
+    def test_sampler_rng_continues_identically(self, small_stream):
+        config = PipelineConfig(n_classes=2)
+        pipeline = AggressionDetectionPipeline(config)
+        pipeline.process_stream(small_stream[:1000])
+        restored = pipeline_from_dict(pipeline_to_dict(pipeline))
+        tail = list(strip_labels(small_stream[1000:1400]))
+        for tweet in tail:
+            pipeline.process(tweet)
+            restored.process(tweet)
+        original_ids = sorted(
+            c.instance.tweet_id for c in pipeline.sampler.sample()
+        )
+        restored_ids = sorted(
+            c.instance.tweet_id for c in restored.sampler.sample()
+        )
+        assert original_ids == restored_ids
+
+
+class TestFiles:
+    def test_file_round_trip(self, tmp_path, small_stream):
+        pipeline = AggressionDetectionPipeline(PipelineConfig(n_classes=3))
+        pipeline.process_stream(small_stream[:800])
+        path = tmp_path / "checkpoint.json"
+        size = save_pipeline(pipeline, path)
+        assert size > 0
+        restored = load_pipeline(path)
+        assert restored.config.n_classes == 3
+        assert restored.n_processed == 800
+
+    def test_bad_version_rejected(self, small_stream):
+        from repro.streamml.serialize import SerializationError
+
+        pipeline = AggressionDetectionPipeline(PipelineConfig(n_classes=2))
+        pipeline.process_stream(small_stream[:100])
+        payload = pipeline_to_dict(pipeline)
+        payload["checkpoint_version"] = 999
+        with pytest.raises(SerializationError):
+            pipeline_from_dict(payload)

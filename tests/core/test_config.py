@@ -1,0 +1,74 @@
+"""Tests for pipeline configuration and the model factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MODEL_DEFAULTS, PipelineConfig, create_model
+from repro.streamml.arf import AdaptiveRandomForest
+from repro.streamml.hoeffding_tree import HoeffdingTree
+from repro.streamml.slr import StreamingLogisticRegression
+
+
+class TestPipelineConfig:
+    def test_defaults_match_table1(self):
+        config = PipelineConfig()
+        model = create_model(config)
+        assert isinstance(model, HoeffdingTree)
+        assert model.split_criterion == "infogain"
+        assert model.split_confidence == 0.01
+        assert model.tie_threshold == 0.05
+        assert model.grace_period == 200
+        assert model.max_depth == 20
+
+    def test_invalid_n_classes(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(n_classes=4)
+
+    def test_invalid_model(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(model="cnn")
+
+    def test_normalization_enabled(self):
+        assert PipelineConfig().normalization_enabled
+        assert not PipelineConfig(normalization="none").normalization_enabled
+
+    def test_describe_format(self):
+        config = PipelineConfig(
+            n_classes=2, preprocessing=False, adaptive_bow=True
+        )
+        text = config.describe()
+        assert "HT" in text
+        assert "p=OFF" in text
+        assert "ad=ON" in text
+        assert "c=2" in text
+
+
+class TestCreateModel:
+    def test_arf_defaults(self):
+        model = create_model(PipelineConfig(model="arf"))
+        assert isinstance(model, AdaptiveRandomForest)
+        assert model.ensemble_size == 10
+
+    def test_slr_defaults(self):
+        model = create_model(PipelineConfig(model="slr"))
+        assert isinstance(model, StreamingLogisticRegression)
+        assert model.learning_rate == 0.1
+        assert model.regularizer == "l2"
+        assert model.regularization == 0.01
+
+    def test_param_override(self):
+        config = PipelineConfig(model="ht", model_params={"grace_period": 99})
+        assert create_model(config).grace_period == 99
+
+    def test_n_classes_threaded(self):
+        assert create_model(PipelineConfig(n_classes=2)).n_classes == 2
+
+    def test_arf_seed_from_config(self):
+        model = create_model(PipelineConfig(model="arf", seed=123))
+        assert model.seed == 123
+
+    def test_all_defaults_instantiable(self):
+        for name in MODEL_DEFAULTS:
+            model = create_model(PipelineConfig(model=name))
+            assert model.n_classes == 3

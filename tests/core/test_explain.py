@@ -1,0 +1,152 @@
+"""Tests for alert explanations."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.explain import (
+    AlertExplainer,
+    explain_linear_prediction,
+    explain_tree_prediction,
+)
+from repro.core.pipeline import AggressionDetectionPipeline
+from repro.data.tweet import Tweet, UserProfile
+from repro.streamml.hoeffding_tree import HoeffdingTree
+from repro.streamml.instance import Instance
+from repro.streamml.slr import StreamingLogisticRegression
+
+
+def _grown_tree():
+    rng = random.Random(0)
+    tree = HoeffdingTree(n_classes=2, grace_period=100)
+    for _ in range(5000):
+        label = rng.random() < 0.5
+        tree.learn_one(Instance(
+            x=(rng.gauss(4.0 if label else 0.0, 1.0), rng.gauss(0, 1)),
+            y=int(label),
+        ))
+    assert tree.n_split_nodes >= 1
+    return tree
+
+
+class TestTreeExplanation:
+    def test_path_matches_prediction(self):
+        tree = _grown_tree()
+        x = (4.5, 0.0)
+        steps, counts = explain_tree_prediction(
+            tree, x, feature_names=("f0", "f1")
+        )
+        assert len(steps) >= 1
+        assert len(counts) == 2
+        # The leaf's majority class should match the tree's prediction
+        # when leaves predict by majority on well-trained data.
+        assert counts.index(max(counts)) == tree.predict_one(x)
+
+    def test_step_descriptions(self):
+        tree = _grown_tree()
+        steps, _ = explain_tree_prediction(tree, (4.5, 0.0), ("f0", "f1"))
+        text = steps[0].describe()
+        assert "f0" in text or "f1" in text
+        assert "<=" in text or ">" in text
+
+    def test_single_leaf_tree_has_empty_path(self):
+        tree = HoeffdingTree(n_classes=2)
+        steps, counts = explain_tree_prediction(tree, (1.0,), ("f0",))
+        assert steps == []
+
+
+class TestLinearExplanation:
+    def test_contributions_sorted_by_magnitude(self):
+        rng = random.Random(1)
+        model = StreamingLogisticRegression(n_classes=2)
+        for _ in range(2000):
+            label = rng.random() < 0.5
+            model.learn_one(Instance(
+                x=(rng.gauss(2.0 if label else -2.0, 1.0), rng.gauss(0, 1)),
+                y=int(label),
+            ))
+        contributions = explain_linear_prediction(
+            model, (2.0, 0.1), target_class=1, feature_names=("sep", "noise")
+        )
+        magnitudes = [abs(c.contribution) for c in contributions]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+        assert contributions[0].feature == "sep"
+
+    def test_untrained_model_empty(self):
+        model = StreamingLogisticRegression(n_classes=2)
+        assert explain_linear_prediction(model, (1.0,), 0) == []
+
+    def test_top_limits_output(self):
+        rng = random.Random(2)
+        model = StreamingLogisticRegression(n_classes=2)
+        model.learn_one(Instance(x=(1.0, 2.0, 3.0), y=1))
+        result = explain_linear_prediction(model, (1.0, 2.0, 3.0), 1, top=2)
+        assert len(result) == 2
+
+
+class TestAlertExplainer:
+    @pytest.fixture(scope="class")
+    def pipeline(self, request):
+        from repro.data.synthetic import AbusiveDatasetGenerator
+
+        stream = AbusiveDatasetGenerator(n_tweets=3000, seed=4).generate_list()
+        pipeline = AggressionDetectionPipeline(PipelineConfig(n_classes=2))
+        pipeline.process_stream(stream)
+        return pipeline
+
+    def _tweet(self, text):
+        return Tweet(
+            tweet_id="x1",
+            text=text,
+            created_at=9e8,
+            user=UserProfile(user_id="u", created_at=0.0),
+        )
+
+    def test_explains_aggressive_tweet(self, pipeline):
+        explanation = AlertExplainer(pipeline).explain(
+            self._tweet("you are a fucking idiot and a moron")
+        )
+        assert explanation.predicted_label == "aggressive"
+        assert "fucking" in explanation.matched_swear_words
+        assert "idiot" in explanation.matched_swear_words
+        assert explanation.confidence > 0.5
+        assert explanation.decision_path  # HT model -> path present
+
+    def test_explains_normal_tweet(self, pipeline):
+        explanation = AlertExplainer(pipeline).explain(
+            self._tweet("what a lovely day at the park with my family")
+        )
+        assert explanation.predicted_label == "normal"
+        assert explanation.matched_swear_words == []
+
+    def test_describe_is_readable(self, pipeline):
+        explanation = AlertExplainer(pipeline).explain(
+            self._tweet("shut up you pathetic clown")
+        )
+        text = explanation.describe()
+        assert "predicted" in text
+        assert "x1" in text
+
+    def test_explain_does_not_mutate_state(self, pipeline):
+        seen_before = pipeline.model.instances_seen
+        processed_before = pipeline.n_processed
+        AlertExplainer(pipeline).explain(self._tweet("damn this idiot"))
+        assert pipeline.model.instances_seen == seen_before
+        assert pipeline.n_processed == processed_before
+
+    def test_slr_contributions(self):
+        from repro.data.synthetic import AbusiveDatasetGenerator
+
+        stream = AbusiveDatasetGenerator(n_tweets=2000, seed=5).generate_list()
+        pipeline = AggressionDetectionPipeline(
+            PipelineConfig(n_classes=2, model="slr")
+        )
+        pipeline.process_stream(stream)
+        explanation = AlertExplainer(pipeline).explain(
+            self._tweet("you are a fucking idiot")
+        )
+        assert explanation.contributions
+        assert explanation.decision_path == []

@@ -1,0 +1,184 @@
+"""Tests for feature extraction and label encoding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adaptive_bow import AdaptiveBagOfWords
+from repro.core.features import FEATURE_NAMES, FeatureExtractor, LabelEncoder
+from repro.data.tweet import SECONDS_PER_DAY, Tweet, UserProfile
+
+
+def _tweet(text, label=None, **user_kwargs):
+    defaults = dict(
+        user_id="1",
+        created_at=0.0,
+        statuses_count=100,
+        listed_count=5,
+        followers_count=50,
+        friends_count=60,
+    )
+    defaults.update(user_kwargs)
+    return Tweet(
+        tweet_id="x",
+        text=text,
+        created_at=10 * SECONDS_PER_DAY,
+        user=UserProfile(**defaults),
+        label=label,
+    )
+
+
+class TestLabelEncoder:
+    def test_three_class(self):
+        enc = LabelEncoder(3)
+        assert enc.encode("normal") == 0
+        assert enc.encode("abusive") == 1
+        assert enc.encode("hateful") == 2
+        assert enc.decode(2) == "hateful"
+
+    def test_two_class_merges_aggressive(self):
+        enc = LabelEncoder(2)
+        assert enc.encode("abusive") == enc.encode("hateful") == 1
+        assert enc.decode(1) == "aggressive"
+
+    def test_none_passthrough(self):
+        assert LabelEncoder(3).encode(None) is None
+
+    def test_unknown_label(self):
+        with pytest.raises(ValueError):
+            LabelEncoder(3).encode("spam")
+
+    def test_invalid_class_count(self):
+        with pytest.raises(ValueError):
+            LabelEncoder(4)
+
+    def test_aggressive_classes(self):
+        assert LabelEncoder(3).aggressive_classes == (1, 2)
+        assert LabelEncoder(2).aggressive_classes == (1,)
+
+    def test_is_aggressive(self):
+        enc = LabelEncoder(3)
+        assert not enc.is_aggressive(0)
+        assert enc.is_aggressive(1)
+        assert enc.is_aggressive(2)
+
+
+class TestFeatureVector:
+    @pytest.fixture()
+    def extractor(self):
+        return FeatureExtractor(encoder=LabelEncoder(3))
+
+    def _value(self, extractor, tweet, name):
+        instance = extractor.extract(tweet)
+        return instance.x[FEATURE_NAMES.index(name)]
+
+    def test_vector_width(self, extractor):
+        instance = extractor.extract(_tweet("hello world"))
+        assert instance.n_features == len(FEATURE_NAMES) == 17
+
+    def test_account_age(self, extractor):
+        tweet = _tweet("hi", created_at=0.0)
+        assert self._value(extractor, tweet, "accountAge") == pytest.approx(10.0)
+
+    def test_profile_counts(self, extractor):
+        tweet = _tweet("hi", statuses_count=7, listed_count=2,
+                       followers_count=11, friends_count=13)
+        assert self._value(extractor, tweet, "cntPosts") == 7
+        assert self._value(extractor, tweet, "cntLists") == 2
+        assert self._value(extractor, tweet, "cntFollowers") == 11
+        assert self._value(extractor, tweet, "cntFriends") == 13
+
+    def test_hashtags_counted_from_raw(self, extractor):
+        tweet = _tweet("nice day #sun #beach")
+        assert self._value(extractor, tweet, "numHashtags") == 2
+
+    def test_urls_counted_from_raw(self, extractor):
+        tweet = _tweet("look https://t.co/a http://b.co")
+        assert self._value(extractor, tweet, "numUrls") == 2
+
+    def test_uppercase_words(self, extractor):
+        tweet = _tweet("this is REALLY BAD ok")
+        assert self._value(extractor, tweet, "numUpperCases") == 2
+
+    def test_swear_count(self, extractor):
+        tweet = _tweet("you fucking idiot moron")
+        assert self._value(extractor, tweet, "cntSwearWords") == 3
+
+    def test_sentiment_features(self, extractor):
+        positive = _tweet("what a wonderful day")
+        negative = _tweet("this is disgusting and awful")
+        assert self._value(extractor, positive, "sentimentScorePos") >= 3
+        assert self._value(extractor, negative, "sentimentScoreNeg") <= -3
+
+    def test_pos_counts(self, extractor):
+        tweet = _tweet("the happy dog runs quickly")
+        assert self._value(extractor, tweet, "cntAdjective") >= 1
+        assert self._value(extractor, tweet, "cntAdverbs") >= 1
+        assert self._value(extractor, tweet, "cntVerbs") >= 1
+
+    def test_words_per_sentence(self, extractor):
+        tweet = _tweet("one two three. four five six.")
+        assert self._value(extractor, tweet, "wordsPerSentence") == 3.0
+
+    def test_mean_word_length(self, extractor):
+        tweet = _tweet("aa bbbb")
+        assert self._value(extractor, tweet, "meanWordLength") == 3.0
+
+    def test_empty_text(self, extractor):
+        instance = extractor.extract(_tweet(""))
+        assert instance.n_features == 17
+
+    def test_label_attached(self, extractor):
+        instance = extractor.extract(_tweet("hi", label="abusive"))
+        assert instance.y == 1
+
+    def test_unlabeled(self, extractor):
+        assert extractor.extract(_tweet("hi")).y is None
+
+    def test_feature_index(self, extractor):
+        assert extractor.feature_index("cntSwearWords") == 15
+
+
+class TestPreprocessingToggle:
+    def test_off_pollutes_word_features(self):
+        clean = FeatureExtractor(preprocessing=True)
+        dirty = FeatureExtractor(preprocessing=False)
+        tweet = _tweet("good day https://t.co/abcdef1234 #tag 99")
+        mwl_index = FEATURE_NAMES.index("meanWordLength")
+        assert (
+            dirty.extract(tweet).x[mwl_index]
+            > clean.extract(tweet).x[mwl_index]
+        )
+
+    def test_rt_removed_only_with_preprocessing(self):
+        clean = FeatureExtractor(preprocessing=True)
+        dirty = FeatureExtractor(preprocessing=False)
+        tweet = _tweet("RT great stuff")
+        wps_index = FEATURE_NAMES.index("wordsPerSentence")
+        assert clean.extract(tweet).x[wps_index] < dirty.extract(tweet).x[wps_index]
+
+
+class TestBowIntegration:
+    def test_labeled_updates_adaptive_bow(self):
+        bow = AdaptiveBagOfWords(seed_words=["seed"], update_interval=10 ** 9)
+        extractor = FeatureExtractor(bag_of_words=bow)
+        extractor.extract(_tweet("some newinsult here", label="abusive"))
+        assert bow._aggressive_counts.get("newinsult") == 1.0
+
+    def test_unlabeled_does_not_update_bow(self):
+        bow = AdaptiveBagOfWords(seed_words=["seed"], update_interval=10 ** 9)
+        extractor = FeatureExtractor(bag_of_words=bow)
+        extractor.extract(_tweet("some newinsult here"))
+        assert not bow._aggressive_counts
+
+    def test_update_bow_flag(self):
+        bow = AdaptiveBagOfWords(seed_words=["seed"], update_interval=10 ** 9)
+        extractor = FeatureExtractor(bag_of_words=bow)
+        extractor.extract(_tweet("word", label="abusive"), update_bow=False)
+        assert not bow._aggressive_counts
+
+    def test_bow_feature_counts_matches(self):
+        bow = AdaptiveBagOfWords(seed_words=["target"], update_interval=10 ** 9)
+        extractor = FeatureExtractor(bag_of_words=bow)
+        instance = extractor.extract(_tweet("target target other"))
+        assert instance.x[FEATURE_NAMES.index("bowMatches")] == 2

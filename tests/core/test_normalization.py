@@ -1,0 +1,180 @@
+"""Tests for the incremental normalizers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.normalization import (
+    IdentityNormalizer,
+    MinMaxNoOutliersNormalizer,
+    MinMaxNormalizer,
+    ZScoreNormalizer,
+    make_normalizer,
+)
+from repro.streamml.instance import Instance
+
+vectors = st.lists(
+    st.tuples(
+        st.floats(-1e4, 1e4, allow_nan=False),
+        st.floats(-1e4, 1e4, allow_nan=False),
+    ),
+    min_size=2,
+    max_size=60,
+)
+
+
+class TestFactory:
+    def test_kinds(self):
+        assert isinstance(make_normalizer("minmax", 3), MinMaxNormalizer)
+        assert isinstance(
+            make_normalizer("minmax_no_outliers", 3), MinMaxNoOutliersNormalizer
+        )
+        assert isinstance(make_normalizer("zscore", 3), ZScoreNormalizer)
+        assert isinstance(make_normalizer("none", 3), IdentityNormalizer)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_normalizer("rank", 3)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            MinMaxNormalizer(0)
+
+
+class TestMinMax:
+    def test_scales_into_unit_interval(self):
+        normalizer = MinMaxNormalizer(1)
+        for v in (0.0, 10.0, 5.0):
+            normalizer.observe((v,))
+        assert normalizer.transform((0.0,)) == (0.0,)
+        assert normalizer.transform((10.0,)) == (1.0,)
+        assert normalizer.transform((5.0,)) == (0.5,)
+
+    def test_clamps_unseen_extremes(self):
+        normalizer = MinMaxNormalizer(1)
+        normalizer.observe((0.0,))
+        normalizer.observe((1.0,))
+        assert normalizer.transform((5.0,)) == (1.0,)
+        assert normalizer.transform((-5.0,)) == (0.0,)
+
+    def test_constant_feature_maps_to_zero(self):
+        normalizer = MinMaxNormalizer(1)
+        normalizer.observe((3.0,))
+        normalizer.observe((3.0,))
+        assert normalizer.transform((3.0,)) == (0.0,)
+
+    def test_width_mismatch(self):
+        normalizer = MinMaxNormalizer(2)
+        with pytest.raises(ValueError):
+            normalizer.observe((1.0,))
+
+    @given(vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_outputs_always_in_unit_interval(self, data):
+        normalizer = MinMaxNormalizer(2)
+        for vector in data:
+            out = normalizer.observe_and_transform(vector)
+            assert all(0.0 <= v <= 1.0 for v in out)
+
+    def test_merge(self):
+        a = MinMaxNormalizer(1)
+        b = MinMaxNormalizer(1)
+        a.observe((0.0,))
+        b.observe((10.0,))
+        a.merge(b)
+        assert a.transform((5.0,)) == (0.5,)
+
+
+class TestMinMaxNoOutliers:
+    def test_outlier_does_not_stretch_range(self):
+        rng = random.Random(0)
+        robust = MinMaxNoOutliersNormalizer(1)
+        plain = MinMaxNormalizer(1)
+        for _ in range(5000):
+            v = (rng.uniform(0, 1),)
+            robust.observe(v)
+            plain.observe(v)
+        outlier = (1000.0,)
+        robust.observe(outlier)
+        plain.observe(outlier)
+        mid = (0.5,)
+        # Plain min-max collapses everything near 0; robust stays ~0.5.
+        assert plain.transform(mid)[0] < 0.01
+        assert robust.transform(mid)[0] == pytest.approx(0.5, abs=0.1)
+
+    def test_invalid_quantiles(self):
+        with pytest.raises(ValueError):
+            MinMaxNoOutliersNormalizer(1, lower_quantile=0.9, upper_quantile=0.1)
+
+    def test_clipping(self):
+        normalizer = MinMaxNoOutliersNormalizer(1)
+        rng = random.Random(1)
+        for _ in range(1000):
+            normalizer.observe((rng.uniform(0, 1),))
+        assert normalizer.transform((99.0,)) == (1.0,)
+        assert normalizer.transform((-99.0,)) == (0.0,)
+
+    def test_merge_keeps_heavier_side(self):
+        a = MinMaxNoOutliersNormalizer(1)
+        b = MinMaxNoOutliersNormalizer(1)
+        rng = random.Random(2)
+        for _ in range(10):
+            a.observe((rng.uniform(0, 1),))
+        for _ in range(1000):
+            b.observe((rng.uniform(100, 101),))
+        a.merge(b)
+        assert a.observed == 1010
+        assert a.transform((100.5,))[0] == pytest.approx(0.5, abs=0.15)
+
+
+class TestZScore:
+    def test_standardizes(self):
+        normalizer = ZScoreNormalizer(1)
+        rng = random.Random(3)
+        for _ in range(5000):
+            normalizer.observe((rng.gauss(10.0, 2.0),))
+        assert normalizer.transform((10.0,))[0] == pytest.approx(0.0, abs=0.1)
+        assert normalizer.transform((12.0,))[0] == pytest.approx(1.0, abs=0.1)
+
+    def test_too_few_observations_zero(self):
+        normalizer = ZScoreNormalizer(1)
+        normalizer.observe((5.0,))
+        assert normalizer.transform((5.0,)) == (0.0,)
+
+    def test_merge_equals_sequential(self):
+        rng = random.Random(4)
+        data = [(rng.gauss(0, 5),) for _ in range(400)]
+        together = ZScoreNormalizer(1)
+        for v in data:
+            together.observe(v)
+        a = ZScoreNormalizer(1)
+        b = ZScoreNormalizer(1)
+        for v in data[:200]:
+            a.observe(v)
+        for v in data[200:]:
+            b.observe(v)
+        a.merge(b)
+        probe = (3.3,)
+        assert a.transform(probe)[0] == pytest.approx(
+            together.transform(probe)[0], rel=1e-9
+        )
+
+
+class TestIdentity:
+    def test_passthrough(self):
+        normalizer = IdentityNormalizer(2)
+        assert normalizer.observe_and_transform((7.0, -3.0)) == (7.0, -3.0)
+
+    def test_transform_instance_preserves_metadata(self):
+        normalizer = MinMaxNormalizer(1)
+        normalizer.observe((0.0,))
+        normalizer.observe((2.0,))
+        instance = Instance(x=(1.0,), y=1, tweet_id="t9")
+        out = normalizer.transform_instance(instance)
+        assert out.x == (0.5,)
+        assert out.y == 1
+        assert out.tweet_id == "t9"

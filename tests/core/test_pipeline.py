@@ -1,0 +1,113 @@
+"""Tests for the end-to-end pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import AggressionDetectionPipeline, run_pipeline
+from repro.data.loader import strip_labels
+from repro.data.synthetic import AbusiveDatasetGenerator
+
+
+class TestProcessing:
+    def test_processes_labeled_stream(self, small_stream):
+        pipeline = AggressionDetectionPipeline(PipelineConfig(n_classes=2))
+        result = pipeline.process_stream(small_stream)
+        assert result.n_processed == len(small_stream)
+        assert result.n_labeled == len(small_stream)
+        assert result.n_unlabeled == 0
+        assert 0.0 <= result.metrics["f1"] <= 1.0
+
+    def test_learns_above_majority_baseline(self, medium_stream):
+        pipeline = AggressionDetectionPipeline(PipelineConfig(n_classes=2))
+        result = pipeline.process_stream(medium_stream)
+        majority = sum(
+            1 for t in medium_stream if t.label == "normal"
+        ) / len(medium_stream)
+        assert result.metrics["accuracy"] > majority + 0.05
+
+    def test_unlabeled_stream_generates_alerts(self, small_stream):
+        pipeline = AggressionDetectionPipeline(PipelineConfig(n_classes=2))
+        # Train on the labeled stream, then process it unlabeled.
+        pipeline.process_stream(small_stream)
+        for tweet in strip_labels(small_stream[:500]):
+            pipeline.process(tweet)
+        assert pipeline.n_unlabeled == 500
+        assert pipeline.alert_manager.n_alerts > 0
+        assert len(pipeline.sampler.sample()) > 0
+
+    def test_classified_instance_fields(self, small_stream):
+        pipeline = AggressionDetectionPipeline(PipelineConfig(n_classes=3))
+        classified = pipeline.process(small_stream[0])
+        assert classified.predicted in (0, 1, 2)
+        assert sum(classified.proba) == pytest.approx(1.0)
+
+    def test_three_class_setup(self, small_stream):
+        pipeline = AggressionDetectionPipeline(PipelineConfig(n_classes=3))
+        result = pipeline.process_stream(small_stream)
+        assert result.metrics["f1"] > 0.5
+
+    def test_predict_is_stateless(self, small_stream):
+        pipeline = AggressionDetectionPipeline(PipelineConfig(n_classes=2))
+        pipeline.process_stream(small_stream[:1000])
+        seen_before = pipeline.model.instances_seen
+        label = pipeline.predict_label(small_stream[1000])
+        assert label in ("normal", "aggressive")
+        assert pipeline.model.instances_seen == seen_before
+
+    def test_run_pipeline_helper(self, small_stream):
+        result = run_pipeline(small_stream[:300], PipelineConfig(n_classes=2))
+        assert result.n_processed == 300
+
+
+class TestConfigurationEffects:
+    def test_adaptive_bow_grows(self, medium_stream):
+        pipeline = AggressionDetectionPipeline(
+            PipelineConfig(n_classes=2, adaptive_bow=True)
+        )
+        result = pipeline.process_stream(medium_stream)
+        assert result.bow_size > 347
+        assert result.bow_size_history
+
+    def test_fixed_bow_stays(self, small_stream):
+        pipeline = AggressionDetectionPipeline(
+            PipelineConfig(n_classes=2, adaptive_bow=False)
+        )
+        result = pipeline.process_stream(small_stream)
+        assert result.bow_size == 347
+        assert result.bow_size_history == []
+
+    def test_normalization_critical_for_slr(self, medium_stream):
+        on = run_pipeline(
+            medium_stream,
+            PipelineConfig(n_classes=2, model="slr"),
+        )
+        off = run_pipeline(
+            medium_stream,
+            PipelineConfig(n_classes=2, model="slr", normalization="none"),
+        )
+        # The Fig. 8 effect: normalization dramatically helps SLR.
+        assert on.metrics["f1"] > off.metrics["f1"] + 0.10
+
+    def test_all_models_run(self, small_stream):
+        for model in ("ht", "arf", "slr", "gnb", "majority"):
+            result = run_pipeline(
+                small_stream[:600], PipelineConfig(n_classes=2, model=model)
+            )
+            assert result.n_processed == 600
+
+    def test_history_curve(self, small_stream):
+        result = run_pipeline(
+            small_stream, PipelineConfig(n_classes=2, record_every=200)
+        )
+        curve = result.curve("f1")
+        assert len(curve) >= 9
+        assert curve[0][0] == 200
+
+
+class TestDeterminism:
+    def test_same_config_same_result(self, small_stream):
+        a = run_pipeline(small_stream, PipelineConfig(n_classes=2, seed=5))
+        b = run_pipeline(small_stream, PipelineConfig(n_classes=2, seed=5))
+        assert a.metrics == b.metrics

@@ -1,0 +1,64 @@
+"""Tests for the firehose workload composition."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.data.firehose import FirehoseWorkload
+
+
+class TestFirehoseWorkload:
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            FirehoseWorkload(n_unlabeled=-1)
+        with pytest.raises(ValueError):
+            FirehoseWorkload(n_unlabeled=0, n_labeled=0)
+
+    def test_total_and_fraction(self):
+        workload = FirehoseWorkload(n_unlabeled=900, n_labeled=100)
+        assert workload.total_tweets == 1000
+        assert workload.labeled_fraction() == pytest.approx(0.1)
+
+    def test_stream_mix(self):
+        workload = FirehoseWorkload(n_unlabeled=600, n_labeled=200, seed=5)
+        tweets = list(workload.stream())
+        assert len(tweets) == 800
+        labeled = sum(1 for t in tweets if t.is_labeled)
+        assert labeled == 200
+
+    def test_timestamp_order(self):
+        workload = FirehoseWorkload(n_unlabeled=400, n_labeled=150, seed=5)
+        times = [t.created_at for t in workload.stream()]
+        assert times == sorted(times)
+
+    def test_streams_carry_distinct_tweets(self):
+        workload = FirehoseWorkload(n_unlabeled=300, n_labeled=300, seed=7)
+        labeled_texts = {t.text for t in workload.labeled_stream()}
+        unlabeled_texts = {t.text for t in workload.unlabeled_stream()}
+        # Different seeds: overlap should be far from total.
+        assert len(labeled_texts & unlabeled_texts) < len(labeled_texts) / 2
+
+    def test_lazy_generation(self):
+        # A huge workload must be streamable without materialization.
+        workload = FirehoseWorkload(n_unlabeled=5_000_000, n_labeled=86_000)
+        head = list(itertools.islice(workload.stream(), 100))
+        assert len(head) == 100
+
+    def test_unlabeled_only(self):
+        workload = FirehoseWorkload(n_unlabeled=50, n_labeled=0)
+        tweets = list(workload.stream())
+        assert len(tweets) == 50
+        assert all(not t.is_labeled for t in tweets)
+
+    def test_pipeline_consumes_mix(self):
+        from repro.core.config import PipelineConfig
+        from repro.core.pipeline import AggressionDetectionPipeline
+
+        workload = FirehoseWorkload(n_unlabeled=700, n_labeled=700, seed=9)
+        pipeline = AggressionDetectionPipeline(PipelineConfig(n_classes=2))
+        result = pipeline.process_stream(workload.stream())
+        assert result.n_labeled == 700
+        assert result.n_unlabeled == 700
+        assert result.n_alerts > 0

@@ -1,0 +1,105 @@
+"""Tests for the Sarcasm and Offensive dataset analogs (Fig. 17 inputs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.offensive import (
+    CLASS_NAMES as OFFENSIVE_CLASSES,
+    OffensiveDatasetGenerator,
+    OffensiveFeatureExtractor,
+)
+from repro.data.sarcasm import (
+    SARCASTIC,
+    SarcasmDatasetGenerator,
+    SarcasmFeatureExtractor,
+)
+
+
+class TestSarcasmGenerator:
+    def test_paper_proportions(self):
+        gen = SarcasmDatasetGenerator(n_tweets=6100)
+        assert gen.n_sarcastic == 650
+
+    def test_default_scale(self):
+        gen = SarcasmDatasetGenerator()
+        assert gen.n_tweets == 61_000
+        assert gen.n_sarcastic == 6_500
+
+    def test_label_counts(self):
+        items = SarcasmDatasetGenerator(n_tweets=2000, seed=1).generate_list()
+        sarcastic = sum(1 for item in items if item.label == SARCASTIC)
+        assert sarcastic == round(2000 * 6500 / 61000)
+
+    def test_deterministic(self):
+        a = SarcasmDatasetGenerator(n_tweets=200, seed=3).generate_list()
+        b = SarcasmDatasetGenerator(n_tweets=200, seed=3).generate_list()
+        assert [i.tweet.text for i in a] == [i.tweet.text for i in b]
+
+    def test_features_extracted(self):
+        extractor = SarcasmFeatureExtractor()
+        items = SarcasmDatasetGenerator(n_tweets=100, seed=2).generate_list()
+        for item in items:
+            instance = extractor.extract(item)
+            assert instance.n_features == len(extractor.FEATURE_NAMES)
+            assert instance.y in (0, 1)
+
+    def test_sarcastic_tweets_have_more_contrast(self):
+        extractor = SarcasmFeatureExtractor()
+        items = SarcasmDatasetGenerator(n_tweets=3000, seed=4).generate_list()
+        contrast_index = extractor.FEATURE_NAMES.index("sentimentContrast")
+        sarcastic = [
+            extractor.extract(i).x[contrast_index]
+            for i in items if i.label == SARCASTIC
+        ]
+        genuine = [
+            extractor.extract(i).x[contrast_index]
+            for i in items if i.label != SARCASTIC
+        ]
+        assert sum(sarcastic) / len(sarcastic) > sum(genuine) / len(genuine)
+
+
+class TestOffensiveGenerator:
+    def test_paper_proportions(self):
+        gen = OffensiveDatasetGenerator()
+        assert gen.n_tweets == 16_000
+        assert gen.class_counts == (11_000, 2_000, 3_000)
+
+    def test_scaled(self):
+        gen = OffensiveDatasetGenerator(n_tweets=1600)
+        assert gen.class_counts == (1100, 200, 300)
+
+    def test_labels_valid(self):
+        tweets = OffensiveDatasetGenerator(n_tweets=500, seed=2).generate_list()
+        assert all(t.label in OFFENSIVE_CLASSES for t in tweets)
+
+    def test_deterministic(self):
+        a = OffensiveDatasetGenerator(n_tweets=200, seed=5).generate_list()
+        b = OffensiveDatasetGenerator(n_tweets=200, seed=5).generate_list()
+        assert [t.text for t in a] == [t.text for t in b]
+
+    def test_feature_separation(self):
+        extractor = OffensiveFeatureExtractor()
+        tweets = OffensiveDatasetGenerator(n_tweets=2000, seed=1).generate_list()
+        outgroup_index = extractor.FEATURE_NAMES.index("outgroupMentions")
+        gender_index = extractor.FEATURE_NAMES.index("genderMentions")
+
+        def mean_feature(label, index):
+            values = [
+                extractor.extract(t).x[index]
+                for t in tweets if t.label == label
+            ]
+            return sum(values) / len(values)
+
+        assert mean_feature("racism", outgroup_index) > mean_feature(
+            "none", outgroup_index
+        )
+        assert mean_feature("sexism", gender_index) > mean_feature(
+            "none", gender_index
+        )
+
+    def test_extractor_labels(self):
+        extractor = OffensiveFeatureExtractor()
+        tweets = OffensiveDatasetGenerator(n_tweets=50, seed=3).generate_list()
+        labels = {extractor.extract(t).y for t in tweets}
+        assert labels <= {0, 1, 2}

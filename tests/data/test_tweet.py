@@ -1,0 +1,79 @@
+"""Tests for the tweet data model and JSON round-tripping."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.data.tweet import SECONDS_PER_DAY, Tweet, UserProfile
+
+
+@pytest.fixture()
+def user() -> UserProfile:
+    return UserProfile(
+        user_id="99",
+        screen_name="sample",
+        created_at=1000.0,
+        statuses_count=500,
+        listed_count=2,
+        followers_count=120,
+        friends_count=80,
+    )
+
+
+@pytest.fixture()
+def tweet(user) -> Tweet:
+    return Tweet(
+        tweet_id="abc",
+        text="hello world",
+        created_at=1000.0 + 10 * SECONDS_PER_DAY,
+        user=user,
+        is_retweet=True,
+        label="normal",
+    )
+
+
+class TestUserProfile:
+    def test_account_age(self, user):
+        now = user.created_at + 5 * SECONDS_PER_DAY
+        assert user.account_age_days(now) == pytest.approx(5.0)
+
+    def test_account_age_never_negative(self, user):
+        assert user.account_age_days(user.created_at - 100) == 0.0
+
+    def test_json_round_trip(self, user):
+        assert UserProfile.from_json(user.to_json()) == user
+
+    def test_from_json_tolerates_missing_fields(self):
+        parsed = UserProfile.from_json({"id_str": "7"})
+        assert parsed.user_id == "7"
+        assert parsed.followers_count == 0
+
+
+class TestTweet:
+    def test_json_round_trip(self, tweet):
+        assert Tweet.from_json(tweet.to_json()) == tweet
+
+    def test_json_line_round_trip(self, tweet):
+        assert Tweet.from_json_line(tweet.to_json_line()) == tweet
+
+    def test_json_line_is_single_line(self, tweet):
+        assert "\n" not in tweet.to_json_line()
+
+    def test_label_omitted_when_none(self, tweet):
+        tweet.label = None
+        assert "label" not in tweet.to_json()
+
+    def test_is_labeled(self, tweet):
+        assert tweet.is_labeled
+        tweet.label = None
+        assert not tweet.is_labeled
+
+    def test_day_index(self, tweet):
+        assert tweet.day_index(stream_start=1000.0) == 10
+
+    def test_payload_is_valid_json(self, tweet):
+        parsed = json.loads(tweet.to_json_line())
+        assert parsed["id_str"] == "abc"
+        assert parsed["user"]["screen_name"] == "sample"

@@ -1,0 +1,77 @@
+"""Template-integrity tests for the synthetic text generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import vocab
+from repro.data.synthetic import AbusiveDatasetGenerator, NoiseConfig
+from repro.text.lexicons import SWEAR_WORDS
+
+
+class TestVocabularyPools:
+    def test_emerging_pool_large_enough_for_drift(self):
+        # The drift schedule unlocks up to initial + 9*per_day words.
+        assert len(vocab.emerging_insults()) >= 300
+
+    def test_emerging_disjoint_from_seed_lexicon(self):
+        assert not set(vocab.emerging_insults()) & SWEAR_WORDS
+
+    def test_emerging_deterministic(self):
+        vocab.emerging_insults.cache_clear()
+        first = vocab.emerging_insults()
+        vocab.emerging_insults.cache_clear()
+        assert vocab.emerging_insults() == first
+
+    def test_seed_insults_hit_lexicon(self):
+        # Seed insults must count as swears for the Fig. 4 calibration.
+        hits = sum(1 for w in vocab.SEED_INSULT_NOUNS if w in SWEAR_WORDS)
+        assert hits / len(vocab.SEED_INSULT_NOUNS) > 0.9
+
+    def test_pools_are_nonempty(self):
+        for pool in (
+            vocab.POSITIVE_ADJECTIVES, vocab.NEGATIVE_ADJECTIVES,
+            vocab.NEUTRAL_NOUNS, vocab.PLACES, vocab.PEOPLE,
+            vocab.TIME_WORDS, vocab.NEUTRAL_VERBS, vocab.HATE_GROUPS,
+            vocab.SWEAR_INTENSIFIERS, vocab.HASHTAG_POOL,
+            vocab.URL_POOL, vocab.MENTION_POOL,
+        ):
+            assert len(pool) > 0
+
+
+class TestTemplateFilling:
+    @pytest.fixture(scope="class")
+    def texts(self):
+        gen = AbusiveDatasetGenerator(
+            n_tweets=3000,
+            seed=31,
+            noise=NoiseConfig(obfuscation_rate=0.3),
+        )
+        return [t.text for t in gen.generate()]
+
+    def test_no_unfilled_slots(self, texts):
+        for text in texts:
+            assert "{" not in text and "}" not in text, text
+
+    def test_no_double_spaces(self, texts):
+        for text in texts:
+            assert "  " not in text, text
+
+    def test_texts_nonempty(self, texts):
+        assert all(text.strip() for text in texts)
+
+    def test_template_slot_names_all_supported(self):
+        import re
+
+        supported = {
+            "pos_adj", "neu_adj", "neg_adj", "pos_adv", "noun", "place",
+            "person", "time", "verb", "group", "swear", "insult",
+            "insult_plural",
+        }
+        all_templates = (
+            vocab.NORMAL_CLAUSES + vocab.NORMAL_TAILS
+            + vocab.ABUSIVE_CLAUSES + vocab.HATEFUL_CLAUSES
+        )
+        for template in all_templates:
+            for slot in re.findall(r"\{(\w+)\}", template):
+                assert slot in supported, (template, slot)

@@ -1,0 +1,134 @@
+"""Tests for the calibrated cluster cost model (Figs. 15/16)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.cluster import (
+    MOA_SPEC,
+    PAPER_SPECS,
+    SPARK_CLUSTER_SPEC,
+    SPARK_LOCAL_SPEC,
+    SPARK_SINGLE_SPEC,
+    ClusterSpec,
+    CostModel,
+    SimulatedCluster,
+    SimulationResult,
+    machines_needed_for_firehose,
+    sweep,
+)
+
+
+class TestCostModel:
+    def test_calibrated_from_measurement(self):
+        model = CostModel.calibrated(measured_throughput=2000.0)
+        assert model.tweet_cpu_us == pytest.approx(500.0)
+
+    def test_calibrated_invalid(self):
+        with pytest.raises(ValueError):
+            CostModel.calibrated(0.0)
+
+    def test_clock_scale(self):
+        model = CostModel()
+        assert model.clock_scale(3.2) == pytest.approx(1.0)
+        assert model.clock_scale(1.6) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            model.clock_scale(0.0)
+
+    def test_overheads_grow_with_nodes(self):
+        model = CostModel()
+        assert model.batch_overhead_s(3) > model.batch_overhead_s(1)
+        assert model.startup_s(3) > model.startup_s(1)
+
+
+class TestClusterSpec:
+    def test_invalid_engine(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(name="x", engine="storm")
+
+    def test_total_cores(self):
+        assert SPARK_CLUSTER_SPEC.total_cores == 24
+
+    def test_invalid_efficiency(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(name="x", parallel_efficiency=0.0)
+
+
+class TestPaperCalibration:
+    """The headline numbers of §V-E must hold for the default model."""
+
+    def test_moa_constant_1100(self):
+        cluster = SimulatedCluster(MOA_SPEC)
+        assert cluster.throughput(2_000_000) == pytest.approx(1100, rel=0.02)
+        # Constant throughput: barely varies with workload.
+        assert cluster.throughput(250_000) == pytest.approx(1100, rel=0.02)
+
+    def test_spark_single_7_to_17_percent_slower_than_moa(self):
+        moa = SimulatedCluster(MOA_SPEC).execution_time_s(2_000_000)
+        single = SimulatedCluster(SPARK_SINGLE_SPEC).execution_time_s(2_000_000)
+        assert 1.07 <= single / moa <= 1.17
+
+    def test_spark_local_about_6k(self):
+        throughput = SimulatedCluster(SPARK_LOCAL_SPEC).throughput(2_000_000)
+        assert throughput == pytest.approx(6000, rel=0.10)
+
+    def test_spark_cluster_about_14_5k(self):
+        throughput = SimulatedCluster(SPARK_CLUSTER_SPEC).throughput(2_000_000)
+        assert throughput == pytest.approx(14_500, rel=0.10)
+
+    def test_2m_speedup_ratios(self):
+        single = SimulatedCluster(SPARK_SINGLE_SPEC).execution_time_s(2_000_000)
+        local = SimulatedCluster(SPARK_LOCAL_SPEC).execution_time_s(2_000_000)
+        cluster = SimulatedCluster(SPARK_CLUSTER_SPEC).execution_time_s(2_000_000)
+        # Paper: 5.5x and 13.2x less time; cluster 2.5x less than local.
+        assert single / local == pytest.approx(5.5, rel=0.25)
+        assert single / cluster == pytest.approx(13.2, rel=0.25)
+        assert local / cluster == pytest.approx(2.5, rel=0.25)
+
+    def test_throughput_plateaus_after_1m(self):
+        cluster = SimulatedCluster(SPARK_CLUSTER_SPEC)
+        t1m = cluster.throughput(1_000_000)
+        t2m = cluster.throughput(2_000_000)
+        t250k = cluster.throughput(250_000)
+        assert (t2m - t1m) / t1m < 0.10  # plateau
+        assert (t1m - t250k) / t250k > 0.15  # still climbing before 1M
+
+    def test_execution_time_linear_in_workload(self):
+        moa = SimulatedCluster(MOA_SPEC)
+        t1 = moa.execution_time_s(500_000)
+        t2 = moa.execution_time_s(1_000_000)
+        assert t2 / t1 == pytest.approx(2.0, rel=0.02)
+
+    def test_firehose_needs_3_machines(self):
+        assert machines_needed_for_firehose() == 3
+
+
+class TestSimulationApi:
+    def test_zero_tweets(self):
+        assert SimulatedCluster(MOA_SPEC).execution_time_s(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedCluster(MOA_SPEC).execution_time_s(-1)
+
+    def test_simulate_record(self):
+        result = SimulatedCluster(SPARK_LOCAL_SPEC).simulate(25_000)
+        assert isinstance(result, SimulationResult)
+        assert result.n_batches == 3
+        assert result.spec_name == "SparkLocal"
+
+    def test_moa_has_no_batches(self):
+        assert SimulatedCluster(MOA_SPEC).simulate(10_000).n_batches == 0
+
+    def test_sweep_grid(self):
+        results = sweep(PAPER_SPECS, [100_000, 200_000])
+        assert set(results) == {s.name for s in PAPER_SPECS}
+        assert all(len(v) == 2 for v in results.values())
+
+    def test_custom_calibration_preserves_shape(self):
+        model = CostModel.calibrated(measured_throughput=3000.0)
+        local = SimulatedCluster(SPARK_LOCAL_SPEC, model)
+        single = SimulatedCluster(SPARK_SINGLE_SPEC, model)
+        # Shape: local is still several times faster than single.
+        ratio = single.execution_time_s(10 ** 6) / local.execution_time_s(10 ** 6)
+        assert ratio > 4.0

@@ -1,0 +1,116 @@
+"""Tests for the micro-batch engine (Fig. 2 dataflow)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import AggressionDetectionPipeline
+from repro.data.loader import strip_labels
+from repro.engine.microbatch import MicroBatchEngine
+from repro.engine.runners import ThreadPoolRunner
+
+
+class TestExecution:
+    def test_processes_whole_stream(self, small_stream):
+        engine = MicroBatchEngine(
+            PipelineConfig(n_classes=2), n_partitions=4, batch_size=500
+        )
+        result = engine.run(small_stream)
+        assert result.n_processed == len(small_stream)
+        assert result.n_labeled == len(small_stream)
+        assert len(result.batches) == 4
+
+    def test_partial_final_batch(self, small_stream):
+        engine = MicroBatchEngine(
+            PipelineConfig(n_classes=2), n_partitions=2, batch_size=1500
+        )
+        result = engine.run(small_stream[:1600])
+        assert len(result.batches) == 2
+        assert result.batches[-1].n_processed == 100
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            MicroBatchEngine(n_partitions=0)
+        with pytest.raises(ValueError):
+            MicroBatchEngine(batch_size=0)
+
+    def test_metrics_close_to_sequential(self, medium_stream):
+        """Micro-batch training must track the per-record pipeline.
+
+        The global model only refreshes at batch boundaries, so a small
+        gap is expected — but it should stay within a few F1 points.
+        """
+        engine = MicroBatchEngine(
+            PipelineConfig(n_classes=2), n_partitions=4, batch_size=500
+        )
+        batch_f1 = engine.run(medium_stream).metrics["f1"]
+        sequential = AggressionDetectionPipeline(PipelineConfig(n_classes=2))
+        seq_f1 = sequential.process_stream(medium_stream).metrics["f1"]
+        assert batch_f1 > seq_f1 - 0.06
+
+    def test_partition_count_does_not_change_results_much(self, medium_stream):
+        def run(n_partitions):
+            engine = MicroBatchEngine(
+                PipelineConfig(n_classes=2),
+                n_partitions=n_partitions,
+                batch_size=1000,
+            )
+            return engine.run(medium_stream[:4000]).metrics["f1"]
+
+        assert abs(run(1) - run(8)) < 0.08
+
+    def test_throughput_positive(self, small_stream):
+        engine = MicroBatchEngine(PipelineConfig(n_classes=2), batch_size=1000)
+        result = engine.run(small_stream)
+        assert result.throughput > 0
+
+    def test_unlabeled_alerting_and_sampling(self, small_stream):
+        engine = MicroBatchEngine(
+            PipelineConfig(n_classes=2), n_partitions=2, batch_size=500
+        )
+        engine.run(small_stream)
+        engine.run(list(strip_labels(small_stream[:500])))
+        assert engine.n_unlabeled == 500
+        assert engine.alert_manager.n_alerts > 0
+        assert len(engine.sampler.sample()) > 0
+
+
+class TestModelKinds:
+    @pytest.mark.parametrize("model", ["ht", "slr", "gnb", "arf", "knn", "ozabag", "ozaboost"])
+    def test_all_mergeable_models(self, small_stream, model):
+        engine = MicroBatchEngine(
+            PipelineConfig(n_classes=2, model=model),
+            n_partitions=3,
+            batch_size=500,
+        )
+        result = engine.run(small_stream)
+        majority = sum(
+            1 for t in small_stream if t.label == "normal"
+        ) / len(small_stream)
+        assert result.metrics["accuracy"] > majority - 0.10
+
+
+class TestAdaptiveBow:
+    def test_bow_grows_through_deltas(self, medium_stream):
+        engine = MicroBatchEngine(
+            PipelineConfig(n_classes=2, adaptive_bow=True),
+            n_partitions=4,
+            batch_size=1000,
+        )
+        engine.run(medium_stream)
+        assert len(engine.bag_of_words) > 347
+
+
+class TestThreadedExecution:
+    def test_thread_runner_same_shape(self, small_stream):
+        with ThreadPoolRunner(n_threads=4) as runner:
+            engine = MicroBatchEngine(
+                PipelineConfig(n_classes=2),
+                n_partitions=4,
+                batch_size=500,
+                runner=runner,
+            )
+            result = engine.run(small_stream)
+        assert result.n_processed == len(small_stream)
+        assert 0.0 <= result.metrics["f1"] <= 1.0

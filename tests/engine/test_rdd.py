@@ -1,0 +1,103 @@
+"""Tests for the RDD abstraction and runners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.rdd import RDD, parallelize
+from repro.engine.runners import SerialRunner, ThreadPoolRunner
+
+
+class TestParallelize:
+    def test_round_robin_partitioning(self):
+        rdd = parallelize([1, 2, 3, 4, 5], n_partitions=2)
+        assert rdd.partitions == [[1, 3, 5], [2, 4]]
+
+    def test_invalid_partitions(self):
+        with pytest.raises(ValueError):
+            parallelize([1], n_partitions=0)
+
+    def test_more_partitions_than_items(self):
+        rdd = parallelize([1], n_partitions=4)
+        assert rdd.n_partitions == 4
+        assert rdd.count() == 1
+
+    def test_empty_rdd_rejected(self):
+        with pytest.raises(ValueError):
+            RDD([])
+
+
+class TestTransformations:
+    def test_map(self):
+        rdd = parallelize(range(10), 3)
+        assert sorted(rdd.map(lambda x: x * 2).collect()) == list(range(0, 20, 2))
+
+    def test_filter(self):
+        rdd = parallelize(range(10), 3)
+        assert sorted(rdd.filter(lambda x: x % 2 == 0).collect()) == [0, 2, 4, 6, 8]
+
+    def test_map_partitions(self):
+        rdd = parallelize(range(6), 2)
+        sums = rdd.map_partitions(lambda p: [sum(p)]).collect()
+        assert sum(sums) == 15
+
+    def test_chained(self):
+        rdd = parallelize(range(20), 4)
+        result = rdd.map(lambda x: x + 1).filter(lambda x: x > 10).count()
+        assert result == 10
+
+    def test_runner_propagates(self):
+        runner = SerialRunner()
+        rdd = parallelize(range(4), 2, runner=runner)
+        assert rdd.map(lambda x: x).runner is runner
+
+
+class TestActions:
+    def test_count(self):
+        assert parallelize(range(17), 5).count() == 17
+
+    def test_collect_preserves_partition_order(self):
+        rdd = RDD([[1, 2], [3], [4, 5]])
+        assert rdd.collect() == [1, 2, 3, 4, 5]
+
+    def test_reduce(self):
+        assert parallelize(range(5), 2).reduce(lambda a, b: a + b) == 10
+
+    def test_reduce_empty(self):
+        rdd = RDD([[]])
+        with pytest.raises(ValueError):
+            rdd.reduce(lambda a, b: a + b)
+
+    def test_aggregate_sums_per_partition(self):
+        rdd = parallelize(range(10), 3)
+        total = rdd.aggregate(
+            zero=lambda: 0,
+            seq_op=lambda acc, item: acc + item,
+            comb_op=lambda a, b: a + b,
+        )
+        assert total == 45
+
+    def test_aggregate_independent_accumulators(self):
+        rdd = parallelize(range(6), 3)
+        lists = rdd.aggregate(
+            zero=list,
+            seq_op=lambda acc, item: acc + [item],
+            comb_op=lambda a, b: a + b,
+        )
+        assert sorted(lists) == list(range(6))
+
+
+class TestThreadPoolExecution:
+    def test_same_results_as_serial(self):
+        data = list(range(100))
+        serial = parallelize(data, 4, runner=SerialRunner())
+        with ThreadPoolRunner(n_threads=4) as runner:
+            threaded = parallelize(data, 4, runner=runner)
+            assert (
+                threaded.map(lambda x: x * x).collect()
+                == serial.map(lambda x: x * x).collect()
+            )
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            ThreadPoolRunner(n_threads=0)

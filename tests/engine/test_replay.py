@@ -1,0 +1,74 @@
+"""Tests for stream replay and latency measurement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import AggressionDetectionPipeline
+from repro.engine.replay import StreamReplayer
+
+
+def _noop(tweet):
+    return None
+
+
+class TestQueueingModel:
+    def test_invalid_rate(self, small_stream):
+        replayer = StreamReplayer(_noop, service_time_s=0.001)
+        with pytest.raises(ValueError):
+            replayer.replay(small_stream[:10], arrival_rate=0.0)
+
+    def test_empty_stream(self):
+        replayer = StreamReplayer(_noop, service_time_s=0.001)
+        with pytest.raises(ValueError):
+            replayer.replay([], arrival_rate=100.0)
+
+    def test_underload_latency_equals_service_time(self, small_stream):
+        # Offered 100/s, capacity 1000/s: no queueing, latency = 1ms.
+        replayer = StreamReplayer(_noop, service_time_s=0.001)
+        report = replayer.replay(small_stream[:200], arrival_rate=100.0)
+        assert report.is_real_time
+        assert report.mean_latency_s == pytest.approx(0.001)
+        assert report.max_queue_depth <= 2
+
+    def test_overload_latency_grows(self, small_stream):
+        # Offered 2000/s, capacity 1000/s: the queue diverges.
+        replayer = StreamReplayer(_noop, service_time_s=0.001)
+        report = replayer.replay(small_stream[:1000], arrival_rate=2000.0)
+        assert not report.is_real_time
+        assert report.utilization == pytest.approx(2.0)
+        # Latency of the last tweets ~ n * (1/1000 - 1/2000).
+        assert report.max_latency_s > 0.4
+        assert report.p99_latency_s > report.p50_latency_s
+
+    def test_latency_monotone_in_rate(self, small_stream):
+        replayer = StreamReplayer(_noop, service_time_s=0.002)
+        slow = replayer.replay(small_stream[:300], arrival_rate=100.0)
+        fast = replayer.replay(small_stream[:300], arrival_rate=450.0)
+        assert fast.p95_latency_s >= slow.p95_latency_s
+
+    def test_find_max_stable_rate(self, small_stream):
+        replayer = StreamReplayer(_noop, service_time_s=0.001)
+        best = replayer.find_max_stable_rate(
+            small_stream[:500],
+            rates=[200.0, 500.0, 900.0, 2000.0],
+            latency_budget_s=0.05,
+        )
+        assert best == 900.0
+
+    def test_no_rate_fits(self, small_stream):
+        replayer = StreamReplayer(_noop, service_time_s=0.01)
+        best = replayer.find_max_stable_rate(
+            small_stream[:500], rates=[500.0], latency_budget_s=0.001
+        )
+        assert best is None
+
+
+class TestRealPipelineReplay:
+    def test_measured_service_rate_positive(self, small_stream):
+        pipeline = AggressionDetectionPipeline(PipelineConfig(n_classes=2))
+        replayer = StreamReplayer(pipeline.process)  # measured timing
+        report = replayer.replay(small_stream[:300], arrival_rate=50.0)
+        assert report.service_rate > 100  # this pipeline does >100 tweets/s
+        assert report.n_tweets == 300

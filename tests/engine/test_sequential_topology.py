@@ -1,0 +1,129 @@
+"""Tests for the sequential engine and the operator topology (Fig. 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.engine.sequential import SequentialEngine
+from repro.engine.topology import Operator, Topology
+
+
+class TestSequentialEngine:
+    def test_run_reports_throughput(self, small_stream):
+        engine = SequentialEngine(PipelineConfig(n_classes=2))
+        result = engine.run(small_stream)
+        assert result.pipeline_result.n_processed == len(small_stream)
+        assert result.throughput > 0
+        assert result.metrics["f1"] > 0.5
+
+    def test_measure_throughput_after_warmup(self, small_stream):
+        engine = SequentialEngine(PipelineConfig(n_classes=2))
+        throughput = engine.measure_throughput(small_stream, warmup=200)
+        assert throughput > 0
+
+
+class TestOperator:
+    def test_round_robin_routing(self):
+        op = Operator(name="op", process=lambda r, t: r, parallelism=3)
+        tasks = [op.route(i) for i in range(6)]
+        assert tasks == [0, 1, 2, 0, 1, 2]
+
+    def test_hash_routing_deterministic(self):
+        op = Operator(
+            name="op", process=lambda r, t: r, parallelism=4, grouping="hash"
+        )
+        assert op.route("abc") == op.route("abc")
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Operator(name="x", process=lambda r, t: r, parallelism=0)
+        with pytest.raises(ValueError):
+            Operator(name="x", process=lambda r, t: r, grouping="random")
+
+
+class TestTopology:
+    def _linear(self):
+        topo = Topology()
+        topo.add_operator(Operator("double", lambda r, t: r * 2, parallelism=2))
+        topo.add_operator(
+            Operator("positive", lambda r, t: r if r > 0 else None)
+        )
+        topo.connect("source", "double")
+        topo.connect("double", "positive")
+        return topo
+
+    def test_records_flow_through(self):
+        topo = self._linear()
+        seen = []
+        topo.add_operator(Operator("sink", lambda r, t: seen.append(r)))
+        topo.connect("positive", "sink")
+        topo.push_many([1, -2, 3])
+        assert seen == [2, 6]
+
+    def test_filter_drops(self):
+        topo = self._linear()
+        topo.push_many([-1, -2])
+        stats = topo.stats()
+        assert sum(stats["double"]) == 2
+        assert sum(stats["positive"]) == 2  # processed, all dropped
+
+    def test_parallelism_balances_tasks(self):
+        topo = self._linear()
+        topo.push_many(range(10))
+        per_task = topo.stats()["double"]
+        assert per_task == [5, 5]
+
+    def test_duplicate_name_rejected(self):
+        topo = Topology()
+        topo.add_operator(Operator("a", lambda r, t: r))
+        with pytest.raises(ValueError):
+            topo.add_operator(Operator("a", lambda r, t: r))
+
+    def test_unknown_edge_endpoints(self):
+        topo = Topology()
+        with pytest.raises(ValueError):
+            topo.connect("source", "ghost")
+
+    def test_cycle_rejected(self):
+        topo = Topology()
+        topo.add_operator(Operator("a", lambda r, t: r))
+        topo.add_operator(Operator("b", lambda r, t: r))
+        topo.connect("source", "a")
+        topo.connect("a", "b")
+        with pytest.raises(ValueError):
+            topo.connect("b", "a")
+
+    def test_branching(self):
+        topo = Topology()
+        left, right = [], []
+        topo.add_operator(Operator("l", lambda r, t: left.append(r)))
+        topo.add_operator(Operator("r", lambda r, t: right.append(r)))
+        topo.connect("source", "l")
+        topo.connect("source", "r")
+        topo.push(7)
+        assert left == [7]
+        assert right == [7]
+
+    def test_pipeline_shaped_topology(self, small_stream):
+        """Build the Fig. 3 DAG over real pipeline stages."""
+        from repro.core.features import FeatureExtractor, LabelEncoder
+
+        extractor = FeatureExtractor(encoder=LabelEncoder(2))
+        extracted = []
+        topo = Topology()
+        topo.add_operator(
+            Operator("extract", lambda t, task: extractor.extract(t),
+                     parallelism=4)
+        )
+        topo.add_operator(
+            Operator("filter", lambda i, task: i if i.is_labeled else None)
+        )
+        topo.add_operator(
+            Operator("collect", lambda i, task: extracted.append(i))
+        )
+        topo.connect("source", "extract")
+        topo.connect("extract", "filter")
+        topo.connect("filter", "collect")
+        topo.push_many(small_stream[:50])
+        assert len(extracted) == 50

@@ -1,0 +1,107 @@
+"""End-to-end integration tests across the whole system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import AggressionDetectionPipeline, run_pipeline
+from repro.data.loader import (
+    interleave_streams,
+    read_jsonl,
+    strip_labels,
+    write_jsonl,
+)
+from repro.data.synthetic import AbusiveDatasetGenerator
+
+
+class TestMixedStreams:
+    def test_labeled_plus_unlabeled_interleaved(self, medium_stream):
+        """The Fig. 1 scenario: both streams feed the same pipeline."""
+        labeled = medium_stream[::2]
+        unlabeled = list(strip_labels(medium_stream[1::2]))
+        merged = list(interleave_streams(labeled, unlabeled))
+        pipeline = AggressionDetectionPipeline(PipelineConfig(n_classes=2))
+        result = pipeline.process_stream(merged)
+        assert result.n_labeled == len(labeled)
+        assert result.n_unlabeled == len(unlabeled)
+        assert result.metrics["f1"] > 0.75
+        # Unlabeled traffic produced alerts and a labeling sample.
+        assert result.n_alerts > 0
+        assert len(pipeline.sampler.sample()) > 0
+
+    def test_from_jsonl_files(self, tmp_path, small_stream):
+        """File-backed streams: generate -> write -> read -> detect."""
+        path = tmp_path / "stream.jsonl"
+        write_jsonl(small_stream, path)
+        result = run_pipeline(read_jsonl(path), PipelineConfig(n_classes=2))
+        assert result.n_processed == len(small_stream)
+
+
+class TestClosedLoop:
+    def test_sample_label_retrain_loop(self, medium_stream):
+        """Sampling -> oracle labeling -> feedback training improves F1."""
+        from repro.core.labeling import LabelingQueue, OracleLabeler
+
+        truth = {t.tweet_id: t.label for t in medium_stream}
+        split = len(medium_stream) // 4
+        seed_labeled = medium_stream[:split]
+        rest_unlabeled = list(strip_labels(medium_stream[split:]))
+
+        # Cold pipeline trained only on the seed prefix.
+        cold = AggressionDetectionPipeline(PipelineConfig(n_classes=2))
+        cold.process_stream(seed_labeled)
+        cold_correct = sum(
+            cold.predict_label(t) == ("normal" if truth[t.tweet_id] == "normal"
+                                      else "aggressive")
+            for t in rest_unlabeled[-1000:]
+        )
+
+        # Closed-loop pipeline: every 1000 unlabeled tweets, drain the
+        # boosted sample, label it with the oracle, and feed it back.
+        loop = AggressionDetectionPipeline(PipelineConfig(n_classes=2))
+        loop.process_stream(seed_labeled)
+        queue = LabelingQueue()
+        labeler = OracleLabeler(truth)
+        by_id = {t.tweet_id: t for t in medium_stream}
+        for index, tweet in enumerate(rest_unlabeled[:-1000]):
+            loop.process(tweet)
+            if (index + 1) % 1000 == 0:
+                sampled = loop.sampler.drain()
+                queue.submit_many(
+                    [by_id[c.instance.tweet_id] for c in sampled
+                     if c.instance.tweet_id in by_id]
+                )
+                for labeled_tweet in queue.process(labeler):
+                    loop.process(labeled_tweet)
+        loop_correct = sum(
+            loop.predict_label(t) == ("normal" if truth[t.tweet_id] == "normal"
+                                      else "aggressive")
+            for t in rest_unlabeled[-1000:]
+        )
+        # Feedback must not hurt, and usually helps.
+        assert loop_correct >= cold_correct - 20
+
+
+class TestPaperHeadlines:
+    """The abstract's headline claims, at reduced scale."""
+
+    def test_over_90_percent_on_2class(self):
+        tweets = AbusiveDatasetGenerator(n_tweets=20_000, seed=1).generate_list()
+        result = run_pipeline(tweets, PipelineConfig(n_classes=2))
+        assert result.metrics["accuracy"] > 0.90
+        assert result.metrics["precision"] > 0.90
+        assert result.metrics["recall"] > 0.90
+
+    def test_2class_beats_3class(self, medium_stream):
+        two = run_pipeline(medium_stream, PipelineConfig(n_classes=2))
+        three = run_pipeline(medium_stream, PipelineConfig(n_classes=3))
+        assert two.metrics["f1"] > three.metrics["f1"]
+
+    def test_ht_reaches_capacity_within_early_stream(self, medium_stream):
+        result = run_pipeline(
+            medium_stream, PipelineConfig(n_classes=2, record_every=500)
+        )
+        curve = dict(result.curve("window_f1"))
+        # Windowed F1 after 5k tweets within 6 points of the final value.
+        assert curve[5000] > result.metrics["f1"] - 0.06

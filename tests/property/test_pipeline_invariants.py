@@ -1,0 +1,107 @@
+"""Property-based invariants for pipeline components on arbitrary text."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptive_bow import AdaptiveBagOfWords
+from repro.core.config import PipelineConfig
+from repro.core.features import N_FEATURES, FeatureExtractor, LabelEncoder
+from repro.core.pipeline import AggressionDetectionPipeline
+from repro.data.tweet import Tweet, UserProfile
+
+texts = st.text(max_size=280)  # tweets are capped at 280 characters
+labels = st.sampled_from(["normal", "abusive", "hateful", None])
+
+
+def _tweet(text, label):
+    return Tweet(
+        tweet_id="t",
+        text=text,
+        created_at=1e6,
+        user=UserProfile(user_id="u", created_at=0.0),
+        label=label,
+    )
+
+
+class TestFeatureExtractorTotality:
+    @given(text=texts, label=labels)
+    @settings(max_examples=120, deadline=None)
+    def test_any_text_yields_full_vector(self, text, label):
+        extractor = FeatureExtractor(encoder=LabelEncoder(3))
+        instance = extractor.extract(_tweet(text, label))
+        assert instance.n_features == N_FEATURES
+        assert all(isinstance(v, float) for v in instance.x)
+        # Counting features are non-negative.
+        for index in (1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 15, 16):
+            assert instance.x[index] >= 0.0
+
+    @given(text=texts)
+    @settings(max_examples=60, deadline=None)
+    def test_preprocessing_toggle_total(self, text):
+        for preprocessing in (True, False):
+            extractor = FeatureExtractor(preprocessing=preprocessing)
+            extractor.extract(_tweet(text, None))
+
+    @given(text=texts)
+    @settings(max_examples=60, deadline=None)
+    def test_deobfuscation_total(self, text):
+        extractor = FeatureExtractor(deobfuscate=True)
+        extractor.extract(_tweet(text, "abusive"))
+
+
+class TestAdaptiveBowInvariants:
+    words_lists = st.lists(
+        st.text(
+            alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+            min_size=1,
+            max_size=12,
+        ),
+        max_size=15,
+    )
+
+    @given(updates=st.lists(
+        st.tuples(words_lists, st.booleans()), max_size=40
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_counts_and_size_stay_consistent(self, updates):
+        bow = AdaptiveBagOfWords(
+            seed_words=["alpha", "beta"], update_interval=7
+        )
+        for tokens, is_aggressive in updates:
+            bow.update(tokens, is_aggressive)
+        assert len(bow) >= 0
+        assert bow.n_added >= 0 and bow.n_removed >= 0
+        # Size history x-coordinates are monotonically increasing.
+        xs = [x for x, _ in bow.size_history]
+        assert xs == sorted(xs)
+
+    @given(tokens=words_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_count_matches_bounded_by_len(self, tokens):
+        bow = AdaptiveBagOfWords(seed_words=["alpha"])
+        assert 0 <= bow.count_matches(tokens) <= len(tokens)
+
+
+class TestPipelineTotality:
+    @given(items=st.lists(st.tuples(texts, labels), min_size=1, max_size=25))
+    @settings(max_examples=30, deadline=None)
+    def test_pipeline_survives_arbitrary_tweets(self, items):
+        pipeline = AggressionDetectionPipeline(PipelineConfig(n_classes=3))
+        for index, (text, label) in enumerate(items):
+            tweet = Tweet(
+                tweet_id=str(index),
+                text=text,
+                created_at=1e6 + index,
+                user=UserProfile(user_id=str(index % 3), created_at=0.0),
+                label=label,
+            )
+            classified = pipeline.process(tweet)
+            assert classified.predicted in (0, 1, 2)
+        labeled = sum(1 for _, label in items if label is not None)
+        assert pipeline.n_labeled == labeled
+        assert pipeline.n_unlabeled == len(items) - labeled
+        metrics = pipeline.evaluator.summary()
+        assert 0.0 <= metrics["accuracy"] <= 1.0

@@ -1,0 +1,104 @@
+"""Tests for the ADWIN drift detector."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.streamml.adwin import Adwin
+
+
+class TestAdwinBasics:
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            Adwin(delta=0.0)
+        with pytest.raises(ValueError):
+            Adwin(delta=1.0)
+
+    def test_mean_of_constant_stream(self):
+        detector = Adwin()
+        for _ in range(500):
+            detector.update(0.25)
+        assert detector.mean == pytest.approx(0.25)
+        assert detector.n_detections == 0
+
+    def test_width_grows_without_change(self):
+        detector = Adwin()
+        rng = random.Random(0)
+        for _ in range(2000):
+            detector.update(rng.random() < 0.3)
+        assert detector.width > 1000
+
+    def test_variance_nonnegative(self):
+        detector = Adwin()
+        rng = random.Random(1)
+        for _ in range(1000):
+            detector.update(rng.gauss(0, 1))
+        assert detector.variance >= 0.0
+
+    def test_reset(self):
+        detector = Adwin()
+        for _ in range(100):
+            detector.update(1.0)
+        detector.reset()
+        assert detector.width == 0
+        assert detector.total == 0.0
+
+
+class TestAdwinDetection:
+    def _drift_stream(self, before, after, n_each, seed=0):
+        rng = random.Random(seed)
+        values = [float(rng.random() < before) for _ in range(n_each)]
+        values += [float(rng.random() < after) for _ in range(n_each)]
+        return values
+
+    def test_detects_abrupt_error_increase(self):
+        detector = Adwin(delta=0.002)
+        detected_at = None
+        for index, value in enumerate(self._drift_stream(0.1, 0.6, 2000)):
+            if detector.update(value) and detected_at is None:
+                detected_at = index
+        assert detected_at is not None
+        # Detection should happen after the change point, reasonably soon.
+        assert 2000 <= detected_at < 3500
+
+    def test_window_shrinks_after_drift(self):
+        detector = Adwin(delta=0.002)
+        for value in self._drift_stream(0.05, 0.7, 3000):
+            detector.update(value)
+        # Window should have dropped the pre-drift regime.
+        assert detector.width < 4500
+        assert detector.mean > 0.5
+
+    def test_no_false_alarms_on_stationary_stream(self):
+        detector = Adwin(delta=0.002)
+        rng = random.Random(42)
+        detections = 0
+        for _ in range(10_000):
+            if detector.update(float(rng.random() < 0.2)):
+                detections += 1
+        assert detections <= 1  # rare false alarms tolerated
+
+    def test_smaller_delta_detects_later(self):
+        stream = self._drift_stream(0.2, 0.4, 3000, seed=3)
+
+        def first_detection(delta):
+            detector = Adwin(delta=delta)
+            for index, value in enumerate(stream):
+                if detector.update(value):
+                    return index
+            return len(stream)
+
+        # A smaller delta needs stronger evidence, so it cannot fire
+        # earlier than a larger delta on the same stream.
+        assert first_detection(0.05) <= first_detection(1e-5)
+
+    def test_detects_gradual_drift(self):
+        detector = Adwin(delta=0.01)
+        rng = random.Random(5)
+        detections = 0
+        for index in range(8000):
+            rate = 0.1 + 0.6 * min(index / 6000.0, 1.0)
+            detections += detector.update(float(rng.random() < rate))
+        assert detections >= 1

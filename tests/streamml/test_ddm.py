@@ -1,0 +1,102 @@
+"""Tests for the DDM and EDDM drift detectors."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.streamml.ddm import DDM, EDDM
+
+
+def _error_stream(rates, n_each, seed=0):
+    rng = random.Random(seed)
+    for rate in rates:
+        for _ in range(n_each):
+            yield float(rng.random() < rate)
+
+
+class TestDDM:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DDM(min_instances=0)
+        with pytest.raises(ValueError):
+            DDM(warning_level=3.0, drift_level=2.0)
+
+    def test_rare_detections_on_stationary(self):
+        detector = DDM()
+        detections = sum(
+            detector.update(e) for e in _error_stream([0.2], 5000)
+        )
+        # DDM has a known nonzero false-alarm rate; it must stay rare.
+        assert detections <= 2
+
+    def test_detects_error_increase(self):
+        detector = DDM()
+        detections = []
+        for index, error in enumerate(_error_stream([0.1, 0.5], 2000)):
+            if detector.update(error):
+                detections.append(index)
+        # A detection lands shortly after the change point at 2000.
+        assert any(2000 <= at <= 2600 for at in detections)
+
+    def test_warning_precedes_drift(self):
+        detector = DDM()
+        warned_at = None
+        drifted_at = None
+        for index, error in enumerate(_error_stream([0.1, 0.45], 2000, seed=1)):
+            drift = detector.update(error)
+            if detector.in_warning and warned_at is None:
+                warned_at = index
+            if drift and drifted_at is None:
+                drifted_at = index
+        assert warned_at is not None and drifted_at is not None
+        assert warned_at <= drifted_at
+
+    def test_reset_after_drift(self):
+        detector = DDM()
+        for error in _error_stream([0.05, 0.6], 1500, seed=2):
+            detector.update(error)
+        assert detector.n_detections >= 1
+        # After the post-drift reset, a stable regime stays quiet.
+        for error in _error_stream([0.6], 3000, seed=3):
+            detector.update(error)
+        assert detector.n_detections <= 2
+
+
+class TestEDDM:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            EDDM(warning_threshold=0.8, drift_threshold=0.9)
+
+    def test_no_detection_on_stationary(self):
+        detector = EDDM()
+        detections = sum(
+            detector.update(e) for e in _error_stream([0.15], 6000, seed=4)
+        )
+        assert detections <= 1
+
+    def test_detects_gradual_drift(self):
+        rng = random.Random(5)
+        detector = EDDM()
+        detections = 0
+        for index in range(12000):
+            rate = 0.05 + 0.45 * min(index / 8000.0, 1.0)
+            detections += detector.update(float(rng.random() < rate))
+        assert detections >= 1
+
+    def test_detects_abrupt_drift(self):
+        detector = EDDM()
+        detections = sum(
+            detector.update(e)
+            for e in _error_stream([0.05, 0.5], 3000, seed=6)
+        )
+        assert detections >= 1
+
+    def test_reset(self):
+        detector = EDDM()
+        for error in _error_stream([0.3], 100, seed=7):
+            detector.update(error)
+        detector.reset()
+        assert detector._n_errors == 0
+        assert detector._ticks == 0

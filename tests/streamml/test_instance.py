@@ -1,0 +1,63 @@
+"""Tests for Instance and ClassifiedInstance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streamml.instance import ClassifiedInstance, Instance
+
+
+class TestInstance:
+    def test_coerces_to_tuple(self):
+        instance = Instance(x=[1, 2, 3])
+        assert instance.x == (1.0, 2.0, 3.0)
+        assert isinstance(instance.x, tuple)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Instance(x=(1.0,), weight=-1.0)
+
+    def test_labeled_flags(self):
+        assert Instance(x=(0.0,), y=1).is_labeled
+        assert not Instance(x=(0.0,)).is_labeled
+
+    def test_n_features(self):
+        assert Instance(x=(1.0, 2.0)).n_features == 2
+
+    def test_with_label_preserves_fields(self):
+        base = Instance(x=(1.0,), timestamp=5.0, tweet_id="t")
+        labeled = base.with_label(2)
+        assert labeled.y == 2
+        assert labeled.timestamp == 5.0
+        assert labeled.tweet_id == "t"
+        assert base.y is None  # original untouched
+
+    def test_with_weight(self):
+        inst = Instance(x=(1.0,), y=0).with_weight(3.0)
+        assert inst.weight == 3.0
+        assert inst.y == 0
+
+    def test_with_features(self):
+        inst = Instance(x=(1.0, 2.0), y=1).with_features([9, 8])
+        assert inst.x == (9.0, 8.0)
+        assert inst.y == 1
+
+
+class TestClassifiedInstance:
+    def test_correctness_labeled(self):
+        inst = Instance(x=(0.0,), y=1)
+        assert ClassifiedInstance(inst, predicted=1).is_correct is True
+        assert ClassifiedInstance(inst, predicted=0).is_correct is False
+
+    def test_correctness_unlabeled_is_none(self):
+        inst = Instance(x=(0.0,))
+        assert ClassifiedInstance(inst, predicted=0).is_correct is None
+
+    def test_confidence(self):
+        inst = Instance(x=(0.0,))
+        classified = ClassifiedInstance(inst, predicted=1, proba=(0.2, 0.8))
+        assert classified.confidence == pytest.approx(0.8)
+
+    def test_confidence_without_proba(self):
+        inst = Instance(x=(0.0,))
+        assert ClassifiedInstance(inst, predicted=0).confidence == 0.0

@@ -1,0 +1,81 @@
+"""Tests for the trivial baselines and shared base-class machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streamml.base import ClassifierSnapshot, merge_all
+from repro.streamml.instance import Instance
+from repro.streamml.majority import MajorityClassClassifier, NoChangeClassifier
+
+
+class TestMajorityClass:
+    def test_predicts_most_frequent(self):
+        model = MajorityClassClassifier(n_classes=3)
+        for label in (0, 1, 1, 2, 1):
+            model.learn_one(Instance(x=(0.0,), y=label))
+        assert model.predict_one((99.0,)) == 1
+
+    def test_uniform_when_empty(self):
+        model = MajorityClassClassifier(n_classes=2)
+        assert model.predict_proba_one((0.0,)) == pytest.approx((0.5, 0.5))
+
+    def test_merge_adds_counts(self):
+        a = MajorityClassClassifier(n_classes=2)
+        b = MajorityClassClassifier(n_classes=2)
+        a.learn_one(Instance(x=(0.0,), y=0))
+        b.learn_one(Instance(x=(0.0,), y=1))
+        b.learn_one(Instance(x=(0.0,), y=1))
+        a.merge(b)
+        assert a.predict_one((0.0,)) == 1
+        assert a.instances_seen == 3
+
+    def test_invalid_n_classes(self):
+        with pytest.raises(ValueError):
+            MajorityClassClassifier(n_classes=1)
+
+
+class TestNoChange:
+    def test_predicts_last_label(self):
+        model = NoChangeClassifier(n_classes=3)
+        model.learn_one(Instance(x=(0.0,), y=2))
+        assert model.predict_one((0.0,)) == 2
+        model.learn_one(Instance(x=(0.0,), y=0))
+        assert model.predict_one((0.0,)) == 0
+
+    def test_merge_takes_other_last(self):
+        a = NoChangeClassifier(n_classes=2)
+        b = NoChangeClassifier(n_classes=2)
+        a.learn_one(Instance(x=(0.0,), y=0))
+        b.learn_one(Instance(x=(0.0,), y=1))
+        a.merge(b)
+        assert a.predict_one((0.0,)) == 1
+
+
+class TestMergeAll:
+    def test_empty_list(self):
+        assert merge_all([]) is None
+
+    def test_merges_left_to_right(self):
+        models = []
+        for label in (0, 1, 1):
+            m = MajorityClassClassifier(n_classes=2)
+            m.learn_one(Instance(x=(0.0,), y=label))
+            models.append(m)
+        merged = merge_all(models)
+        assert merged is models[0]
+        assert merged.predict_one((0.0,)) == 1
+
+
+class TestClassifierSnapshot:
+    def test_size_estimation_scales(self):
+        small = ClassifierSnapshot({"w": [0.0] * 10})
+        large = ClassifierSnapshot({"w": [0.0] * 1000})
+        assert large.estimate_size_bytes() > small.estimate_size_bytes()
+
+    def test_model_broadcast_under_1mb(self):
+        # The paper notes the serialized global model stays < 1 MB.
+        snapshot = ClassifierSnapshot(
+            {"weights": [[0.1] * 17 for _ in range(3)], "bias": [0.0] * 3}
+        )
+        assert snapshot.estimate_size_bytes() < 1_000_000

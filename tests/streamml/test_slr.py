@@ -1,0 +1,150 @@
+"""Tests for Streaming Logistic Regression."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.streamml.instance import Instance
+from repro.streamml.slr import StreamingLogisticRegression
+
+
+def _stream(n, rng, scale=1.0):
+    for _ in range(n):
+        label = rng.random() < 0.5
+        yield Instance(
+            x=(
+                rng.gauss(1.5 if label else -1.5, 1.0) * scale,
+                rng.gauss(0.0, 1.0) * scale,
+            ),
+            y=int(label),
+        )
+
+
+class TestConstruction:
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            StreamingLogisticRegression(n_classes=2, learning_rate=0.0)
+
+    def test_invalid_regularizer(self):
+        with pytest.raises(ValueError):
+            StreamingLogisticRegression(n_classes=2, regularizer="elastic")
+
+    def test_negative_regularization(self):
+        with pytest.raises(ValueError):
+            StreamingLogisticRegression(n_classes=2, regularization=-0.1)
+
+
+class TestLearning:
+    def test_prediction_before_training_is_uniform(self):
+        model = StreamingLogisticRegression(n_classes=2)
+        assert model.predict_proba_one((1.0, 2.0)) == pytest.approx((0.5, 0.5))
+
+    def test_learns_linear_boundary(self):
+        rng = random.Random(0)
+        model = StreamingLogisticRegression(n_classes=2)
+        model.learn_many(list(_stream(3000, rng)))
+        correct = sum(
+            model.predict_one(i.x) == i.y for i in _stream(800, rng)
+        )
+        assert correct / 800 > 0.85
+
+    def test_multiclass(self):
+        rng = random.Random(1)
+        model = StreamingLogisticRegression(n_classes=3)
+        for _ in range(5000):
+            label = rng.randrange(3)
+            model.learn_one(
+                Instance(x=(rng.gauss(3.0 * label, 1.0), 1.0), y=label)
+            )
+        correct = 0
+        for _ in range(600):
+            label = rng.randrange(3)
+            correct += model.predict_one((rng.gauss(3.0 * label, 1.0), 1.0)) == label
+        assert correct / 600 > 0.80
+
+    def test_poor_scaling_hurts(self):
+        # The Fig. 8 effect: unnormalized large-scale features wreck SGD.
+        rng = random.Random(2)
+        good = StreamingLogisticRegression(n_classes=2)
+        bad = StreamingLogisticRegression(n_classes=2)
+        good.learn_many(list(_stream(2000, rng, scale=1.0)))
+        bad.learn_many(list(_stream(2000, rng, scale=1000.0)))
+        good_acc = sum(
+            good.predict_one(i.x) == i.y for i in _stream(500, rng, 1.0)
+        )
+        bad_acc = sum(
+            bad.predict_one(i.x) == i.y for i in _stream(500, rng, 1000.0)
+        )
+        assert good_acc > bad_acc
+
+    def test_l1_shrinks_irrelevant_weights(self):
+        rng = random.Random(3)
+        l1 = StreamingLogisticRegression(
+            n_classes=2, regularizer="l1", regularization=0.05
+        )
+        none = StreamingLogisticRegression(
+            n_classes=2, regularizer="zero"
+        )
+        stream = list(_stream(4000, rng))
+        l1.learn_many(stream)
+        none.learn_many(stream)
+        # Feature 1 is noise; L1 should keep its weight smaller.
+        assert abs(l1.weights[1][1]) <= abs(none.weights[1][1]) + 0.05
+
+    def test_decay_reduces_step(self):
+        model = StreamingLogisticRegression(
+            n_classes=2, learning_rate=0.5, decay=0.01
+        )
+        rng = random.Random(4)
+        model.learn_many(list(_stream(100, rng)))
+        early = [row[:] for row in model.weights]
+        model.learn_many(list(_stream(100, rng)))
+        # weights still move, but model remains finite / stable
+        assert all(abs(w) < 100 for row in model.weights for w in row)
+        assert early != model.weights
+
+    def test_weighted_instance(self):
+        a = StreamingLogisticRegression(n_classes=2)
+        b = StreamingLogisticRegression(n_classes=2)
+        a.learn_one(Instance(x=(1.0, 0.0), y=1, weight=2.0))
+        b.learn_one(Instance(x=(1.0, 0.0), y=1, weight=1.0))
+        assert a.weights[1][0] > b.weights[1][0]
+
+
+class TestMerge:
+    def test_merge_averages_weights(self):
+        a = StreamingLogisticRegression(n_classes=2)
+        b = StreamingLogisticRegression(n_classes=2)
+        rng = random.Random(5)
+        stream = list(_stream(2000, rng))
+        a.learn_many(stream[:1000])
+        b.learn_many(stream[1000:])
+        wa = a.weights[1][0]
+        wb = b.weights[1][0]
+        a.merge(b)
+        assert min(wa, wb) <= a.weights[1][0] <= max(wa, wb)
+        assert a.instances_seen == 2000
+
+    def test_merge_into_empty_copies(self):
+        a = StreamingLogisticRegression(n_classes=2)
+        b = StreamingLogisticRegression(n_classes=2)
+        b.learn_one(Instance(x=(1.0,), y=1))
+        a.merge(b)
+        assert a.weights == b.weights
+        assert a.instances_seen == 1
+
+    def test_merge_empty_other_is_noop(self):
+        a = StreamingLogisticRegression(n_classes=2)
+        a.learn_one(Instance(x=(1.0,), y=0))
+        before = [row[:] for row in a.weights]
+        a.merge(StreamingLogisticRegression(n_classes=2))
+        assert a.weights == before
+
+    def test_merge_wrong_type(self):
+        from repro.streamml.hoeffding_tree import HoeffdingTree
+
+        model = StreamingLogisticRegression(n_classes=2)
+        with pytest.raises(TypeError):
+            model.merge(HoeffdingTree(n_classes=2))

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerate:
+    def test_writes_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "data.jsonl"
+        assert main(["generate", str(path), "--tweets", "200"]) == 0
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 200
+        payload = json.loads(lines[0])
+        assert "text" in payload and "label" in payload
+        assert "wrote 200 tweets" in capsys.readouterr().out
+
+    def test_user_pool(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        main(["generate", str(path), "--tweets", "300", "--user-pool", "20"])
+        users = {
+            json.loads(line)["user"]["id_str"]
+            for line in path.read_text().strip().splitlines()
+        }
+        assert len(users) <= 25
+
+
+class TestRunAndClassify:
+    @pytest.fixture()
+    def dataset(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        main(["generate", str(path), "--tweets", "800", "--seed", "3"])
+        return path
+
+    def test_run_reports_metrics(self, dataset, capsys):
+        assert main(["run", str(dataset)]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        assert "f1" in out
+        assert "processed     : 800 tweets" in out
+
+    def test_run_with_flags(self, dataset, capsys):
+        assert main([
+            "run", str(dataset), "--classes", "3", "--model", "slr",
+            "--no-adaptive-bow", "--normalization", "zscore",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "SLR" in out
+        assert "ad=OFF" in out
+
+    def test_save_and_classify(self, dataset, tmp_path, capsys):
+        model_path = tmp_path / "model.json"
+        main(["run", str(dataset), "--save-model", str(model_path)])
+        assert model_path.exists()
+        capsys.readouterr()
+        assert main(["classify", str(model_path), str(dataset)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 800
+        record = json.loads(lines[0])
+        assert record["predicted"] in ("normal", "aggressive")
+
+
+class TestSimulate:
+    def test_default_projection(self, capsys):
+        assert main(["simulate"]) == 0
+        out = capsys.readouterr().out
+        assert "SparkCluster" in out
+        assert "MOA" in out
+
+    def test_calibrated_projection(self, capsys):
+        assert main(["simulate", "--measured-throughput", "3000",
+                     "--tweets", "500000"]) == 0
+        assert "SparkLocal" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestReport:
+    def test_run_writes_markdown_report(self, tmp_path, capsys):
+        data = tmp_path / "data.jsonl"
+        main(["generate", str(data), "--tweets", "400"])
+        report = tmp_path / "report.md"
+        assert main(["run", str(data), "--report", str(report)]) == 0
+        text = report.read_text()
+        assert text.startswith("# Run report")
+        assert "| f1 |" in text

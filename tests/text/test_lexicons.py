@@ -1,0 +1,81 @@
+"""Tests for the lexicons."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text import lexicons
+
+
+class TestSwearWords:
+    def test_exactly_347_entries(self):
+        # Fig. 10: the BoW is initialized with 347 swear words.
+        assert len(lexicons.swear_words()) == lexicons.SWEAR_LIST_SIZE == 347
+
+    def test_no_duplicates(self):
+        entries = lexicons.swear_words()
+        assert len(set(entries)) == len(entries)
+
+    def test_contains_base_words(self):
+        assert "idiot" in lexicons.SWEAR_WORDS
+        assert "fuck" in lexicons.SWEAR_WORDS
+        assert "moron" in lexicons.SWEAR_WORDS
+
+    def test_contains_obfuscated_variants(self):
+        # Leetspeak variants are part of the list by construction.
+        assert any("1" in w or "0" in w or "$" in w or "3" in w or "4" in w
+                   for w in lexicons.swear_words())
+
+    def test_all_lowercase(self):
+        assert all(w == w.lower() for w in lexicons.swear_words())
+
+    def test_frozen_set_matches_tuple(self):
+        assert lexicons.SWEAR_WORDS == frozenset(lexicons.swear_words())
+
+    def test_deterministic(self):
+        lexicons.swear_words.cache_clear()
+        first = lexicons.swear_words()
+        lexicons.swear_words.cache_clear()
+        assert lexicons.swear_words() == first
+
+
+class TestSentimentLexicon:
+    def test_strengths_in_range(self):
+        for word, strength in lexicons.sentiment_lexicon().items():
+            assert -5 <= strength <= 5
+            assert strength != 0, word
+
+    def test_polarity_examples(self):
+        lexicon = lexicons.sentiment_lexicon()
+        assert lexicon["love"] > 0
+        assert lexicon["hate"] < 0
+        assert lexicon["fucking"] < lexicon["bad"] < 0 < lexicon["good"]
+
+    def test_substantial_coverage(self):
+        assert len(lexicons.sentiment_lexicon()) > 250
+
+
+class TestModifierLexicons:
+    def test_boosters_are_signed(self):
+        boosters = lexicons.booster_words()
+        assert boosters["very"] == 1
+        assert boosters["slightly"] == -1
+
+    def test_negations_include_contractions(self):
+        negations = lexicons.negation_words()
+        assert "not" in negations
+        assert "don't" in negations
+        assert "dont" in negations
+
+
+class TestPosLexicons:
+    def test_disjoint_closed_classes(self):
+        assert not (lexicons.PRONOUNS & lexicons.DETERMINERS)
+        assert not (lexicons.PREPOSITIONS & lexicons.PRONOUNS)
+
+    def test_core_membership(self):
+        assert "good" in lexicons.ADJECTIVES
+        assert "really" in lexicons.ADVERBS
+        assert "run" in lexicons.VERBS
+        assert "they" in lexicons.PRONOUNS
+        assert "the" in lexicons.DETERMINERS
