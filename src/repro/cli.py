@@ -28,6 +28,13 @@ from repro.engine.cluster import PAPER_SPECS, CostModel, SimulatedCluster
 from repro.streamml.serialize import load_model, save_model
 
 
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return parsed
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The full CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -61,10 +68,25 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--normalization", default="minmax_no_outliers",
                      choices=("minmax", "minmax_no_outliers", "zscore",
                               "none"))
+    run.add_argument("--engine", default="sequential",
+                     choices=("sequential", "microbatch"),
+                     help="sequential (MOA-like) or micro-batch (Fig. 2) "
+                     "execution")
+    run.add_argument("--partitions", type=_positive_int, default=4,
+                     help="micro-batch partitions per batch (default 4)")
+    run.add_argument("--batch-size", type=_positive_int, default=5000,
+                     help="tweets per micro-batch (default 5000)")
+    run.add_argument("--runner", default="serial",
+                     choices=("serial", "threads", "processes"),
+                     help="micro-batch partition executor (default serial)")
+    run.add_argument("--workers", type=_positive_int, default=None,
+                     help="pool size for --runner threads/processes "
+                     "(default: --partitions)")
     run.add_argument("--save-model", default=None,
                      help="write the trained model to this JSON path")
     run.add_argument("--report", default=None,
-                     help="write a markdown run report to this path")
+                     help="write a markdown run report to this path "
+                     "(sequential engine only)")
 
     classify = commands.add_parser(
         "classify", help="classify a JSONL stream with a saved model"
@@ -105,6 +127,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         adaptive_bow=not args.no_adaptive_bow,
         normalization=args.normalization,
     )
+    if args.engine == "microbatch":
+        return _run_microbatch(args, config)
     pipeline = AggressionDetectionPipeline(config)
     result = pipeline.process_stream(read_jsonl(args.input))
     print(f"configuration : {config.describe()}")
@@ -123,6 +147,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
         with open(args.report, "w", encoding="utf-8") as handle:
             handle.write(render_run_report(result))
         print(f"report saved  : {args.report}")
+    return 0
+
+
+def _run_microbatch(args: argparse.Namespace, config: PipelineConfig) -> int:
+    from repro.engine.microbatch import MicroBatchEngine
+
+    with MicroBatchEngine(
+        config,
+        n_partitions=args.partitions,
+        batch_size=args.batch_size,
+        runner=args.runner,
+        n_workers=args.workers,
+    ) as engine:
+        result = engine.run(read_jsonl(args.input))
+        print(f"configuration : {config.describe()}")
+        print(f"engine        : microbatch ({args.partitions} partitions x "
+              f"{args.batch_size} tweets, runner={args.runner})")
+        print(f"processed     : {result.n_processed} tweets "
+              f"({result.n_labeled} labeled, "
+              f"{len(result.batches)} micro-batches)")
+        for name, value in result.metrics.items():
+            print(f"  {name:10s} {value:.4f}")
+        print(f"throughput    : {result.throughput:,.0f} tweets/s")
+        print("stage timings :")
+        for stage, seconds in result.stage_seconds.as_dict().items():
+            print(f"  {stage:18s} {seconds:9.3f} s")
+        print(f"  {'driver total':18s} "
+              f"{result.stage_seconds.driver_seconds:9.3f} s")
+        if result.n_unlabeled:
+            print(f"alerts        : {result.n_alerts}")
+        if args.save_model:
+            size = save_model(engine.model, args.save_model)
+            print(f"model saved   : {args.save_model} ({size} bytes)")
+        if args.report:
+            print("report        : only supported with --engine sequential; "
+                  "skipped")
     return 0
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.streamml.instance import ClassifiedInstance
 
@@ -115,6 +115,30 @@ class AlertManager:
         for sink in self._sinks:
             sink(alert)
         return alert
+
+    def process_batch(
+        self,
+        classified_with_users: Iterable[
+            Tuple[ClassifiedInstance, Optional[str]]
+        ],
+    ) -> List[Alert]:
+        """Process a micro-batch drain of classified instances.
+
+        The micro-batch engine hands over each batch's unlabeled
+        instances in one call; the non-alerting majority is rejected
+        with a single membership test before paying the per-alert path.
+        Returns the alerts raised for this batch, in offer order.
+        """
+        aggressive = self.policy.aggressive_classes
+        process = self.process
+        raised: List[Alert] = []
+        for classified, user_id in classified_with_users:
+            if classified.predicted not in aggressive:
+                continue
+            alert = process(classified, user_id=user_id)
+            if alert is not None:
+                raised.append(alert)
+        return raised
 
     def _maybe_escalate(
         self, user_id: str, timestamp: float, action: AlertAction

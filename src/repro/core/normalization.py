@@ -11,7 +11,11 @@ Three incremental normalizers, matching the paper:
   running moments.
 
 All statistics are computed incrementally during stream processing
-(observe-then-transform), and support merging across partitions.
+(observe-then-transform), and support merging across partitions: the
+micro-batch engine hands each partition a ``fresh()`` empty normalizer,
+the partition observes its own raw vectors locally, and the driver folds
+the small per-partition statistics into the global normalizer with
+``merge()`` — O(partitions) driver work instead of O(tweets).
 """
 
 from __future__ import annotations
@@ -61,6 +65,14 @@ class Normalizer(abc.ABC):
     @abc.abstractmethod
     def merge(self, other: "Normalizer") -> None:
         """Fold another partition's statistics into this normalizer."""
+
+    def fresh(self) -> "Normalizer":
+        """A new, empty normalizer with this one's configuration.
+
+        Partition tasks use this to accumulate partition-local statistics
+        that the driver later folds back via :meth:`merge`.
+        """
+        return type(self)(self.n_features)
 
 
 class MinMaxNormalizer(Normalizer):
@@ -146,20 +158,39 @@ class MinMaxNoOutliersNormalizer(Normalizer):
         return tuple(result)
 
     def merge(self, other: Normalizer) -> None:
-        """Approximate merge: keep the side with more observations.
+        """Approximate merge via count-weighted P² sketch combination.
 
-        P² sketches are not exactly mergeable; within a micro-batch the
-        drift between partitions is negligible, so the engine keeps the
-        statistically heavier sketch.
+        P² sketches are not exactly mergeable; each per-feature bound is
+        combined by blending marker heights weighted by observation count
+        (see :meth:`repro.streamml.stats.P2Quantile.merge`). Within a
+        micro-batch the partitions are round-robin splits of the same
+        stream, so the blend is a tight approximation of a single-pass
+        estimate — and, unlike keeping one side, it never discards a
+        partition's data.
         """
         if not isinstance(other, MinMaxNoOutliersNormalizer):
             raise TypeError(
                 f"cannot merge MinMaxNoOutliersNormalizer with {type(other)}"
             )
-        if other.observed > self.observed:
-            self._lower = other._lower
-            self._upper = other._upper
+        if (
+            self.lower_quantile != other.lower_quantile
+            or self.upper_quantile != other.upper_quantile
+        ):
+            raise ValueError("cannot merge normalizers with different bounds")
         self.observed += other.observed
+        self._lower = [
+            mine.merge(theirs)
+            for mine, theirs in zip(self._lower, other._lower)
+        ]
+        self._upper = [
+            mine.merge(theirs)
+            for mine, theirs in zip(self._upper, other._upper)
+        ]
+
+    def fresh(self) -> "MinMaxNoOutliersNormalizer":
+        return MinMaxNoOutliersNormalizer(
+            self.n_features, self.lower_quantile, self.upper_quantile
+        )
 
 
 class ZScoreNormalizer(Normalizer):

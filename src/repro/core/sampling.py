@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import heapq
 import random
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.streamml.instance import ClassifiedInstance
 
@@ -64,6 +64,16 @@ class BoostedRandomSampler:
             heapq.heappush(self._heap, entry)
         elif key > self._heap[0][0]:
             heapq.heapreplace(self._heap, entry)
+
+    def offer_many(self, classified: Iterable[ClassifiedInstance]) -> None:
+        """Offer a whole micro-batch drain to the reservoir.
+
+        Equivalent to calling :meth:`offer` per instance in order (the
+        reservoir stays deterministic for a fixed seed and offer order).
+        """
+        offer = self.offer
+        for item in classified:
+            offer(item)
 
     def sample(self) -> List[ClassifiedInstance]:
         """Current reservoir contents (unordered)."""

@@ -21,13 +21,20 @@ re-implements that execution model:
 """
 
 from repro.engine.cluster import ClusterSpec, CostModel, SimulatedCluster
-from repro.engine.microbatch import MicroBatchEngine, MicroBatchResult
-from repro.engine.rdd import RDD, parallelize
+from repro.engine.microbatch import (
+    EngineResult,
+    MicroBatchEngine,
+    MicroBatchResult,
+    StageTimings,
+)
+from repro.engine.rdd import RDD, parallelize, round_robin_partitions
 from repro.engine.replay import LatencyReport, StreamReplayer
 from repro.engine.runners import (
+    PartitionError,
     ProcessPoolRunner,
     SerialRunner,
     ThreadPoolRunner,
+    make_runner,
 )
 from repro.engine.sequential import SequentialEngine
 from repro.engine.topology import Operator, Topology
@@ -36,15 +43,20 @@ __all__ = [
     "ClusterSpec",
     "CostModel",
     "SimulatedCluster",
+    "EngineResult",
     "MicroBatchEngine",
     "MicroBatchResult",
+    "StageTimings",
     "RDD",
     "LatencyReport",
     "StreamReplayer",
     "parallelize",
+    "round_robin_partitions",
+    "PartitionError",
     "ProcessPoolRunner",
     "SerialRunner",
     "ThreadPoolRunner",
+    "make_runner",
     "SequentialEngine",
     "Operator",
     "Topology",

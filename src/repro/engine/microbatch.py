@@ -3,27 +3,44 @@
 Each micro-batch of tweets becomes a partitioned RDD and flows through
 the numbered operations of Fig. 2:
 
-1. ``map`` — preprocessing + feature extraction + normalization
-   (normalization uses the statistics broadcast from previous batches,
-   so it stays incremental);
+1. ``map`` — preprocessing + feature extraction + normalization.
+   Each partition starts from the normalizer statistics broadcast by
+   the driver, observes its own raw vectors locally (so transforms are
+   self-inclusive, matching the sequential engine's
+   observe-then-transform semantics), and accumulates a *fresh*
+   partition-local normalizer holding only its own observations;
 2. ``filter`` — keep the labeled instances;
 3. ``aggregate`` — each task trains a *local* model (a structure copy
    of the global Hoeffding Tree / ARF, or a weight copy for SLR), and
    the driver merges the local models into the global model;
 4. ``map`` — predictions with the model broadcast at batch start;
 5. ``map`` — local confusion statistics;
-6. ``reduce`` — global evaluation metrics.
+6. ``reduce`` — global evaluation metrics *and* global normalizer
+   statistics: the driver folds each small per-partition normalizer
+   into the global one with ``Normalizer.merge()``.
 
-Alerting and sampling consume the classified instances on the driver.
+The driver therefore only merges fixed-size aggregates — models, BoW
+deltas, confusion matrices, normalizer statistics — so its per-batch
+work is O(partitions), not O(tweets). The only per-record driver work
+left is draining the batch's *unlabeled* instances into alerting and
+sampling, which hold driver-side state (per-user alert history, the
+boosted reservoir) and receive the drain as one batched call each.
+
+Every stage is timed on the driver (:class:`StageTimings`); the
+per-batch and per-run timings are surfaced on :class:`MicroBatchResult`
+and :class:`EngineResult` so scale-out regressions are visible in the
+benchmarks and the CLI.
+
 The updated global model (serialized well under 1 MB, as the paper
 notes) is "broadcast" — passed to the next batch's tasks.
 """
 
 from __future__ import annotations
 
+import copy
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.adaptive_bow import AdaptiveBagOfWords, FixedBagOfWords
 from repro.core.alerting import AlertManager, AlertPolicy
@@ -33,27 +50,30 @@ from repro.core.features import N_FEATURES, FeatureExtractor, LabelEncoder
 from repro.core.normalization import Normalizer, make_normalizer
 from repro.core.sampling import BoostedRandomSampler
 from repro.data.tweet import Tweet
-from repro.engine.rdd import parallelize
-from repro.engine.runners import Runner, SerialRunner
-from repro.streamml.arf import AdaptiveRandomForest
+from repro.engine.rdd import round_robin_partitions
+from repro.engine.runners import Runner, SerialRunner, make_runner
 from repro.streamml.base import StreamClassifier
-from repro.streamml.hoeffding_tree import HoeffdingTree
 from repro.streamml.instance import ClassifiedInstance, Instance
 from repro.streamml.slr import StreamingLogisticRegression
 
 
 @dataclass
 class _PartitionOutput:
-    """Everything a partition task sends back to the driver."""
+    """Everything a partition task sends back to the driver.
 
-    classified: List[ClassifiedInstance]
+    All fields are either fixed-size aggregates (model, BoW delta,
+    confusion matrix, normalizer statistics, counters) or the batch's
+    unlabeled instances destined for the driver-side alert/sample
+    drain. Raw feature vectors never leave the partition.
+    """
+
     local_model: Optional[StreamClassifier]
     bow_delta: Optional[AdaptiveBagOfWords]
     local_stats: ConfusionMatrix
-    raw_vectors: List[Tuple[float, ...]]
+    local_normalizer: Normalizer
     n_labeled: int
     n_unlabeled: int
-    user_ids: List[Optional[str]]
+    unlabeled: List[Tuple[ClassifiedInstance, Optional[str]]]
 
 
 class _PartitionTask:
@@ -97,27 +117,24 @@ class _PartitionTask:
             bag_of_words=bag,
             deobfuscate=self.deobfuscate,
         )
-        classified: List[ClassifiedInstance] = []
-        raw_vectors: List[Tuple[float, ...]] = []
+        # Broadcast statistics + this partition's own observations. The
+        # deep copy keeps the driver's (possibly shared) normalizer
+        # untouched under the serial and thread runners.
+        seen = copy.deepcopy(self.normalizer)
+        local_normalizer = self.normalizer.fresh()
         stats = ConfusionMatrix(self.n_classes)
         labeled: List[Instance] = []
-        user_ids: List[Optional[str]] = []
+        unlabeled: List[Tuple[ClassifiedInstance, Optional[str]]] = []
         n_labeled = 0
         n_unlabeled = 0
         for tweet in self.tweets:
             instance = extractor.extract(tweet)  # op #1 (extract)
-            raw_vectors.append(instance.x)
+            local_normalizer.observe(instance.x)
             normalized = instance.with_features(
-                self.normalizer.transform(instance.x)
-            )  # op #1 (normalize, broadcast statistics)
+                seen.observe_and_transform(instance.x)
+            )  # op #1 (normalize: broadcast + partition-local statistics)
             proba = self.model.predict_proba_one(normalized.x)  # op #4
             predicted = max(range(len(proba)), key=proba.__getitem__)
-            classified.append(
-                ClassifiedInstance(
-                    instance=normalized, predicted=predicted, proba=proba
-                )
-            )
-            user_ids.append(tweet.user.user_id)
             if normalized.is_labeled:
                 n_labeled += 1
                 assert normalized.y is not None
@@ -125,19 +142,78 @@ class _PartitionTask:
                 labeled.append(normalized)  # op #2 (filter)
             else:
                 n_unlabeled += 1
+                unlabeled.append(
+                    (
+                        ClassifiedInstance(
+                            instance=normalized,
+                            predicted=predicted,
+                            proba=proba,
+                        ),
+                        tweet.user.user_id,
+                    )
+                )
         if self.local_model is not None:
             for instance in labeled:  # op #3, local part
                 self.local_model.learn_one(instance)
         return _PartitionOutput(
-            classified=classified,
             local_model=self.local_model,
             bow_delta=bow_delta,
             local_stats=stats,
-            raw_vectors=raw_vectors,
+            local_normalizer=local_normalizer,
             n_labeled=n_labeled,
             n_unlabeled=n_unlabeled,
-            user_ids=user_ids,
+            unlabeled=unlabeled,
         )
+
+
+@dataclass
+class StageTimings:
+    """Driver-observed wall-clock seconds per engine stage.
+
+    ``partition_execute`` covers running all partition tasks (ops #1-#5
+    of Fig. 2, including any pool scheduling and pickling); the
+    remaining fields are the driver-side merge/drain stages.
+    """
+
+    partition_execute: float = 0.0
+    model_merge: float = 0.0
+    bow_absorb: float = 0.0
+    normalizer_merge: float = 0.0
+    drain: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Sum of all stage timings."""
+        return (
+            self.partition_execute
+            + self.model_merge
+            + self.bow_absorb
+            + self.normalizer_merge
+            + self.drain
+        )
+
+    @property
+    def driver_seconds(self) -> float:
+        """Driver-side merge/drain time (everything but the partitions)."""
+        return self.total - self.partition_execute
+
+    def as_dict(self) -> Dict[str, float]:
+        """Stage name -> seconds, in dataflow order."""
+        return {
+            "partition_execute": self.partition_execute,
+            "model_merge": self.model_merge,
+            "bow_absorb": self.bow_absorb,
+            "normalizer_merge": self.normalizer_merge,
+            "drain": self.drain,
+        }
+
+    def accumulate(self, other: "StageTimings") -> None:
+        """Add another batch's timings into this accumulator."""
+        self.partition_execute += other.partition_execute
+        self.model_merge += other.model_merge
+        self.bow_absorb += other.bow_absorb
+        self.normalizer_merge += other.normalizer_merge
+        self.drain += other.drain
 
 
 @dataclass
@@ -151,6 +227,7 @@ class MicroBatchResult:
     elapsed_seconds: float
     cumulative_f1: float
     cumulative_accuracy: float
+    stage_seconds: StageTimings = field(default_factory=StageTimings)
 
 
 @dataclass
@@ -164,6 +241,7 @@ class EngineResult:
     batches: List[MicroBatchResult]
     elapsed_seconds: float
     n_alerts: int
+    stage_seconds: StageTimings = field(default_factory=StageTimings)
 
     @property
     def throughput(self) -> float:
@@ -181,7 +259,14 @@ class MicroBatchEngine:
             pipeline).
         n_partitions: parallel tasks per micro-batch.
         batch_size: tweets per micro-batch.
-        runner: partition executor (serial / threads / processes).
+        runner: partition executor. Either a :class:`Runner` instance —
+            which the *caller* owns and must close — or a string spec
+            ("serial", "threads", "processes"), in which case the engine
+            builds the runner itself, owns it, and closes it in
+            :meth:`close` (or on context-manager exit). Defaults to an
+            engine-owned :class:`SerialRunner`.
+        n_workers: pool size when ``runner`` is a string spec
+            (defaults to ``n_partitions``).
     """
 
     def __init__(
@@ -189,7 +274,8 @@ class MicroBatchEngine:
         config: Optional[PipelineConfig] = None,
         n_partitions: int = 4,
         batch_size: int = 5000,
-        runner: Optional[Runner] = None,
+        runner: Optional[Union[Runner, str]] = None,
+        n_workers: Optional[int] = None,
     ) -> None:
         if n_partitions < 1:
             raise ValueError("n_partitions must be >= 1")
@@ -198,7 +284,17 @@ class MicroBatchEngine:
         self.config = config if config is not None else PipelineConfig()
         self.n_partitions = n_partitions
         self.batch_size = batch_size
-        self.runner = runner if runner is not None else SerialRunner()
+        if runner is None:
+            self.runner: Runner = SerialRunner()
+            self._owns_runner = True
+        elif isinstance(runner, str):
+            self.runner = make_runner(
+                runner, n_workers if n_workers is not None else n_partitions
+            )
+            self._owns_runner = True
+        else:
+            self.runner = runner
+            self._owns_runner = False
         self.encoder = LabelEncoder(self.config.n_classes)
         if self.config.adaptive_bow:
             self.bag_of_words: object = AdaptiveBagOfWords()
@@ -225,9 +321,30 @@ class MicroBatchEngine:
             seed=self.config.seed,
         )
         self.batches: List[MicroBatchResult] = []
+        self.stage_seconds = StageTimings()
         self.n_processed = 0
         self.n_labeled = 0
         self.n_unlabeled = 0
+
+    # ------------------------------------------------------------------
+    # Runner ownership
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the engine-owned runner's pooled resources.
+
+        Only runners the engine created itself (the default, or a string
+        ``runner`` spec) are closed; an injected :class:`Runner` instance
+        stays open — its creator owns its lifecycle.
+        """
+        if self._owns_runner:
+            self.runner.close()
+
+    def __enter__(self) -> "MicroBatchEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Model-parallel adapters (op #3: local train + global merge)
@@ -299,9 +416,15 @@ class MicroBatchEngine:
     # ------------------------------------------------------------------
 
     def process_batch(self, tweets: Sequence[Tweet]) -> MicroBatchResult:
-        """Run one micro-batch through the Fig. 2 dataflow."""
+        """Run one micro-batch through the Fig. 2 dataflow.
+
+        Raises:
+            repro.engine.runners.PartitionError: if any partition task
+                fails. No engine state is mutated in that case: all
+                merges happen only after every partition has returned.
+        """
         start = time.perf_counter()
-        rdd = parallelize(tweets, self.n_partitions, runner=self.runner)
+        timings = StageTimings()
         bow_words = frozenset(self.bag_of_words.words)
         tasks = [
             _PartitionTask(
@@ -315,30 +438,51 @@ class MicroBatchEngine:
                 model=self.model,
                 local_model=self._local_model(),
             )
-            for partition in rdd.partitions
+            for partition in round_robin_partitions(tweets, self.n_partitions)
         ]
+        # Everything below runner.run() mutates engine state; keeping
+        # the execute stage first means a PartitionError leaves the
+        # engine exactly as it was before the batch.
         outputs: List[_PartitionOutput] = self.runner.run(tasks)
+        timings.partition_execute = time.perf_counter() - start
+
+        mark = time.perf_counter()
         self._combine_models([o.local_model for o in outputs if o.local_model])
+        timings.model_merge = time.perf_counter() - mark
+
+        mark = time.perf_counter()
         if isinstance(self.bag_of_words, AdaptiveBagOfWords):
             for output in outputs:
                 if output.bow_delta is not None:
                     self.bag_of_words.absorb(output.bow_delta)
             self.bag_of_words.maintain()
+        timings.bow_absorb = time.perf_counter() - mark
+
+        mark = time.perf_counter()
+        for output in outputs:
+            self.normalizer.merge(output.local_normalizer)
+        timings.normalizer_merge = time.perf_counter() - mark
+
         n_labeled = 0
         n_unlabeled = 0
         for output in outputs:
             self.cumulative.merge(output.local_stats)  # op #6
             n_labeled += output.n_labeled
             n_unlabeled += output.n_unlabeled
-            for vector in output.raw_vectors:
-                self.normalizer.observe(vector)
-            for classified, user_id in zip(output.classified, output.user_ids):
-                if not classified.instance.is_labeled:
-                    self.alert_manager.process(classified, user_id=user_id)
-                    self.sampler.offer(classified)
+
+        mark = time.perf_counter()
+        for output in outputs:
+            if output.unlabeled:
+                self.alert_manager.process_batch(output.unlabeled)
+                self.sampler.offer_many(
+                    classified for classified, _ in output.unlabeled
+                )
+        timings.drain = time.perf_counter() - mark
+
         self.n_processed += len(tweets)
         self.n_labeled += n_labeled
         self.n_unlabeled += n_unlabeled
+        self.stage_seconds.accumulate(timings)
         result = MicroBatchResult(
             batch_index=len(self.batches),
             n_processed=len(tweets),
@@ -347,12 +491,18 @@ class MicroBatchEngine:
             elapsed_seconds=time.perf_counter() - start,
             cumulative_f1=self.cumulative.weighted_f1,
             cumulative_accuracy=self.cumulative.accuracy,
+            stage_seconds=timings,
         )
         self.batches.append(result)
         return result
 
     def run(self, tweets: Iterable[Tweet]) -> EngineResult:
-        """Discretize a stream into micro-batches and process them all."""
+        """Discretize a stream into micro-batches and process them all.
+
+        ``run`` may be called repeatedly (state carries over between
+        calls); it does not close the runner — use :meth:`close` or the
+        context-manager form when the engine owns a pooled runner.
+        """
         start = time.perf_counter()
         batch: List[Tweet] = []
         for tweet in tweets:
@@ -371,4 +521,5 @@ class MicroBatchEngine:
             batches=list(self.batches),
             elapsed_seconds=elapsed,
             n_alerts=self.alert_manager.n_alerts,
+            stage_seconds=copy.copy(self.stage_seconds),
         )

@@ -157,20 +157,29 @@ class _AggregateTask:
         return acc
 
 
-def parallelize(
-    data: Sequence[T],
-    n_partitions: int,
-    runner: Optional[Runner] = None,
-) -> RDD[T]:
+def round_robin_partitions(
+    data: Sequence[T], n_partitions: int
+) -> List[List[T]]:
     """Split a sequence into ``n_partitions`` round-robin partitions.
 
     Round-robin (rather than contiguous chunks) mirrors Spark's random
     partitioning of streaming receivers and keeps the label mix of each
-    partition representative.
+    partition representative. The micro-batch engine partitions each
+    batch with this directly; :func:`parallelize` wraps the result in an
+    :class:`RDD`.
     """
     if n_partitions < 1:
         raise ValueError("n_partitions must be >= 1")
     partitions: List[List[T]] = [[] for _ in range(n_partitions)]
     for index, item in enumerate(data):
         partitions[index % n_partitions].append(item)
-    return RDD(partitions, runner=runner)
+    return partitions
+
+
+def parallelize(
+    data: Sequence[T],
+    n_partitions: int,
+    runner: Optional[Runner] = None,
+) -> RDD[T]:
+    """Round-robin ``data`` into an ``n_partitions``-wide :class:`RDD`."""
+    return RDD(round_robin_partitions(data, n_partitions), runner=runner)

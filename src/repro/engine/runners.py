@@ -7,17 +7,44 @@ by the GIL for pure-Python stages, included for API parity and for
 I/O-bound sources); ``ProcessPoolRunner`` achieves real multi-core
 execution at the price of pickling the task closures, mirroring
 Spark's executor processes.
+
+A task that raises is re-raised as :class:`PartitionError` carrying the
+partition index, so failures in pooled workers stay attributable.
+
+Ownership: a runner created by the caller is closed by the caller
+(use the context-manager form or ``close()``); the micro-batch engine
+closes only runners it created itself — see
+:class:`repro.engine.microbatch.MicroBatchEngine`.
 """
 
 from __future__ import annotations
 
 import abc
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 R = TypeVar("R")
 
 Task = Callable[[], R]
+
+RUNNER_KINDS = ("serial", "threads", "processes")
+
+
+class PartitionError(RuntimeError):
+    """A partition task failed; carries the failing partition's index.
+
+    Pool executors surface worker exceptions without saying which task
+    raised; wrapping every task execution in this error keeps failures
+    attributable and picklable across process boundaries.
+    """
+
+    def __init__(self, partition_index: int, message: str) -> None:
+        super().__init__(partition_index, message)
+        self.partition_index = partition_index
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"partition {self.partition_index} failed: {self.message}"
 
 
 class Runner(abc.ABC):
@@ -25,7 +52,12 @@ class Runner(abc.ABC):
 
     @abc.abstractmethod
     def run(self, tasks: Sequence[Task]) -> List:
-        """Execute all tasks; results keep the input order."""
+        """Execute all tasks; results keep the input order.
+
+        Raises:
+            PartitionError: if any task raises; the error names the
+                failing partition and wraps the original message.
+        """
 
     def close(self) -> None:
         """Release any pooled resources (no-op by default)."""
@@ -41,7 +73,7 @@ class SerialRunner(Runner):
     """Runs tasks one after another on the calling thread."""
 
     def run(self, tasks: Sequence[Task]) -> List:
-        return [task() for task in tasks]
+        return [_run_task(item) for item in enumerate(tasks)]
 
 
 class ThreadPoolRunner(Runner):
@@ -60,7 +92,7 @@ class ThreadPoolRunner(Runner):
 
     def run(self, tasks: Sequence[Task]) -> List:
         pool = self._ensure_pool()
-        return list(pool.map(_call, tasks))
+        return list(pool.map(_run_task, enumerate(tasks)))
 
     def close(self) -> None:
         if self._pool is not None:
@@ -84,7 +116,7 @@ class ProcessPoolRunner(Runner):
 
     def run(self, tasks: Sequence[Task]) -> List:
         pool = self._ensure_pool()
-        return list(pool.map(_call, tasks))
+        return list(pool.map(_run_task, enumerate(tasks)))
 
     def close(self) -> None:
         if self._pool is not None:
@@ -92,6 +124,25 @@ class ProcessPoolRunner(Runner):
             self._pool = None
 
 
-def _call(task: Task) -> object:
-    """Top-level trampoline so tasks cross process boundaries."""
-    return task()
+def make_runner(kind: str, n_workers: int = 4) -> Runner:
+    """Build a runner from a string spec ("serial"/"threads"/"processes")."""
+    if kind == "serial":
+        return SerialRunner()
+    if kind == "threads":
+        return ThreadPoolRunner(n_threads=n_workers)
+    if kind == "processes":
+        return ProcessPoolRunner(n_processes=n_workers)
+    raise ValueError(
+        f"unknown runner kind {kind!r}; expected one of {RUNNER_KINDS}"
+    )
+
+
+def _run_task(indexed: Tuple[int, Task]) -> object:
+    """Top-level trampoline: crosses process boundaries, tags failures."""
+    index, task = indexed
+    try:
+        return task()
+    except PartitionError:
+        raise
+    except Exception as exc:
+        raise PartitionError(index, f"{type(exc).__name__}: {exc}") from exc

@@ -226,6 +226,57 @@ class P2Quantile:
             return ordered[idx]
         return self._q[2]
 
+    def copy(self) -> "P2Quantile":
+        """Return an independent copy."""
+        out = P2Quantile(self.quantile)
+        out._initial = list(self._initial)
+        out._q = list(self._q)
+        out._n = list(self._n)
+        out._np = list(self._np)
+        out._dn = list(self._dn)
+        out.count = self.count
+        return out
+
+    def merge(self, other: "P2Quantile") -> "P2Quantile":
+        """Return a sketch approximating the concatenation of both streams.
+
+        P² is not exactly mergeable. The combination rule blends the two
+        sketches' interior marker heights weighted by observation count,
+        keeps the covering extremes, and sums the marker positions. When
+        one side has fewer than five observations (still buffering its
+        initial samples) those samples are replayed exactly into the
+        other sketch. The approximation is tight when both sides draw
+        from a similar distribution — the partition-merge case, where
+        round-robin partitioning keeps per-partition distributions
+        representative of the batch.
+        """
+        if self.quantile != other.quantile:
+            raise ValueError(
+                f"cannot merge sketches for quantiles "
+                f"{self.quantile} and {other.quantile}"
+            )
+        heavy, light = (
+            (self, other) if self.count >= other.count else (other, self)
+        )
+        if light.count == 0:
+            return heavy.copy()
+        if len(light._q) == 0:  # light still buffering (< 5 observations)
+            merged = heavy.copy()
+            for value in light._initial:
+                merged.update(value)
+            return merged
+        merged = heavy.copy()
+        total = heavy.count + light.count
+        weight = light.count / total
+        merged._q[0] = min(heavy._q[0], light._q[0])
+        merged._q[4] = max(heavy._q[4], light._q[4])
+        for i in (1, 2, 3):
+            merged._q[i] = (1 - weight) * heavy._q[i] + weight * light._q[i]
+        merged._n = [heavy._n[i] + light._n[i] for i in range(5)]
+        merged._np = [1 + (total - 1) * merged._dn[i] for i in range(5)]
+        merged.count = total
+        return merged
+
     def __repr__(self) -> str:
         return f"P2Quantile(q={self.quantile}, value={self.value})"
 

@@ -30,6 +30,37 @@ class TestAlertPolicy:
         assert policy.action_for(0.95) is AlertAction.REMOVE_TWEET
 
 
+class TestProcessBatch:
+    def test_batch_matches_per_instance_processing(self):
+        items = [
+            (_classified(1, 0.9, timestamp=float(i), tweet_id=f"t{i}"), "u1")
+            for i in range(4)
+        ] + [(_classified(0, 0.99), "u2"), (_classified(1, 0.3), "u3")]
+        batched = AlertManager()
+        raised = batched.process_batch(items)
+        one_by_one = AlertManager()
+        for classified, user_id in items:
+            one_by_one.process(classified, user_id=user_id)
+        assert len(raised) == batched.n_alerts == one_by_one.n_alerts
+        assert [a.action for a in batched.alerts] == [
+            a.action for a in one_by_one.alerts
+        ]
+        assert batched.suspended_users == one_by_one.suspended_users
+
+    def test_returns_only_raised_alerts(self):
+        manager = AlertManager()
+        raised = manager.process_batch(
+            [(_classified(0, 0.9), None), (_classified(1, 0.9), None)]
+        )
+        assert len(raised) == 1
+        assert raised[0].predicted_class == 1
+
+    def test_empty_batch(self):
+        manager = AlertManager()
+        assert manager.process_batch([]) == []
+        assert manager.n_alerts == 0
+
+
 class TestAlertManager:
     def test_normal_prediction_no_alert(self):
         manager = AlertManager()

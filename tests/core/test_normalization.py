@@ -118,17 +118,53 @@ class TestMinMaxNoOutliers:
         assert normalizer.transform((99.0,)) == (1.0,)
         assert normalizer.transform((-99.0,)) == (0.0,)
 
-    def test_merge_keeps_heavier_side(self):
+    def test_merge_of_splits_approximates_single_pass(self):
+        """The engine's use case: partitions of one batch merge back."""
+        rng = random.Random(2)
+        data = [(rng.uniform(0, 1),) for _ in range(2000)]
+        together = MinMaxNoOutliersNormalizer(1)
+        for v in data:
+            together.observe(v)
+        a = MinMaxNoOutliersNormalizer(1)
+        b = MinMaxNoOutliersNormalizer(1)
+        for index, v in enumerate(data):  # round-robin split
+            (a if index % 2 == 0 else b).observe(v)
+        a.merge(b)
+        assert a.observed == 2000
+        for probe in (0.25, 0.5, 0.75):
+            assert a.transform((probe,))[0] == pytest.approx(
+                together.transform((probe,))[0], abs=0.05
+            )
+
+    def test_merge_into_light_side_keeps_heavy_statistics(self):
         a = MinMaxNoOutliersNormalizer(1)
         b = MinMaxNoOutliersNormalizer(1)
         rng = random.Random(2)
-        for _ in range(10):
-            a.observe((rng.uniform(0, 1),))
+        for _ in range(3):  # still buffering initial samples
+            a.observe((rng.uniform(100, 101),))
         for _ in range(1000):
             b.observe((rng.uniform(100, 101),))
         a.merge(b)
-        assert a.observed == 1010
+        assert a.observed == 1003
         assert a.transform((100.5,))[0] == pytest.approx(0.5, abs=0.15)
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a = MinMaxNoOutliersNormalizer(1, 0.05, 0.95)
+        b = MinMaxNoOutliersNormalizer(1, 0.10, 0.90)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_fresh_copies_configuration(self):
+        a = MinMaxNoOutliersNormalizer(3, 0.10, 0.90)
+        a.observe((1.0, 2.0, 3.0))
+        b = a.fresh()
+        assert isinstance(b, MinMaxNoOutliersNormalizer)
+        assert b.observed == 0
+        assert (b.n_features, b.lower_quantile, b.upper_quantile) == (
+            3,
+            0.10,
+            0.90,
+        )
 
 
 class TestZScore:

@@ -70,6 +70,21 @@ class TestBoostedRandomSampler:
         assert sampler.n_offered == 2
         assert sampler.n_aggressive_offered == 1
 
+    def test_offer_many_matches_per_instance_offers(self):
+        items = [
+            _classified(1 if i % 7 == 0 else 0, tweet_id=str(i))
+            for i in range(500)
+        ]
+        batched = BoostedRandomSampler(capacity=20, seed=9)
+        batched.offer_many(items)
+        one_by_one = BoostedRandomSampler(capacity=20, seed=9)
+        for item in items:
+            one_by_one.offer(item)
+        assert batched.n_offered == one_by_one.n_offered == 500
+        assert [item.instance.tweet_id for item in batched.sample()] == [
+            item.instance.tweet_id for item in one_by_one.sample()
+        ]
+
 
 def _tweet(tweet_id, label=None):
     return Tweet(

@@ -2,12 +2,18 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import AggressionDetectionPipeline
 from repro.data.loader import strip_labels
-from repro.engine.microbatch import MicroBatchEngine
+from repro.engine.microbatch import (
+    MicroBatchEngine,
+    StageTimings,
+    _PartitionOutput,
+)
 from repro.engine.runners import ThreadPoolRunner
 
 
@@ -74,6 +80,119 @@ class TestExecution:
         assert engine.n_unlabeled == 500
         assert engine.alert_manager.n_alerts > 0
         assert len(engine.sampler.sample()) > 0
+
+
+class TestPartitionLocalStatistics:
+    """Op #1/#6: stats are computed partition-side and merged, never
+    shipped as raw vectors."""
+
+    def test_partition_output_carries_no_raw_vectors(self):
+        fields = {f.name for f in dataclasses.fields(_PartitionOutput)}
+        assert "raw_vectors" not in fields
+        assert "local_normalizer" in fields
+
+    def test_global_normalizer_sees_every_tweet(self, small_stream):
+        engine = MicroBatchEngine(
+            PipelineConfig(n_classes=2), n_partitions=4, batch_size=500
+        )
+        engine.run(small_stream)
+        assert engine.normalizer.observed == len(small_stream)
+
+    def test_broadcast_normalizer_not_mutated_by_partitions(
+        self, small_stream
+    ):
+        engine = MicroBatchEngine(
+            PipelineConfig(n_classes=2), n_partitions=4, batch_size=500
+        )
+        engine.process_batch(small_stream[:500])
+        before = engine.normalizer.observed
+        # Partitions deep-copy the broadcast statistics; only the
+        # driver-side merge may advance the global normalizer.
+        tasks_seen = engine.normalizer
+        engine.process_batch(small_stream[500:1000])
+        assert engine.normalizer is tasks_seen
+        assert engine.normalizer.observed == before + 500
+
+    def test_first_batch_normalization_is_self_inclusive(self, small_stream):
+        """Batch 1 must not normalize every feature to 0.0 (stale-stats
+        bug). An unobserved MinMax transform maps everything to 0.0, so
+        if partitions transformed with only the broadcast (empty)
+        statistics the whole first batch would collapse; with
+        partition-local observe the batch's own statistics are in
+        effect from the first tweet."""
+        config = PipelineConfig(n_classes=2, normalization="minmax")
+        engine = MicroBatchEngine(config, n_partitions=1, batch_size=500)
+        # Unlabeled tweets reach the driver-side sampler with their
+        # normalized features attached — inspect those.
+        engine.process_batch(list(strip_labels(small_stream[:500])))
+        sampled = engine.sampler.sample()
+        assert sampled
+        nonzero = sum(
+            1 for item in sampled if any(v != 0.0 for v in item.instance.x)
+        )
+        assert nonzero > 0.9 * len(sampled)
+
+    def test_matches_sequential_pipeline_closely(self, medium_stream):
+        """Regression pin for the engine-divergence bug: with one
+        partition and small batches the only remaining difference from
+        the sequential pipeline is model staleness at batch boundaries,
+        so the metrics must agree tightly."""
+        stream = medium_stream[:4000]
+        engine = MicroBatchEngine(
+            PipelineConfig(n_classes=2), n_partitions=1, batch_size=250
+        )
+        batch_metrics = engine.run(stream).metrics
+        sequential = AggressionDetectionPipeline(PipelineConfig(n_classes=2))
+        seq_metrics = sequential.process_stream(stream).metrics
+        assert batch_metrics["f1"] == pytest.approx(
+            seq_metrics["f1"], abs=0.03
+        )
+        assert batch_metrics["accuracy"] == pytest.approx(
+            seq_metrics["accuracy"], abs=0.03
+        )
+
+
+class TestStageTimings:
+    def test_per_batch_and_per_run_timings(self, small_stream):
+        engine = MicroBatchEngine(
+            PipelineConfig(n_classes=2), n_partitions=4, batch_size=500
+        )
+        result = engine.run(small_stream)
+        assert len(result.batches) == 4
+        for batch in result.batches:
+            stages = batch.stage_seconds
+            assert stages.partition_execute > 0
+            assert all(v >= 0 for v in stages.as_dict().values())
+            assert stages.total <= batch.elapsed_seconds + 1e-6
+        totals = result.stage_seconds
+        assert totals.partition_execute == pytest.approx(
+            sum(b.stage_seconds.partition_execute for b in result.batches)
+        )
+        assert set(totals.as_dict()) == {
+            "partition_execute",
+            "model_merge",
+            "bow_absorb",
+            "normalizer_merge",
+            "drain",
+        }
+
+    def test_driver_side_work_is_small(self, small_stream):
+        engine = MicroBatchEngine(
+            PipelineConfig(n_classes=2), n_partitions=4, batch_size=1000
+        )
+        result = engine.run(small_stream)
+        stages = result.stage_seconds
+        assert stages.driver_seconds < 0.5 * stages.partition_execute
+
+    def test_accumulate(self):
+        a = StageTimings(partition_execute=1.0, model_merge=0.5)
+        b = StageTimings(partition_execute=2.0, drain=0.25)
+        a.accumulate(b)
+        assert a.partition_execute == 3.0
+        assert a.model_merge == 0.5
+        assert a.drain == 0.25
+        assert a.total == pytest.approx(3.75)
+        assert a.driver_seconds == pytest.approx(0.75)
 
 
 class TestModelKinds:

@@ -52,6 +52,31 @@ class TestRunAndClassify:
         assert "SLR" in out
         assert "ad=OFF" in out
 
+    def test_run_microbatch_engine_reports_stage_timings(
+        self, dataset, capsys
+    ):
+        assert main([
+            "run", str(dataset), "--engine", "microbatch",
+            "--partitions", "2", "--batch-size", "400",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "engine        : microbatch (2 partitions x 400 tweets" in out
+        assert "stage timings" in out
+        assert "partition_execute" in out
+        assert "normalizer_merge" in out
+        assert "driver total" in out
+        assert "f1" in out
+
+    def test_run_microbatch_save_model(self, dataset, tmp_path, capsys):
+        model_path = tmp_path / "mb_model.json"
+        assert main([
+            "run", str(dataset), "--engine", "microbatch",
+            "--runner", "threads", "--workers", "2",
+            "--save-model", str(model_path),
+        ]) == 0
+        assert model_path.exists()
+        assert "model saved" in capsys.readouterr().out
+
     def test_save_and_classify(self, dataset, tmp_path, capsys):
         model_path = tmp_path / "model.json"
         main(["run", str(dataset), "--save-model", str(model_path)])
