@@ -87,6 +87,25 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--report", default=None,
                      help="write a markdown run report to this path "
                      "(sequential engine only)")
+    run.add_argument("--retries", type=int, default=None, metavar="N",
+                     help="retry transient partition failures up to N "
+                     "times with exponential backoff (microbatch engine; "
+                     "enables supervised execution)")
+    run.add_argument("--checkpoint-every", type=_positive_int, default=10,
+                     metavar="N",
+                     help="checkpoint after every N chunks when "
+                     "--checkpoint-dir is set (default 10)")
+    run.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                     help="periodically checkpoint engine state to DIR "
+                     "(atomic writes; enables supervised execution)")
+    run.add_argument("--resume", action="store_true",
+                     help="resume from the last checkpoint in "
+                     "--checkpoint-dir, replaying only unprocessed tweets")
+    run.add_argument("--max-poison-rate", type=float, default=None,
+                     metavar="RATE",
+                     help="quarantine malformed tweets instead of crashing, "
+                     "but abort once their fraction exceeds RATE "
+                     "(e.g. 0.05; enables supervised execution)")
 
     classify = commands.add_parser(
         "classify", help="classify a JSONL stream with a saved model"
@@ -127,6 +146,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         adaptive_bow=not args.no_adaptive_bow,
         normalization=args.normalization,
     )
+    supervised = (
+        args.retries is not None
+        or args.checkpoint_dir is not None
+        or args.resume
+        or args.max_poison_rate is not None
+    )
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if supervised:
+        return _run_supervised(args, config)
     if args.engine == "microbatch":
         return _run_microbatch(args, config)
     pipeline = AggressionDetectionPipeline(config)
@@ -147,6 +177,95 @@ def _cmd_run(args: argparse.Namespace) -> int:
         with open(args.report, "w", encoding="utf-8") as handle:
             handle.write(render_run_report(result))
         print(f"report saved  : {args.report}")
+    return 0
+
+
+def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
+    """Fault-tolerant execution path (any reliability flag set).
+
+    Wraps the chosen engine in a :class:`StreamSupervisor`: ingest
+    validation + quarantine, optional retry policy, and periodic
+    atomic checkpoints that ``--resume`` restarts from.
+    """
+    from repro.engine.microbatch import MicroBatchEngine
+    from repro.engine.sequential import SequentialEngine
+    from repro.reliability import (
+        DeadLetterQueue,
+        RetryPolicy,
+        StreamSupervisor,
+    )
+
+    retry_policy = (
+        RetryPolicy(max_retries=args.retries)
+        if args.retries is not None
+        else None
+    )
+    dead_letters = DeadLetterQueue()
+    if args.resume:
+        supervisor = StreamSupervisor.resume(
+            args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            runner=args.runner,
+            n_workers=args.workers,
+            retry_policy=retry_policy,
+            dead_letters=dead_letters,
+            max_poison_rate=args.max_poison_rate,
+        )
+    else:
+        if args.engine == "microbatch":
+            engine = MicroBatchEngine(
+                config,
+                n_partitions=args.partitions,
+                batch_size=args.batch_size,
+                runner=args.runner,
+                n_workers=args.workers,
+                retry_policy=retry_policy,
+                dead_letters=dead_letters,
+            )
+        else:
+            engine = SequentialEngine(config, dead_letters=dead_letters)
+        supervisor = StreamSupervisor(
+            engine,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            dead_letters=dead_letters,
+            max_poison_rate=args.max_poison_rate,
+        )
+    engine = supervisor.engine
+    try:
+        run = supervisor.run(read_jsonl(args.input))
+    finally:
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
+    result = run.result
+    health = run.health
+    print(f"configuration : {engine.config.describe()}"
+          if isinstance(engine, MicroBatchEngine)
+          else f"configuration : {engine.pipeline.config.describe()}")
+    kind = "microbatch" if isinstance(engine, MicroBatchEngine) else "sequential"
+    print(f"engine        : {kind} (supervised"
+          f"{', resumed' if args.resume else ''})")
+    n_labeled = (result.n_labeled if isinstance(engine, MicroBatchEngine)
+                 else result.pipeline_result.n_labeled)
+    print(f"processed     : {health.n_processed} tweets "
+          f"({n_labeled} labeled)")
+    for name, value in result.metrics.items():
+        print(f"  {name:10s} {value:.4f}")
+    print(f"quarantined   : {health.n_quarantined} tweets "
+          f"({health.poison_rate:.2%} of {health.n_consumed} consumed)")
+    if health.dead_letters_by_stage:
+        for stage, count in sorted(health.dead_letters_by_stage.items()):
+            print(f"  {stage:18s} {count}")
+    print(f"retries       : {health.n_retries}")
+    if args.checkpoint_dir:
+        print(f"checkpoints   : {health.n_checkpoints} written to "
+              f"{args.checkpoint_dir}")
+    if args.save_model:
+        model = (engine.model if isinstance(engine, MicroBatchEngine)
+                 else engine.pipeline.model)
+        size = save_model(model, args.save_model)
+        print(f"model saved   : {args.save_model} ({size} bytes)")
     return 0
 
 

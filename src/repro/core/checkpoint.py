@@ -8,15 +8,29 @@ normalizer, adaptive bag-of-words, prequential evaluator, alert
 history, sampler reservoir, and counters — to a JSON file, such that a
 resumed pipeline continues the stream *exactly* as the original would
 have (verified by the equivalence tests).
+
+Checkpoint files are written *atomically* (:func:`atomic_write_json`):
+the payload goes to a ``*.tmp`` file in the same directory, is fsynced,
+and is moved over the target with ``os.replace``. A crash mid-save
+therefore leaves either the previous good checkpoint or the new one,
+never a torn file — the invariant the stream supervisor's
+checkpoint-resume guarantee rests on.
+
+The serialization helpers for the alert manager and the boosted sampler
+(:func:`alert_manager_to_dict` / :func:`sampler_to_dict` and their
+inverses) are shared with :mod:`repro.reliability.supervisor`, which
+checkpoints the micro-batch engine's equivalent state.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any, Dict, List, Union
 
 from repro.core.adaptive_bow import AdaptiveBagOfWords, FixedBagOfWords
+from repro.core.alerting import Alert, AlertAction, AlertManager
 from repro.core.config import PipelineConfig
 from repro.core.evaluation import MetricsPoint, PrequentialEvaluator
 from repro.core.normalization import (
@@ -39,9 +53,30 @@ from repro.streamml.serialize import (
 from repro.streamml.instance import ClassifiedInstance, Instance
 from repro.streamml.stats import P2Quantile
 
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 
 PathLike = Union[str, Path]
+
+
+def atomic_write_json(path: PathLike, payload: Any) -> int:
+    """Write JSON to ``path`` atomically; returns the byte size.
+
+    Writes to ``<name>.tmp`` in the *same directory* (``os.replace``
+    must not cross filesystems), flushes and fsyncs the data, then
+    replaces the target in one atomic rename. A crash at any point
+    leaves the previous file contents intact; the stale ``*.tmp`` is
+    overwritten by the next attempt.
+    """
+    target = Path(path)
+    text = json.dumps(payload, separators=(",", ":"))
+    data = text.encode("utf-8")
+    tmp = target.with_name(target.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+    return len(data)
 
 
 # ----------------------------------------------------------------------
@@ -269,30 +304,123 @@ def _classified_from_dict(payload: Dict[str, Any]) -> ClassifiedInstance:
 
 
 # ----------------------------------------------------------------------
+# Alerting / sampler / config (shared with the engine checkpoints)
+# ----------------------------------------------------------------------
+
+def _alert_to_dict(alert: Alert) -> Dict[str, Any]:
+    return {
+        "tweet_id": alert.tweet_id,
+        "user_id": alert.user_id,
+        "predicted_class": alert.predicted_class,
+        "confidence": alert.confidence,
+        "timestamp": alert.timestamp,
+        "action": alert.action.value,
+    }
+
+
+def _alert_from_dict(payload: Dict[str, Any]) -> Alert:
+    return Alert(
+        tweet_id=payload["tweet_id"],
+        user_id=payload["user_id"],
+        predicted_class=int(payload["predicted_class"]),
+        confidence=float(payload["confidence"]),
+        timestamp=float(payload["timestamp"]),
+        action=AlertAction(payload["action"]),
+    )
+
+
+def alert_manager_to_dict(manager: AlertManager) -> Dict[str, Any]:
+    """Serialize the alert manager's live state *and* its audit log.
+
+    The full alert list is kept so a resumed run reproduces the
+    uninterrupted run's alert list exactly (the supervisor's
+    crash-resume equivalence guarantee); registered sinks are runtime
+    wiring and are not serialized.
+    """
+    return {
+        "suspended_users": dict(manager.suspended_users),
+        "user_history": {
+            user: list(history)
+            for user, history in manager._user_history.items()
+        },
+        "alerts": [_alert_to_dict(alert) for alert in manager.alerts],
+    }
+
+
+def restore_alert_manager(
+    manager: AlertManager, payload: Dict[str, Any]
+) -> None:
+    """Load :func:`alert_manager_to_dict` state into a fresh manager."""
+    from collections import deque
+
+    manager.suspended_users = {
+        user: float(ts) for user, ts in payload["suspended_users"].items()
+    }
+    manager._user_history = {
+        user: deque(float(t) for t in history)
+        for user, history in payload["user_history"].items()
+    }
+    manager.alerts = [_alert_from_dict(a) for a in payload["alerts"]]
+
+
+def sampler_to_dict(sampler) -> Dict[str, Any]:
+    """Serialize the boosted reservoir, RNG state included."""
+    return {
+        "rng_state": _rng_state_to_json(sampler._rng.getstate()),
+        "counter": sampler._counter,
+        "n_offered": sampler.n_offered,
+        "n_aggressive_offered": sampler.n_aggressive_offered,
+        "heap": [
+            {"key": key, "tiebreak": tiebreak,
+             "item": _classified_to_dict(item)}
+            for key, tiebreak, item in sampler._heap
+        ],
+    }
+
+
+def restore_sampler(sampler, payload: Dict[str, Any]) -> None:
+    """Load :func:`sampler_to_dict` state into a fresh sampler."""
+    import heapq
+
+    sampler._rng.setstate(_rng_state_from_json(payload["rng_state"]))
+    sampler._counter = int(payload["counter"])
+    sampler.n_offered = int(payload["n_offered"])
+    sampler.n_aggressive_offered = int(payload["n_aggressive_offered"])
+    sampler._heap = [
+        (float(e["key"]), int(e["tiebreak"]), _classified_from_dict(e["item"]))
+        for e in payload["heap"]
+    ]
+    heapq.heapify(sampler._heap)
+
+
+def config_to_dict(config: PipelineConfig) -> Dict[str, Any]:
+    """The pipeline-config fields a checkpoint must round-trip."""
+    return {
+        "n_classes": config.n_classes,
+        "preprocessing": config.preprocessing,
+        "normalization": config.normalization,
+        "adaptive_bow": config.adaptive_bow,
+        "deobfuscate": config.deobfuscate,
+        "model": config.model,
+        "model_params": dict(config.model_params),
+        "evaluation_window": config.evaluation_window,
+        "record_every": config.record_every,
+        "alert_min_confidence": config.alert_min_confidence,
+        "sample_capacity": config.sample_capacity,
+        "sample_boost": config.sample_boost,
+        "seed": config.seed,
+    }
+
+
+# ----------------------------------------------------------------------
 # Public API
 # ----------------------------------------------------------------------
 
 def pipeline_to_dict(pipeline: AggressionDetectionPipeline) -> Dict[str, Any]:
     """Serialize the full pipeline state (JSON-safe)."""
-    config = pipeline.config
-    sampler = pipeline.sampler
     return {
         "checkpoint_version": CHECKPOINT_VERSION,
-        "config": {
-            "n_classes": config.n_classes,
-            "preprocessing": config.preprocessing,
-            "normalization": config.normalization,
-            "adaptive_bow": config.adaptive_bow,
-            "deobfuscate": config.deobfuscate,
-            "model": config.model,
-            "model_params": dict(config.model_params),
-            "evaluation_window": config.evaluation_window,
-            "record_every": config.record_every,
-            "alert_min_confidence": config.alert_min_confidence,
-            "sample_capacity": config.sample_capacity,
-            "sample_boost": config.sample_boost,
-            "seed": config.seed,
-        },
+        "config": config_to_dict(pipeline.config),
         "model": model_to_dict(pipeline.model),
         "normalizer": normalizer_to_dict(pipeline.normalizer),
         "bag_of_words": _bow_to_dict(pipeline.bag_of_words),
@@ -301,26 +429,10 @@ def pipeline_to_dict(pipeline: AggressionDetectionPipeline) -> Dict[str, Any]:
             "n_processed": pipeline.n_processed,
             "n_labeled": pipeline.n_labeled,
             "n_unlabeled": pipeline.n_unlabeled,
+            "n_quarantined": pipeline.n_quarantined,
         },
-        "alerting": {
-            "suspended_users": dict(pipeline.alert_manager.suspended_users),
-            "user_history": {
-                user: list(history)
-                for user, history in pipeline.alert_manager._user_history.items()
-            },
-            "n_alerts": pipeline.alert_manager.n_alerts,
-        },
-        "sampler": {
-            "rng_state": _rng_state_to_json(sampler._rng.getstate()),
-            "counter": sampler._counter,
-            "n_offered": sampler.n_offered,
-            "n_aggressive_offered": sampler.n_aggressive_offered,
-            "heap": [
-                {"key": key, "tiebreak": tiebreak,
-                 "item": _classified_to_dict(item)}
-                for key, tiebreak, item in sampler._heap
-            ],
-        },
+        "alerting": alert_manager_to_dict(pipeline.alert_manager),
+        "sampler": sampler_to_dict(pipeline.sampler),
     }
 
 
@@ -340,41 +452,19 @@ def pipeline_from_dict(payload: Dict[str, Any]) -> AggressionDetectionPipeline:
     pipeline.n_processed = int(counters["n_processed"])
     pipeline.n_labeled = int(counters["n_labeled"])
     pipeline.n_unlabeled = int(counters["n_unlabeled"])
-    from collections import deque
-
-    alerting = payload["alerting"]
-    pipeline.alert_manager.suspended_users = {
-        user: float(ts) for user, ts in alerting["suspended_users"].items()
-    }
-    pipeline.alert_manager._user_history = {
-        user: deque(float(t) for t in history)
-        for user, history in alerting["user_history"].items()
-    }
-    # Alert objects themselves are an audit log, not live state; the
-    # count is restored so reporting stays consistent.
-    pipeline.alert_manager.alerts = []
-    pipeline.alert_manager._restored_alerts = int(alerting["n_alerts"])
-    sampler_state = payload["sampler"]
-    sampler = pipeline.sampler
-    sampler._rng.setstate(_rng_state_from_json(sampler_state["rng_state"]))
-    sampler._counter = int(sampler_state["counter"])
-    sampler.n_offered = int(sampler_state["n_offered"])
-    sampler.n_aggressive_offered = int(sampler_state["n_aggressive_offered"])
-    sampler._heap = [
-        (float(e["key"]), int(e["tiebreak"]), _classified_from_dict(e["item"]))
-        for e in sampler_state["heap"]
-    ]
-    import heapq
-
-    heapq.heapify(sampler._heap)
+    pipeline.n_quarantined = int(counters.get("n_quarantined", 0))
+    restore_alert_manager(pipeline.alert_manager, payload["alerting"])
+    restore_sampler(pipeline.sampler, payload["sampler"])
     return pipeline
 
 
 def save_pipeline(pipeline: AggressionDetectionPipeline, path: PathLike) -> int:
-    """Write a checkpoint file; returns the byte size written."""
-    text = json.dumps(pipeline_to_dict(pipeline), separators=(",", ":"))
-    Path(path).write_text(text, encoding="utf-8")
-    return len(text.encode("utf-8"))
+    """Atomically write a checkpoint file; returns the byte size.
+
+    Uses :func:`atomic_write_json`, so a crash mid-save can never
+    corrupt the last good checkpoint at ``path``.
+    """
+    return atomic_write_json(path, pipeline_to_dict(pipeline))
 
 
 def load_pipeline(path: PathLike) -> AggressionDetectionPipeline:

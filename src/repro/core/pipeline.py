@@ -6,6 +6,17 @@ the prequential path (predict → evaluate → update adaptive BoW → train);
 unlabeled tweets are predicted, alerted on, and offered to the boosted
 sampler. The distributed engine (:mod:`repro.engine`) runs the same
 stage logic partition-parallel.
+
+Poison-input quarantine: when constructed with a
+:class:`~repro.reliability.deadletter.DeadLetterQueue`, the fallible
+per-tweet stages (validation, extraction, normalization, prediction)
+run under a try/except; a failing tweet is routed to the dead-letter
+queue with its failing stage and traceback and the stream keeps
+flowing (degraded skip-and-count) — until the failure-rate circuit
+breaker opens, at which point the run fails loudly with
+:class:`~repro.reliability.deadletter.CircuitOpenError`. Without a
+dead-letter queue the historical behaviour is preserved: any stage
+error propagates.
 """
 
 from __future__ import annotations
@@ -21,6 +32,11 @@ from repro.core.features import N_FEATURES, FeatureExtractor, LabelEncoder
 from repro.core.normalization import Normalizer, make_normalizer
 from repro.core.sampling import BoostedRandomSampler
 from repro.data.tweet import Tweet
+from repro.reliability.deadletter import (
+    CircuitBreaker,
+    DeadLetterQueue,
+    validate_tweet,
+)
 from repro.streamml.base import StreamClassifier
 from repro.streamml.instance import ClassifiedInstance, Instance
 
@@ -38,6 +54,7 @@ class PipelineResult:
     n_alerts: int
     bow_size: int
     bow_size_history: List[Tuple[int, int]] = field(default_factory=list)
+    n_quarantined: int = 0
 
     def curve(self, metric: str = "window_f1") -> List[Tuple[int, float]]:
         """(n_labeled_seen, metric) series for plotting."""
@@ -47,8 +64,19 @@ class PipelineResult:
 class AggressionDetectionPipeline:
     """Streaming aggression detector over labeled + unlabeled tweets."""
 
-    def __init__(self, config: Optional[PipelineConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[PipelineConfig] = None,
+        dead_letters: Optional[DeadLetterQueue] = None,
+        max_poison_rate: Optional[float] = None,
+    ) -> None:
         self.config = config if config is not None else PipelineConfig()
+        self.dead_letters = dead_letters
+        self.breaker: Optional[CircuitBreaker] = None
+        if max_poison_rate is not None:
+            if dead_letters is None:
+                self.dead_letters = DeadLetterQueue()
+            self.breaker = CircuitBreaker(max_failure_rate=max_poison_rate)
         self.encoder = LabelEncoder(self.config.n_classes)
         if self.config.adaptive_bow:
             self.bag_of_words = AdaptiveBagOfWords()
@@ -87,22 +115,47 @@ class AggressionDetectionPipeline:
         self.n_processed = 0
         self.n_labeled = 0
         self.n_unlabeled = 0
+        self.n_quarantined = 0
 
     # ------------------------------------------------------------------
     # Per-tweet processing
     # ------------------------------------------------------------------
 
-    def process(self, tweet: Tweet) -> ClassifiedInstance:
+    def process(self, tweet: Tweet) -> Optional[ClassifiedInstance]:
         """Run one tweet through the full pipeline.
 
         Labeled tweets: extract → normalize → predict (prequential test)
         → evaluate → train. Unlabeled tweets: extract → normalize →
         predict → alert → sample.
+
+        With a dead-letter queue attached, a tweet whose fallible
+        stages fail is quarantined and ``None`` is returned instead of
+        raising; see the module docstring for the failure model.
+
+        Raises:
+            repro.reliability.deadletter.CircuitOpenError: quarantine
+                is enabled with a circuit breaker and the stream's
+                failure rate exceeded the configured maximum.
         """
+        quarantine = self.dead_letters is not None
+        stage = "validate"
+        try:
+            if quarantine:
+                validate_tweet(tweet)
+            stage = "extract"
+            instance = self.extractor.extract(tweet)
+            stage = "normalize"
+            normalized = self.normalizer.transform_instance(instance)
+            stage = "predict"
+            proba = self.model.predict_proba_one(normalized.x)
+        except Exception as exc:
+            if not quarantine:
+                raise
+            self._quarantine(tweet, stage, exc)
+            return None
+        if self.breaker is not None:
+            self.breaker.record(False)
         self.n_processed += 1
-        instance = self.extractor.extract(tweet)
-        normalized = self.normalizer.transform_instance(instance)
-        proba = self.model.predict_proba_one(normalized.x)
         predicted = _argmax(proba)
         classified = ClassifiedInstance(
             instance=normalized, predicted=predicted, proba=proba
@@ -118,6 +171,17 @@ class AggressionDetectionPipeline:
             self.alert_manager.process(classified, user_id=tweet.user.user_id)
             self.sampler.offer(classified)
         return classified
+
+    def _quarantine(self, tweet: Tweet, stage: str, exc: Exception) -> None:
+        """Route a poison tweet to the dead-letter queue; maybe trip."""
+        assert self.dead_letters is not None
+        self.n_quarantined += 1
+        self.dead_letters.add_failure(
+            getattr(tweet, "tweet_id", None), stage, exc
+        )
+        if self.breaker is not None:
+            self.breaker.record(True)
+            self.breaker.check()
 
     def predict(self, tweet: Tweet) -> Tuple[int, Tuple[float, ...]]:
         """Classify a tweet without touching any pipeline state."""
@@ -161,6 +225,7 @@ class AggressionDetectionPipeline:
             n_alerts=self.alert_manager.n_alerts,
             bow_size=len(self.bag_of_words),
             bow_size_history=bow_history,
+            n_quarantined=self.n_quarantined,
         )
 
     @property

@@ -13,7 +13,12 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
-from repro.data.loader import interleave_streams, strip_labels
+from repro.data.loader import (
+    IngestStats,
+    interleave_streams,
+    sanitize_stream,
+    strip_labels,
+)
 from repro.data.synthetic import (
     DEFAULT_START_TIME,
     AbusiveDatasetGenerator,
@@ -53,6 +58,7 @@ class FirehoseWorkload:
         self.n_days = n_days
         self.noise = noise
         self.drift = drift
+        self.ingest_stats = IngestStats()
 
     @property
     def total_tweets(self) -> int:
@@ -86,8 +92,17 @@ class FirehoseWorkload:
         return strip_labels(generator.generate())
 
     def stream(self) -> Iterator[Tweet]:
-        """The full interleaved workload in timestamp order (lazy)."""
-        return interleave_streams(self.labeled_stream(), self.unlabeled_stream())
+        """The full interleaved workload in timestamp order (lazy).
+
+        The merged stream passes through ingest sanitization (null
+        text -> empty string), with repairs tallied in
+        ``self.ingest_stats`` — mirroring what a production consumer
+        does to the real firehose before the pipeline sees it.
+        """
+        merged = interleave_streams(
+            self.labeled_stream(), self.unlabeled_stream()
+        )
+        return sanitize_stream(merged, self.ingest_stats)
 
     def labeled_fraction(self) -> float:
         """Share of the workload that is labeled."""

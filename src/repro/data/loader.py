@@ -10,12 +10,54 @@ regimes of Fig. 13/14).
 from __future__ import annotations
 
 import heapq
+from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Sequence, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.data.tweet import Tweet
 
 PathLike = Union[str, Path]
+
+
+@dataclass
+class IngestStats:
+    """Counters for what ingest sanitization had to repair.
+
+    Real Twitter payloads occasionally carry ``"text": null`` (deleted
+    or withheld content); rather than letting ``None`` propagate into
+    the feature extractor, ingest normalizes it to the empty string and
+    counts the repair here so operators can monitor feed quality.
+    """
+
+    n_read: int = 0
+    n_null_text: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """JSON-safe counter snapshot."""
+        return {"n_read": self.n_read, "n_null_text": self.n_null_text}
+
+
+def sanitize_tweet(tweet: Tweet, stats: Optional[IngestStats] = None) -> Tweet:
+    """Repair a structurally tolerable defect: ``None`` text -> ``""``.
+
+    Anything beyond that (non-finite counters, absurd timestamps) is
+    left for the reliability layer's quarantine to catch.
+    """
+    if tweet.text is None:
+        if stats is not None:
+            stats.n_null_text += 1
+        return replace(tweet, text="")
+    return tweet
+
+
+def sanitize_stream(
+    tweets: Iterable[Tweet], stats: Optional[IngestStats] = None
+) -> Iterator[Tweet]:
+    """Lazily sanitize a stream, counting reads and repairs."""
+    for tweet in tweets:
+        if stats is not None:
+            stats.n_read += 1
+        yield sanitize_tweet(tweet, stats)
 
 
 def write_jsonl(tweets: Iterable[Tweet], path: PathLike) -> int:
@@ -29,13 +71,21 @@ def write_jsonl(tweets: Iterable[Tweet], path: PathLike) -> int:
     return count
 
 
-def read_jsonl(path: PathLike) -> Iterator[Tweet]:
-    """Lazily read tweets from a JSONL file (blank lines skipped)."""
+def read_jsonl(
+    path: PathLike, stats: Optional[IngestStats] = None
+) -> Iterator[Tweet]:
+    """Lazily read tweets from a JSONL file (blank lines skipped).
+
+    Null ``text`` fields are normalized to the empty string; pass an
+    :class:`IngestStats` to count how many lines needed that repair.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if line:
-                yield Tweet.from_json_line(line)
+                if stats is not None:
+                    stats.n_read += 1
+                yield sanitize_tweet(Tweet.from_json_line(line), stats)
 
 
 def strip_labels(tweets: Iterable[Tweet]) -> Iterator[Tweet]:

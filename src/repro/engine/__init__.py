@@ -34,6 +34,8 @@ from repro.engine.runners import (
     ProcessPoolRunner,
     SerialRunner,
     ThreadPoolRunner,
+    TransientWorkerError,
+    is_transient_error,
     make_runner,
 )
 from repro.engine.sequential import SequentialEngine
@@ -56,6 +58,8 @@ __all__ = [
     "ProcessPoolRunner",
     "SerialRunner",
     "ThreadPoolRunner",
+    "TransientWorkerError",
+    "is_transient_error",
     "make_runner",
     "SequentialEngine",
     "Operator",

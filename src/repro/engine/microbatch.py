@@ -33,14 +33,38 @@ benchmarks and the CLI.
 
 The updated global model (serialized well under 1 MB, as the paper
 notes) is "broadcast" — passed to the next batch's tasks.
+
+Reliability: a batch whose partition tasks fail with a *transient*
+error (lost pool worker, I/O hiccup, injected fault) is retried under
+the engine's :class:`~repro.reliability.supervisor.RetryPolicy` with
+exponential backoff and seeded jitter; the task list is rebuilt from
+scratch for every attempt, and since all merges happen only after every
+partition returns, engine state is bit-identical across attempts.
+Fatal errors (deterministic bugs, bad data) propagate immediately.
+With a dead-letter queue attached, each partition additionally
+quarantines per-tweet failures (validation/extraction/normalization/
+prediction) instead of failing the whole partition, shipping the
+records back to the driver's queue; a failure-rate circuit breaker
+stops the run when the stream is too dirty to trust.
 """
 
 from __future__ import annotations
 
 import copy
+import random
 import time
+import traceback as traceback_module
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.adaptive_bow import AdaptiveBagOfWords, FixedBagOfWords
 from repro.core.alerting import AlertManager, AlertPolicy
@@ -51,10 +75,24 @@ from repro.core.normalization import Normalizer, make_normalizer
 from repro.core.sampling import BoostedRandomSampler
 from repro.data.tweet import Tweet
 from repro.engine.rdd import round_robin_partitions
-from repro.engine.runners import Runner, SerialRunner, make_runner
+from repro.engine.runners import (
+    PartitionError,
+    Runner,
+    SerialRunner,
+    make_runner,
+)
+from repro.reliability.deadletter import (
+    CircuitBreaker,
+    DeadLetterQueue,
+    DeadLetterRecord,
+    validate_tweet,
+)
 from repro.streamml.base import StreamClassifier
 from repro.streamml.instance import ClassifiedInstance, Instance
 from repro.streamml.slr import StreamingLogisticRegression
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.reliability.supervisor import RetryPolicy
 
 
 @dataclass
@@ -74,6 +112,11 @@ class _PartitionOutput:
     n_labeled: int
     n_unlabeled: int
     unlabeled: List[Tuple[ClassifiedInstance, Optional[str]]]
+    # (tweet_id, stage, error, traceback) per quarantined tweet; the
+    # driver folds these into its dead-letter queue.
+    poisoned: List[Tuple[Optional[str], str, str, str]] = field(
+        default_factory=list
+    )
 
 
 class _PartitionTask:
@@ -90,6 +133,7 @@ class _PartitionTask:
         normalizer: Normalizer,
         model: StreamClassifier,
         local_model: Optional[StreamClassifier],
+        quarantine: bool = False,
     ) -> None:
         self.tweets = tweets
         self.n_classes = n_classes
@@ -100,6 +144,7 @@ class _PartitionTask:
         self.normalizer = normalizer
         self.model = model
         self.local_model = local_model
+        self.quarantine = quarantine
 
     def __call__(self) -> _PartitionOutput:
         encoder = LabelEncoder(self.n_classes)
@@ -125,15 +170,39 @@ class _PartitionTask:
         stats = ConfusionMatrix(self.n_classes)
         labeled: List[Instance] = []
         unlabeled: List[Tuple[ClassifiedInstance, Optional[str]]] = []
+        poisoned: List[Tuple[Optional[str], str, str, str]] = []
         n_labeled = 0
         n_unlabeled = 0
         for tweet in self.tweets:
-            instance = extractor.extract(tweet)  # op #1 (extract)
+            stage = "validate"
+            try:
+                if self.quarantine:
+                    validate_tweet(tweet)
+                stage = "extract"
+                instance = extractor.extract(tweet)  # op #1 (extract)
+                stage = "normalize"
+                normalized = instance.with_features(
+                    seen.observe_and_transform(instance.x)
+                )  # op #1 (normalize: broadcast + partition-local statistics)
+                stage = "predict"
+                proba = self.model.predict_proba_one(normalized.x)  # op #4
+            except Exception as exc:
+                if not self.quarantine:
+                    raise
+                poisoned.append(
+                    (
+                        getattr(tweet, "tweet_id", None),
+                        stage,
+                        f"{type(exc).__name__}: {exc}",
+                        "".join(
+                            traceback_module.format_exception(
+                                type(exc), exc, exc.__traceback__
+                            )
+                        ),
+                    )
+                )
+                continue
             local_normalizer.observe(instance.x)
-            normalized = instance.with_features(
-                seen.observe_and_transform(instance.x)
-            )  # op #1 (normalize: broadcast + partition-local statistics)
-            proba = self.model.predict_proba_one(normalized.x)  # op #4
             predicted = max(range(len(proba)), key=proba.__getitem__)
             if normalized.is_labeled:
                 n_labeled += 1
@@ -163,6 +232,7 @@ class _PartitionTask:
             n_labeled=n_labeled,
             n_unlabeled=n_unlabeled,
             unlabeled=unlabeled,
+            poisoned=poisoned,
         )
 
 
@@ -228,6 +298,8 @@ class MicroBatchResult:
     cumulative_f1: float
     cumulative_accuracy: float
     stage_seconds: StageTimings = field(default_factory=StageTimings)
+    n_quarantined: int = 0
+    n_retries: int = 0
 
 
 @dataclass
@@ -242,6 +314,8 @@ class EngineResult:
     elapsed_seconds: float
     n_alerts: int
     stage_seconds: StageTimings = field(default_factory=StageTimings)
+    n_quarantined: int = 0
+    n_retries: int = 0
 
     @property
     def throughput(self) -> float:
@@ -267,6 +341,20 @@ class MicroBatchEngine:
             engine-owned :class:`SerialRunner`.
         n_workers: pool size when ``runner`` is a string spec
             (defaults to ``n_partitions``).
+        retry_policy: when set, batches whose partition tasks fail with
+            a *transient* :class:`PartitionError` are retried with
+            exponential backoff + seeded jitter (tasks rebuilt fresh
+            each attempt, engine state untouched between attempts).
+            Fatal errors always propagate immediately.
+        dead_letters: when set, per-tweet failures inside partitions
+            (validation/extraction/normalization/prediction) are
+            quarantined into this queue instead of failing the
+            partition.
+        max_poison_rate: when set, enables a failure-rate circuit
+            breaker (and a default dead-letter queue if none was given):
+            :meth:`process_batch` raises
+            :class:`~repro.reliability.deadletter.CircuitOpenError`
+            once the quarantined fraction exceeds this rate.
     """
 
     def __init__(
@@ -276,6 +364,9 @@ class MicroBatchEngine:
         batch_size: int = 5000,
         runner: Optional[Union[Runner, str]] = None,
         n_workers: Optional[int] = None,
+        retry_policy: Optional["RetryPolicy"] = None,
+        dead_letters: Optional[DeadLetterQueue] = None,
+        max_poison_rate: Optional[float] = None,
     ) -> None:
         if n_partitions < 1:
             raise ValueError("n_partitions must be >= 1")
@@ -284,6 +375,18 @@ class MicroBatchEngine:
         self.config = config if config is not None else PipelineConfig()
         self.n_partitions = n_partitions
         self.batch_size = batch_size
+        self.retry_policy = retry_policy
+        self._retry_rng = (
+            random.Random(retry_policy.seed)
+            if retry_policy is not None
+            else None
+        )
+        self.dead_letters = dead_letters
+        self.breaker: Optional[CircuitBreaker] = None
+        if max_poison_rate is not None:
+            if self.dead_letters is None:
+                self.dead_letters = DeadLetterQueue()
+            self.breaker = CircuitBreaker(max_failure_rate=max_poison_rate)
         if runner is None:
             self.runner: Runner = SerialRunner()
             self._owns_runner = True
@@ -325,6 +428,8 @@ class MicroBatchEngine:
         self.n_processed = 0
         self.n_labeled = 0
         self.n_unlabeled = 0
+        self.n_quarantined = 0
+        self.n_retries = 0
 
     # ------------------------------------------------------------------
     # Runner ownership
@@ -335,7 +440,10 @@ class MicroBatchEngine:
 
         Only runners the engine created itself (the default, or a string
         ``runner`` spec) are closed; an injected :class:`Runner` instance
-        stays open — its creator owns its lifecycle.
+        stays open — its creator owns its lifecycle. Idempotent: calling
+        it repeatedly (or after a failed :meth:`run` already closed the
+        runner) is safe, and pooled runners lazily rebuild their pool if
+        the engine is used again after a close.
         """
         if self._owns_runner:
             self.runner.close()
@@ -415,18 +523,17 @@ class MicroBatchEngine:
     # Batch processing
     # ------------------------------------------------------------------
 
-    def process_batch(self, tweets: Sequence[Tweet]) -> MicroBatchResult:
-        """Run one micro-batch through the Fig. 2 dataflow.
+    def _build_tasks(
+        self, tweets: Sequence[Tweet], bow_words: frozenset
+    ) -> List[_PartitionTask]:
+        """Fresh partition tasks for one batch attempt.
 
-        Raises:
-            repro.engine.runners.PartitionError: if any partition task
-                fails. No engine state is mutated in that case: all
-                merges happen only after every partition has returned.
+        Rebuilt from scratch on every retry attempt: serial and thread
+        runners share task objects with the driver, so a half-executed
+        attempt may have trained its local models — reusing them would
+        double-count instances.
         """
-        start = time.perf_counter()
-        timings = StageTimings()
-        bow_words = frozenset(self.bag_of_words.words)
-        tasks = [
+        return [
             _PartitionTask(
                 tweets=partition,
                 n_classes=self.config.n_classes,
@@ -437,13 +544,61 @@ class MicroBatchEngine:
                 normalizer=self.normalizer,
                 model=self.model,
                 local_model=self._local_model(),
+                quarantine=self.dead_letters is not None,
             )
             for partition in round_robin_partitions(tweets, self.n_partitions)
         ]
-        # Everything below runner.run() mutates engine state; keeping
-        # the execute stage first means a PartitionError leaves the
-        # engine exactly as it was before the batch.
-        outputs: List[_PartitionOutput] = self.runner.run(tasks)
+
+    def _execute_with_retry(
+        self, tweets: Sequence[Tweet], bow_words: frozenset
+    ) -> Tuple[List[_PartitionOutput], int]:
+        """Run the partition stage, retrying transient failures.
+
+        Returns (outputs, retries_used). Engine state is untouched by
+        failed attempts: tasks are rebuilt fresh each time and no merge
+        happens until an attempt fully succeeds.
+        """
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            tasks = self._build_tasks(tweets, bow_words)
+            try:
+                return self.runner.run(tasks), attempt
+            except PartitionError as exc:
+                if (
+                    policy is None
+                    or not exc.transient
+                    or attempt >= policy.max_retries
+                ):
+                    raise
+                assert self._retry_rng is not None
+                delay = policy.backoff_delay(attempt, self._retry_rng)
+                attempt += 1
+                self.n_retries += 1
+                policy.sleep(delay)
+
+    def process_batch(self, tweets: Sequence[Tweet]) -> MicroBatchResult:
+        """Run one micro-batch through the Fig. 2 dataflow.
+
+        Raises:
+            repro.engine.runners.PartitionError: if any partition task
+                fails fatally, or transiently with retries exhausted (or
+                no ``retry_policy`` configured). No engine state is
+                mutated in that case: all merges happen only after every
+                partition has returned.
+            repro.reliability.deadletter.CircuitOpenError: quarantine
+                is enabled with ``max_poison_rate`` and the stream's
+                cumulative poison rate exceeded it. The batch's merges
+                have completed when this is raised — the breaker is a
+                stop signal, not a rollback.
+        """
+        start = time.perf_counter()
+        timings = StageTimings()
+        bow_words = frozenset(self.bag_of_words.words)
+        # Everything below the execute stage mutates engine state;
+        # keeping it first means a PartitionError leaves the engine
+        # exactly as it was before the batch.
+        outputs, retries_used = self._execute_with_retry(tweets, bow_words)
         timings.partition_execute = time.perf_counter() - start
 
         mark = time.perf_counter()
@@ -465,10 +620,23 @@ class MicroBatchEngine:
 
         n_labeled = 0
         n_unlabeled = 0
+        n_poisoned = 0
         for output in outputs:
             self.cumulative.merge(output.local_stats)  # op #6
             n_labeled += output.n_labeled
             n_unlabeled += output.n_unlabeled
+            n_poisoned += len(output.poisoned)
+            if output.poisoned and self.dead_letters is not None:
+                for tweet_id, stage, error, trace in output.poisoned:
+                    self.dead_letters.add(
+                        DeadLetterRecord(
+                            tweet_id=tweet_id,
+                            stage=stage,
+                            error=error,
+                            traceback=trace,
+                            batch_index=len(self.batches),
+                        )
+                    )
 
         mark = time.perf_counter()
         for output in outputs:
@@ -479,47 +647,74 @@ class MicroBatchEngine:
                 )
         timings.drain = time.perf_counter() - mark
 
-        self.n_processed += len(tweets)
+        self.n_processed += len(tweets) - n_poisoned
         self.n_labeled += n_labeled
         self.n_unlabeled += n_unlabeled
+        self.n_quarantined += n_poisoned
         self.stage_seconds.accumulate(timings)
         result = MicroBatchResult(
             batch_index=len(self.batches),
-            n_processed=len(tweets),
+            n_processed=len(tweets) - n_poisoned,
             n_labeled=n_labeled,
             n_unlabeled=n_unlabeled,
             elapsed_seconds=time.perf_counter() - start,
             cumulative_f1=self.cumulative.weighted_f1,
             cumulative_accuracy=self.cumulative.accuracy,
             stage_seconds=timings,
+            n_quarantined=n_poisoned,
+            n_retries=retries_used,
         )
         self.batches.append(result)
+        if self.breaker is not None:
+            self.breaker.record_batch(len(tweets) - n_poisoned, n_poisoned)
+            self.breaker.check()
         return result
 
     def run(self, tweets: Iterable[Tweet]) -> EngineResult:
         """Discretize a stream into micro-batches and process them all.
 
         ``run`` may be called repeatedly (state carries over between
-        calls); it does not close the runner — use :meth:`close` or the
-        context-manager form when the engine owns a pooled runner.
+        calls); on success it does not close the runner — use
+        :meth:`close` or the context-manager form when the engine owns
+        a pooled runner. If the run *fails*, the engine-owned runner is
+        closed before the exception propagates, so a crashed run can
+        never leak a process pool (pooled runners rebuild lazily if the
+        engine is reused afterwards).
         """
         start = time.perf_counter()
-        batch: List[Tweet] = []
-        for tweet in tweets:
-            batch.append(tweet)
-            if len(batch) >= self.batch_size:
+        try:
+            batch: List[Tweet] = []
+            for tweet in tweets:
+                batch.append(tweet)
+                if len(batch) >= self.batch_size:
+                    self.process_batch(batch)
+                    batch = []
+            if batch:
                 self.process_batch(batch)
-                batch = []
-        if batch:
-            self.process_batch(batch)
+        except BaseException:
+            self.close()
+            raise
         elapsed = time.perf_counter() - start
+        return self.result(elapsed_seconds=elapsed)
+
+    def result(self, elapsed_seconds: Optional[float] = None) -> EngineResult:
+        """Snapshot the engine's cumulative outcome.
+
+        ``elapsed_seconds`` defaults to the sum of per-batch elapsed
+        times, which is what callers driving :meth:`process_batch`
+        directly (e.g. the stream supervisor) want.
+        """
+        if elapsed_seconds is None:
+            elapsed_seconds = sum(b.elapsed_seconds for b in self.batches)
         return EngineResult(
             n_processed=self.n_processed,
             n_labeled=self.n_labeled,
             n_unlabeled=self.n_unlabeled,
             metrics=self.cumulative.as_dict(),
             batches=list(self.batches),
-            elapsed_seconds=elapsed,
+            elapsed_seconds=elapsed_seconds,
             n_alerts=self.alert_manager.n_alerts,
             stage_seconds=copy.copy(self.stage_seconds),
+            n_quarantined=self.n_quarantined,
+            n_retries=self.n_retries,
         )

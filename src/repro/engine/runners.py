@@ -9,7 +9,12 @@ execution at the price of pickling the task closures, mirroring
 Spark's executor processes.
 
 A task that raises is re-raised as :class:`PartitionError` carrying the
-partition index, so failures in pooled workers stay attributable.
+partition index, so failures in pooled workers stay attributable. The
+error is additionally classified as *transient* (worth retrying: lost
+workers, I/O hiccups, anything raised as :class:`TransientWorkerError`)
+or *fatal* (deterministic bugs or bad data, where a retry would fail
+identically); the micro-batch engine's retry loop and the stream
+supervisor only re-attempt transient failures.
 
 Ownership: a runner created by the caller is closed by the caller
 (use the context-manager form or ``close()``); the micro-batch engine
@@ -21,6 +26,7 @@ from __future__ import annotations
 
 import abc
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 R = TypeVar("R")
@@ -30,21 +36,60 @@ Task = Callable[[], R]
 RUNNER_KINDS = ("serial", "threads", "processes")
 
 
+class TransientWorkerError(RuntimeError):
+    """A retryable partition failure (injected faults, flaky workers).
+
+    Raise this from partition code (or fault injectors) to mark a
+    failure as transient: the resulting :class:`PartitionError` carries
+    ``transient=True`` and retry loops will re-attempt the batch.
+    """
+
+
+#: Exception types classified as transient: environmental failures
+#: (sockets, pipes, timeouts, lost pool workers) that a retry against
+#: the same input can plausibly survive. Everything else — TypeError,
+#: ValueError, arithmetic errors — is deterministic and fatal: the same
+#: tweet would fail the same way on every attempt, so the fix is
+#: quarantine (dead-letter queue), not retry.
+TRANSIENT_ERROR_TYPES = (
+    TransientWorkerError,
+    ConnectionError,
+    TimeoutError,
+    EOFError,
+    OSError,
+)
+
+
+def is_transient_error(exc: BaseException) -> bool:
+    """Whether a partition failure is worth retrying."""
+    if isinstance(exc, PartitionError):
+        return exc.transient
+    return isinstance(exc, TRANSIENT_ERROR_TYPES)
+
+
 class PartitionError(RuntimeError):
     """A partition task failed; carries the failing partition's index.
 
     Pool executors surface worker exceptions without saying which task
     raised; wrapping every task execution in this error keeps failures
-    attributable and picklable across process boundaries.
+    attributable and picklable across process boundaries. ``transient``
+    records the retry classification of the original exception
+    (:func:`is_transient_error`); ``partition_index`` is ``-1`` when the
+    failure cannot be attributed to a single partition (e.g. the whole
+    worker pool died).
     """
 
-    def __init__(self, partition_index: int, message: str) -> None:
-        super().__init__(partition_index, message)
+    def __init__(
+        self, partition_index: int, message: str, transient: bool = False
+    ) -> None:
+        super().__init__(partition_index, message, transient)
         self.partition_index = partition_index
         self.message = message
+        self.transient = transient
 
     def __str__(self) -> str:
-        return f"partition {self.partition_index} failed: {self.message}"
+        kind = "transient" if self.transient else "fatal"
+        return f"partition {self.partition_index} failed ({kind}): {self.message}"
 
 
 class Runner(abc.ABC):
@@ -116,7 +161,16 @@ class ProcessPoolRunner(Runner):
 
     def run(self, tasks: Sequence[Task]) -> List:
         pool = self._ensure_pool()
-        return list(pool.map(_run_task, enumerate(tasks)))
+        try:
+            return list(pool.map(_run_task, enumerate(tasks)))
+        except BrokenProcessPool as exc:
+            # The pool is unusable once a worker dies; discard it so the
+            # next run() builds a fresh one, and classify the failure as
+            # transient — a retry against new workers can succeed.
+            self.close()
+            raise PartitionError(
+                -1, f"worker pool broken: {exc}", transient=True
+            ) from exc
 
     def close(self) -> None:
         if self._pool is not None:
@@ -145,4 +199,8 @@ def _run_task(indexed: Tuple[int, Task]) -> object:
     except PartitionError:
         raise
     except Exception as exc:
-        raise PartitionError(index, f"{type(exc).__name__}: {exc}") from exc
+        raise PartitionError(
+            index,
+            f"{type(exc).__name__}: {exc}",
+            transient=is_transient_error(exc),
+        ) from exc

@@ -16,6 +16,7 @@ from typing import Dict, Iterable, Optional
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import AggressionDetectionPipeline, PipelineResult
 from repro.data.tweet import Tweet
+from repro.reliability.deadletter import DeadLetterQueue
 
 
 @dataclass
@@ -38,10 +39,45 @@ class SequentialRunResult:
 
 
 class SequentialEngine:
-    """Single-threaded, per-record execution (the MOA baseline)."""
+    """Single-threaded, per-record execution (the MOA baseline).
 
-    def __init__(self, config: Optional[PipelineConfig] = None) -> None:
-        self.pipeline = AggressionDetectionPipeline(config)
+    ``dead_letters`` / ``max_poison_rate`` pass straight through to the
+    pipeline's poison-tweet quarantine (see
+    :class:`~repro.core.pipeline.AggressionDetectionPipeline`).
+    """
+
+    def __init__(
+        self,
+        config: Optional[PipelineConfig] = None,
+        dead_letters: Optional[DeadLetterQueue] = None,
+        max_poison_rate: Optional[float] = None,
+    ) -> None:
+        self.pipeline = AggressionDetectionPipeline(
+            config, dead_letters=dead_letters, max_poison_rate=max_poison_rate
+        )
+        self._elapsed = 0.0
+
+    def process_many(self, tweets: Iterable[Tweet]) -> int:
+        """Process a chunk of the stream, accumulating elapsed time.
+
+        The stream supervisor drives the engine through this method so
+        it can checkpoint between chunks; returns the number of tweets
+        consumed (including quarantined ones).
+        """
+        start = time.perf_counter()
+        count = 0
+        for tweet in tweets:
+            self.pipeline.process(tweet)
+            count += 1
+        self._elapsed += time.perf_counter() - start
+        return count
+
+    def result(self) -> SequentialRunResult:
+        """Snapshot the cumulative outcome of all chunks so far."""
+        return SequentialRunResult(
+            pipeline_result=self.pipeline.result(),
+            elapsed_seconds=self._elapsed,
+        )
 
     def run(self, tweets: Iterable[Tweet]) -> SequentialRunResult:
         """Process the whole stream one tweet at a time."""

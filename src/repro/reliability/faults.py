@@ -1,0 +1,209 @@
+"""Deterministic fault injection: failing runners and corrupted streams.
+
+Fault tolerance that is never exercised is fault tolerance that does
+not exist. This module makes faults *reproducible*:
+
+* :class:`FaultInjector` + :class:`FaultInjectingRunner` wrap any
+  partition :class:`~repro.engine.runners.Runner` and fail chosen
+  partitions on chosen attempts (explicit schedule) or at a seeded
+  random rate, raising
+  :class:`~repro.engine.runners.TransientWorkerError` (retryable) or a
+  fatal error on demand;
+* :func:`corrupting_stream` replaces a seeded fraction of a tweet
+  stream with structurally corrupt records (``None`` text, NaN
+  counters, absurd timestamps) — exactly the garbage
+  :func:`~repro.reliability.deadletter.validate_tweet` quarantines;
+* :func:`corruption_mask` exposes the same seeded decisions, so tests
+  can reconstruct the clean subset and assert that a supervised run
+  over the corrupted stream matches a fault-free run over the clean
+  tweets.
+
+Everything is seeded; the same seed yields the same faults, which is
+what lets the chaos suite assert exact metric equivalence.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from dataclasses import replace
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.data.tweet import Tweet
+from repro.engine.runners import Runner, Task, TransientWorkerError
+
+#: Supported corruption kinds, in the cycle order used by default.
+CORRUPTION_KINDS = ("none_text", "nan_counts", "absurd_timestamp")
+
+
+class FaultInjector:
+    """Seeded schedule of partition-task failures.
+
+    Failures can be declared two ways (combinable):
+
+    * ``schedule`` — explicit map of run-call index to the partition
+      indices that must fail on that call. Call indices count every
+      ``run()`` invocation of the wrapped runner, so retries advance
+      the index: ``{0: [2], 1: [2]}`` fails partition 2 on the first
+      attempt *and* on the first retry, succeeding on the third.
+    * ``rate`` — each (call, partition) pair fails independently with
+      this probability, drawn from a ``seed``-ed RNG.
+
+    ``transient`` picks the raised type: :class:`TransientWorkerError`
+    (default, retryable) or a plain ``RuntimeError`` (classified fatal).
+    """
+
+    def __init__(
+        self,
+        schedule: Optional[Mapping[int, Sequence[int]]] = None,
+        rate: float = 0.0,
+        seed: int = 0,
+        transient: bool = True,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        self.schedule: Dict[int, Tuple[int, ...]] = {
+            int(call): tuple(partitions)
+            for call, partitions in (schedule or {}).items()
+        }
+        self.rate = rate
+        self.seed = seed
+        self.transient = transient
+        self._rng = random.Random(seed)
+        self.n_injected = 0
+
+    def should_fail(self, call_index: int, partition_index: int) -> bool:
+        """Decide (deterministically) whether this task must fail.
+
+        Must be called exactly once per (call, partition) in execution
+        order for the ``rate`` mode to stay reproducible.
+        """
+        if partition_index in self.schedule.get(call_index, ()):
+            return True
+        return self.rate > 0.0 and self._rng.random() < self.rate
+
+    def build_error(self, call_index: int, partition_index: int) -> Exception:
+        """The exception an injected failure raises."""
+        message = (
+            f"injected fault: call {call_index}, partition {partition_index}"
+        )
+        if self.transient:
+            return TransientWorkerError(message)
+        return RuntimeError(message)
+
+
+class _InjectedTask:
+    """Picklable task wrapper that raises instead of running.
+
+    The decision is made driver-side (so the injector RNG is consumed
+    deterministically regardless of runner kind); the wrapper carries
+    only the verdict across the process boundary.
+    """
+
+    def __init__(self, task: Task, error: Optional[Exception]) -> None:
+        self.task = task
+        self.error = error
+
+    def __call__(self) -> object:
+        if self.error is not None:
+            raise self.error
+        return self.task()
+
+
+class FaultInjectingRunner(Runner):
+    """Wraps a runner, injecting scheduled failures before delegation.
+
+    Owns nothing: closing it closes the inner runner only if
+    ``owns_inner`` is set (default true, matching how it is usually
+    constructed inline).
+    """
+
+    def __init__(
+        self,
+        inner: Runner,
+        injector: FaultInjector,
+        owns_inner: bool = True,
+    ) -> None:
+        self.inner = inner
+        self.injector = injector
+        self.owns_inner = owns_inner
+        self.n_calls = 0
+
+    def run(self, tasks: Sequence[Task]) -> List:
+        call_index = self.n_calls
+        self.n_calls += 1
+        wrapped: List[Task] = []
+        for partition_index, task in enumerate(tasks):
+            error: Optional[Exception] = None
+            if self.injector.should_fail(call_index, partition_index):
+                self.injector.n_injected += 1
+                error = self.injector.build_error(call_index, partition_index)
+            wrapped.append(_InjectedTask(task, error))
+        return self.inner.run(wrapped)
+
+    def close(self) -> None:
+        if self.owns_inner:
+            self.inner.close()
+
+
+def corruption_mask(n: int, rate: float, seed: int = 7) -> List[bool]:
+    """The per-tweet corrupt/clean decisions :func:`corrupting_stream`
+    makes for an ``n``-tweet stream at this rate and seed.
+
+    Tests use this to split a stream into its corrupted and clean
+    subsets without materializing the corrupted records.
+    """
+    rng = random.Random(seed)
+    return [rng.random() < rate for _ in range(n)]
+
+
+def corrupting_stream(
+    tweets: Iterable[Tweet],
+    rate: float = 0.01,
+    seed: int = 7,
+    kinds: Sequence[str] = CORRUPTION_KINDS,
+) -> Iterator[Tweet]:
+    """Replace a seeded fraction of a stream with corrupt tweets.
+
+    Each tweet is independently replaced with probability ``rate``; the
+    replacement cycles through ``kinds`` deterministically. Corrupted
+    tweets keep their id (so quarantine records stay attributable) but
+    carry exactly the malformation named by the kind:
+
+    * ``none_text`` — ``text`` is ``None``;
+    * ``nan_counts`` — user counters are NaN;
+    * ``absurd_timestamp`` — ``created_at`` far outside any plausible
+      epoch window.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must be in [0, 1]")
+    for kind in kinds:
+        if kind not in CORRUPTION_KINDS:
+            raise ValueError(
+                f"unknown corruption kind {kind!r}; "
+                f"expected one of {CORRUPTION_KINDS}"
+            )
+    rng = random.Random(seed)
+    n_corrupted = 0
+    for tweet in tweets:
+        if rng.random() < rate:
+            yield corrupt_tweet(tweet, kinds[n_corrupted % len(kinds)])
+            n_corrupted += 1
+        else:
+            yield tweet
+
+
+def corrupt_tweet(tweet: Tweet, kind: str) -> Tweet:
+    """A corrupted copy of ``tweet`` (the original is untouched)."""
+    if kind == "none_text":
+        return replace(tweet, text=None)  # type: ignore[arg-type]
+    if kind == "nan_counts":
+        user = copy.copy(tweet.user)
+        user.followers_count = float("nan")  # type: ignore[assignment]
+        user.statuses_count = float("nan")  # type: ignore[assignment]
+        return replace(tweet, user=user)
+    if kind == "absurd_timestamp":
+        return replace(tweet, created_at=1.0e18)
+    raise ValueError(
+        f"unknown corruption kind {kind!r}; expected one of {CORRUPTION_KINDS}"
+    )

@@ -1,0 +1,517 @@
+"""Stream supervision: retry policy, periodic checkpoints, resume.
+
+Spark Streaming's production story is that a driver can die mid-stream
+and the job resumes from its last checkpoint with no observable
+difference. :class:`StreamSupervisor` provides that contract for our
+engines:
+
+* it drives any engine (micro-batch or sequential) over a tweet
+  stream chunk by chunk;
+* it validates tweets at ingest, quarantining structurally corrupt
+  ones into a dead-letter queue *before* batch assembly — so the
+  surviving clean tweets form exactly the same batches a fault-free
+  run over the clean subset would see (the chaos equivalence tests
+  assert this);
+* every ``checkpoint_every`` chunks it atomically writes the complete
+  engine state plus its own cursor to ``checkpoint_dir``;
+* :meth:`StreamSupervisor.resume` rebuilds the supervisor from the
+  last good checkpoint; the next :meth:`run` over the *same* stream
+  skips the already-consumed prefix and continues such that the final
+  metrics and alert list equal an uninterrupted run's exactly.
+
+The resume contract assumes a replayable source (the same stream can
+be re-iterated from the start — a JSONL file, a Kafka topic with
+offsets, our deterministic generators). That is the same assumption
+Spark's checkpoint recovery makes.
+
+:class:`RetryPolicy` configures the micro-batch engine's transient
+failure handling: exponential backoff with seeded jitter, determinism
+preserved run-to-run.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from itertools import islice
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+from repro.core.checkpoint import (
+    _bow_from_dict,
+    _bow_to_dict,
+    alert_manager_to_dict,
+    atomic_write_json,
+    config_to_dict,
+    normalizer_from_dict,
+    normalizer_to_dict,
+    pipeline_from_dict,
+    pipeline_to_dict,
+    restore_alert_manager,
+    restore_sampler,
+    sampler_to_dict,
+)
+from repro.core.config import PipelineConfig
+from repro.data.tweet import Tweet
+from repro.engine.microbatch import (
+    MicroBatchEngine,
+    MicroBatchResult,
+    StageTimings,
+)
+from repro.engine.runners import Runner
+from repro.engine.sequential import SequentialEngine
+from repro.reliability.deadletter import (
+    CircuitBreaker,
+    DeadLetterQueue,
+    PoisonTweetError,
+    StreamHealth,
+    validate_tweet,
+)
+from repro.streamml.serialize import (
+    SerializationError,
+    model_from_dict,
+    model_to_dict,
+)
+
+SUPERVISOR_CHECKPOINT_VERSION = 1
+CHECKPOINT_FILENAME = "checkpoint.json"
+
+PathLike = Union[str, Path]
+Engine = Union[MicroBatchEngine, SequentialEngine]
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff with seeded jitter for transient failures.
+
+    Attempt ``a`` (0-based) sleeps
+    ``min(base_delay_s * multiplier**a, max_delay_s)`` scaled by a
+    jitter factor drawn uniformly from ``[1 - jitter, 1 + jitter]``
+    with a seeded RNG, so retry timing is reproducible. ``sleep`` is
+    injectable so tests run without wall-clock delays.
+    """
+
+    max_retries: int = 3
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.1
+    seed: int = 17
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def backoff_delay(self, attempt: int, rng: random.Random) -> float:
+        """The delay before retry number ``attempt + 1``."""
+        delay = min(
+            self.base_delay_s * self.multiplier ** attempt, self.max_delay_s
+        )
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(delay, 0.0)
+
+
+# ----------------------------------------------------------------------
+# Engine state (de)serialization
+# ----------------------------------------------------------------------
+
+def _timings_from_dict(payload: Dict[str, Any]) -> StageTimings:
+    return StageTimings(**{k: float(v) for k, v in payload.items()})
+
+
+def _batch_result_to_dict(batch: MicroBatchResult) -> Dict[str, Any]:
+    return {
+        "batch_index": batch.batch_index,
+        "n_processed": batch.n_processed,
+        "n_labeled": batch.n_labeled,
+        "n_unlabeled": batch.n_unlabeled,
+        "elapsed_seconds": batch.elapsed_seconds,
+        "cumulative_f1": batch.cumulative_f1,
+        "cumulative_accuracy": batch.cumulative_accuracy,
+        "stage_seconds": batch.stage_seconds.as_dict(),
+        "n_quarantined": batch.n_quarantined,
+        "n_retries": batch.n_retries,
+    }
+
+
+def _batch_result_from_dict(payload: Dict[str, Any]) -> MicroBatchResult:
+    return MicroBatchResult(
+        batch_index=int(payload["batch_index"]),
+        n_processed=int(payload["n_processed"]),
+        n_labeled=int(payload["n_labeled"]),
+        n_unlabeled=int(payload["n_unlabeled"]),
+        elapsed_seconds=float(payload["elapsed_seconds"]),
+        cumulative_f1=float(payload["cumulative_f1"]),
+        cumulative_accuracy=float(payload["cumulative_accuracy"]),
+        stage_seconds=_timings_from_dict(payload["stage_seconds"]),
+        n_quarantined=int(payload["n_quarantined"]),
+        n_retries=int(payload["n_retries"]),
+    )
+
+
+def microbatch_engine_to_dict(engine: MicroBatchEngine) -> Dict[str, Any]:
+    """Serialize a micro-batch engine's complete training state.
+
+    Mirrors :func:`repro.core.checkpoint.pipeline_to_dict` for the
+    engine: model, normalizer, BoW, cumulative confusion matrix, alert
+    manager (full audit log), sampler (RNG included), and counters.
+    Runner/pool configuration is *not* state — the resumer chooses it.
+    """
+    return {
+        "engine": "microbatch",
+        "n_partitions": engine.n_partitions,
+        "batch_size": engine.batch_size,
+        "config": config_to_dict(engine.config),
+        "model": model_to_dict(engine.model),
+        "normalizer": normalizer_to_dict(engine.normalizer),
+        "bag_of_words": _bow_to_dict(engine.bag_of_words),
+        "cumulative": engine.cumulative.matrix,
+        "alerting": alert_manager_to_dict(engine.alert_manager),
+        "sampler": sampler_to_dict(engine.sampler),
+        "counters": {
+            "n_processed": engine.n_processed,
+            "n_labeled": engine.n_labeled,
+            "n_unlabeled": engine.n_unlabeled,
+            "n_quarantined": engine.n_quarantined,
+            "n_retries": engine.n_retries,
+        },
+        "batches": [_batch_result_to_dict(b) for b in engine.batches],
+        "stage_seconds": engine.stage_seconds.as_dict(),
+    }
+
+
+def microbatch_engine_from_dict(
+    payload: Dict[str, Any],
+    runner: Optional[Union[Runner, str]] = None,
+    n_workers: Optional[int] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    dead_letters: Optional[DeadLetterQueue] = None,
+    max_poison_rate: Optional[float] = None,
+) -> MicroBatchEngine:
+    """Rebuild an engine that continues exactly where the saved one was.
+
+    Execution wiring (runner, retry policy, quarantine) is supplied by
+    the caller, since pools and callbacks cannot be serialized.
+    """
+    engine = MicroBatchEngine(
+        PipelineConfig(**payload["config"]),
+        n_partitions=int(payload["n_partitions"]),
+        batch_size=int(payload["batch_size"]),
+        runner=runner,
+        n_workers=n_workers,
+        retry_policy=retry_policy,
+        dead_letters=dead_letters,
+        max_poison_rate=max_poison_rate,
+    )
+    engine.model = model_from_dict(payload["model"])
+    engine.normalizer = normalizer_from_dict(payload["normalizer"])
+    engine.bag_of_words = _bow_from_dict(payload["bag_of_words"])
+    engine.cumulative.matrix = [
+        [float(v) for v in row] for row in payload["cumulative"]
+    ]
+    engine.cumulative.total = sum(
+        sum(row) for row in engine.cumulative.matrix
+    )
+    restore_alert_manager(engine.alert_manager, payload["alerting"])
+    restore_sampler(engine.sampler, payload["sampler"])
+    counters = payload["counters"]
+    engine.n_processed = int(counters["n_processed"])
+    engine.n_labeled = int(counters["n_labeled"])
+    engine.n_unlabeled = int(counters["n_unlabeled"])
+    engine.n_quarantined = int(counters["n_quarantined"])
+    engine.n_retries = int(counters["n_retries"])
+    engine.batches = [_batch_result_from_dict(b) for b in payload["batches"]]
+    engine.stage_seconds = _timings_from_dict(payload["stage_seconds"])
+    return engine
+
+
+def _engine_to_dict(engine: Engine) -> Dict[str, Any]:
+    if isinstance(engine, MicroBatchEngine):
+        return microbatch_engine_to_dict(engine)
+    return {"engine": "sequential", "pipeline": pipeline_to_dict(engine.pipeline)}
+
+
+# ----------------------------------------------------------------------
+# The supervisor
+# ----------------------------------------------------------------------
+
+@dataclass
+class SupervisedRun:
+    """Outcome of a supervised run: the engine result plus health."""
+
+    result: Any  # EngineResult or SequentialRunResult
+    health: StreamHealth
+    dead_letters: DeadLetterQueue = field(default_factory=DeadLetterQueue)
+
+    @property
+    def metrics(self) -> Dict[str, float]:
+        return self.result.metrics
+
+
+class StreamSupervisor:
+    """Drives an engine over a stream with quarantine and checkpoints.
+
+    Args:
+        engine: a :class:`MicroBatchEngine` or :class:`SequentialEngine`
+            (construct it with a retry policy / dead-letter queue for
+            engine-level fault handling).
+        checkpoint_dir: directory for the rolling ``checkpoint.json``
+            (atomic writes; ``None`` disables checkpointing).
+        checkpoint_every: write a checkpoint after every N chunks.
+        chunk_size: tweets per engine call; defaults to the engine's
+            ``batch_size`` (micro-batch) or 1000 (sequential).
+        dead_letters: quarantine queue for ingest-validation failures
+            (a fresh bounded queue by default).
+        max_poison_rate: when set, a circuit breaker fails the run once
+            the quarantined fraction of consumed tweets exceeds this.
+        validate: validate tweets at ingest (before batch assembly) so
+            corrupt records never skew batch composition. Disable only
+            if the engine's own in-partition quarantine should see them.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        checkpoint_dir: Optional[PathLike] = None,
+        checkpoint_every: int = 10,
+        chunk_size: Optional[int] = None,
+        dead_letters: Optional[DeadLetterQueue] = None,
+        max_poison_rate: Optional[float] = None,
+        validate: bool = True,
+    ) -> None:
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.engine = engine
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.checkpoint_every = checkpoint_every
+        if chunk_size is None:
+            chunk_size = (
+                engine.batch_size
+                if isinstance(engine, MicroBatchEngine)
+                else 1000
+            )
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.chunk_size = chunk_size
+        self.dead_letters = (
+            dead_letters if dead_letters is not None else DeadLetterQueue()
+        )
+        self.breaker: Optional[CircuitBreaker] = (
+            CircuitBreaker(max_failure_rate=max_poison_rate)
+            if max_poison_rate is not None
+            else None
+        )
+        self.validate = validate
+        self._cursor = 0  # tweets drawn from the stream, incl. quarantined
+        self._chunks_done = 0
+        self._n_poisoned = 0  # quarantined at ingest validation
+        self.n_checkpoints = 0
+        self.last_checkpoint_chunk: Optional[int] = None
+
+    # -- checkpointing --------------------------------------------------
+
+    @property
+    def checkpoint_path(self) -> Optional[Path]:
+        if self.checkpoint_dir is None:
+            return None
+        return self.checkpoint_dir / CHECKPOINT_FILENAME
+
+    def write_checkpoint(self) -> Optional[int]:
+        """Atomically persist supervisor + engine state; returns bytes."""
+        path = self.checkpoint_path
+        if path is None:
+            return None
+        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "supervisor_version": SUPERVISOR_CHECKPOINT_VERSION,
+            "cursor": self._cursor,
+            "chunks_done": self._chunks_done,
+            "n_poisoned": self._n_poisoned,
+            "chunk_size": self.chunk_size,
+            "breaker": (
+                {"n_ok": self.breaker.n_ok, "n_failed": self.breaker.n_failed}
+                if self.breaker is not None
+                else None
+            ),
+            "engine": _engine_to_dict(self.engine),
+        }
+        size = atomic_write_json(path, payload)
+        self.n_checkpoints += 1
+        self.last_checkpoint_chunk = self._chunks_done
+        return size
+
+    @classmethod
+    def resume(
+        cls,
+        checkpoint_dir: PathLike,
+        checkpoint_every: int = 10,
+        runner: Optional[Union[Runner, str]] = None,
+        n_workers: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        dead_letters: Optional[DeadLetterQueue] = None,
+        max_poison_rate: Optional[float] = None,
+        validate: bool = True,
+    ) -> "StreamSupervisor":
+        """Rebuild a supervisor from the last good checkpoint.
+
+        The returned supervisor's next :meth:`run` call must receive
+        the *same replayable stream* the original run did; it skips the
+        already-consumed prefix and continues, reproducing the
+        uninterrupted run's final metrics and alert list exactly.
+        """
+        path = Path(checkpoint_dir) / CHECKPOINT_FILENAME
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        version = payload.get("supervisor_version")
+        if version != SUPERVISOR_CHECKPOINT_VERSION:
+            raise SerializationError(
+                f"unsupported supervisor checkpoint version {version!r}"
+            )
+        engine_payload = payload["engine"]
+        engine: Engine
+        if engine_payload["engine"] == "microbatch":
+            engine = microbatch_engine_from_dict(
+                engine_payload,
+                runner=runner,
+                n_workers=n_workers,
+                retry_policy=retry_policy,
+                dead_letters=dead_letters,
+                max_poison_rate=max_poison_rate,
+            )
+        elif engine_payload["engine"] == "sequential":
+            engine = SequentialEngine(
+                dead_letters=dead_letters, max_poison_rate=max_poison_rate
+            )
+            quarantine = (engine.pipeline.dead_letters, engine.pipeline.breaker)
+            engine.pipeline = pipeline_from_dict(engine_payload["pipeline"])
+            engine.pipeline.dead_letters, engine.pipeline.breaker = quarantine
+        else:
+            raise SerializationError(
+                f"unknown engine kind {engine_payload['engine']!r}"
+            )
+        supervisor = cls(
+            engine,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            chunk_size=int(payload["chunk_size"]),
+            dead_letters=dead_letters,
+            max_poison_rate=max_poison_rate,
+            validate=validate,
+        )
+        supervisor._cursor = int(payload["cursor"])
+        supervisor._chunks_done = int(payload["chunks_done"])
+        supervisor._n_poisoned = int(payload["n_poisoned"])
+        breaker_state = payload.get("breaker")
+        if supervisor.breaker is not None and breaker_state is not None:
+            supervisor.breaker.n_ok = int(breaker_state["n_ok"])
+            supervisor.breaker.n_failed = int(breaker_state["n_failed"])
+        return supervisor
+
+    # -- driving --------------------------------------------------------
+
+    def run(self, tweets: Iterable[Tweet]) -> SupervisedRun:
+        """Supervise the engine over the stream (resuming if mid-way).
+
+        Replays nothing twice: if this supervisor was resumed from a
+        checkpoint (or a previous partial :meth:`run`), the first
+        ``cursor`` tweets of the stream are skipped as already
+        consumed. A final checkpoint is written on successful
+        completion, so resuming a finished run is a no-op.
+        """
+        iterator = iter(tweets)
+        if self._cursor:
+            for _ in islice(iterator, self._cursor):
+                pass
+        chunk: List[Tweet] = []
+        for tweet in iterator:
+            self._cursor += 1
+            if self.validate and not self._admit(tweet):
+                continue
+            chunk.append(tweet)
+            if len(chunk) >= self.chunk_size:
+                self._process_chunk(chunk)
+                chunk = []
+        if chunk:
+            self._process_chunk(chunk)
+        self.write_checkpoint()
+        return SupervisedRun(
+            result=self.engine.result(),
+            health=self.health(),
+            dead_letters=self.dead_letters,
+        )
+
+    def _admit(self, tweet: Tweet) -> bool:
+        """Ingest validation; quarantines and returns False on poison."""
+        try:
+            validate_tweet(tweet)
+        except PoisonTweetError as exc:
+            self._n_poisoned += 1
+            self.dead_letters.add_failure(
+                getattr(tweet, "tweet_id", None),
+                "ingest-validate",
+                exc,
+                with_traceback=False,
+            )
+            if self.breaker is not None:
+                self.breaker.record(True)
+                self.breaker.check()
+            return False
+        if self.breaker is not None:
+            self.breaker.record(False)
+        return True
+
+    def _process_chunk(self, chunk: List[Tweet]) -> None:
+        if isinstance(self.engine, MicroBatchEngine):
+            self.engine.process_batch(chunk)
+        else:
+            self.engine.process_many(chunk)
+        self._chunks_done += 1
+        if (
+            self.checkpoint_dir is not None
+            and self._chunks_done % self.checkpoint_every == 0
+        ):
+            self.write_checkpoint()
+
+    # -- reporting ------------------------------------------------------
+
+    def health(self) -> StreamHealth:
+        """Current reliability summary across supervisor and engine."""
+        if isinstance(self.engine, MicroBatchEngine):
+            engine_quarantined = self.engine.n_quarantined
+            engine_retries = self.engine.n_retries
+            n_processed = self.engine.n_processed
+            engine_breaker = self.engine.breaker
+            engine_dlq = self.engine.dead_letters
+        else:
+            pipeline = self.engine.pipeline
+            engine_quarantined = pipeline.n_quarantined
+            engine_retries = 0
+            n_processed = pipeline.n_processed
+            engine_breaker = pipeline.breaker
+            engine_dlq = pipeline.dead_letters
+        by_stage = self.dead_letters.by_stage()
+        if engine_dlq is not None and engine_dlq is not self.dead_letters:
+            for stage, count in engine_dlq.by_stage().items():
+                by_stage[stage] = by_stage.get(stage, 0) + count
+        breaker_open = any(
+            b is not None and b.is_open for b in (self.breaker, engine_breaker)
+        )
+        return StreamHealth(
+            n_consumed=self._cursor,
+            n_processed=n_processed,
+            n_quarantined=self._n_poisoned + engine_quarantined,
+            n_retries=engine_retries,
+            n_checkpoints=self.n_checkpoints,
+            last_checkpoint_batch=self.last_checkpoint_chunk,
+            breaker_open=breaker_open,
+            dead_letters_by_stage=by_stage,
+        )

@@ -121,3 +121,45 @@ class TestReport:
         text = report.read_text()
         assert text.startswith("# Run report")
         assert "| f1 |" in text
+
+
+class TestSupervisedRun:
+    @pytest.fixture()
+    def dataset(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        main(["generate", str(path), "--tweets", "400", "--seed", "5"])
+        return path
+
+    def test_reliability_flags_enable_supervised_path(self, dataset, tmp_path,
+                                                      capsys):
+        ckpt = tmp_path / "ckpt"
+        assert main(["run", str(dataset), "--engine", "microbatch",
+                     "--batch-size", "50", "--retries", "2",
+                     "--checkpoint-dir", str(ckpt),
+                     "--checkpoint-every", "2",
+                     "--max-poison-rate", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "supervised" in out
+        assert "quarantined" in out
+        assert (ckpt / "checkpoint.json").exists()
+
+    def test_resume_smoke_matches_uninterrupted(self, dataset, tmp_path,
+                                                capsys):
+        ckpt = tmp_path / "ckpt"
+        assert main(["run", str(dataset), "--batch-size", "50",
+                     "--checkpoint-dir", str(ckpt),
+                     "--checkpoint-every", "2"]) == 0
+        first = capsys.readouterr().out
+        # Resuming a completed run replays nothing and reproduces the
+        # exact metrics of the finished run.
+        assert main(["run", str(dataset),
+                     "--checkpoint-dir", str(ckpt), "--resume"]) == 0
+        second = capsys.readouterr().out
+        metrics_first = [l for l in first.splitlines() if l.startswith("  ")]
+        metrics_second = [l for l in second.splitlines() if l.startswith("  ")]
+        assert metrics_first == metrics_second
+        assert "resumed" in second
+
+    def test_resume_requires_checkpoint_dir(self, dataset, capsys):
+        assert main(["run", str(dataset), "--resume"]) == 2
+        assert "requires --checkpoint-dir" in capsys.readouterr().err
