@@ -50,6 +50,14 @@ def test_fig16_throughput(benchmark):
             f"machines needed to sustain the Firehose (with headroom): "
             f"{machines}",
         ],
+        summary={
+            "workloads": list(WORKLOADS),
+            "throughput_tweets_per_s": {
+                spec.name: grid[spec.name] for spec in PAPER_SPECS
+            },
+            "firehose_rate_tweets_per_s": FIREHOSE_RATE,
+            "machines_for_firehose": machines,
+        },
     )
     throughput = {spec.name: dict(zip(WORKLOADS, grid[spec.name]))
                   for spec in PAPER_SPECS}
@@ -119,6 +127,20 @@ def test_fig16_real_engine_throughput(benchmark):
             f"{serial_mb.stage_seconds.driver_seconds:.3f} s, multi-process "
             f"{process_mb.stage_seconds.driver_seconds:.3f} s",
         ],
+        summary={
+            "n_tweets": len(tweets),
+            "n_workers": n_workers,
+            "throughput_tweets_per_s": {
+                "sequential": sequential.throughput,
+                "microbatch_serial": serial_mb.throughput,
+                "microbatch_processes": process_mb.throughput,
+            },
+            "sequential_stage_seconds": sequential.stage_seconds,
+            "microbatch_serial_stage_seconds": serial_mb.stage_seconds.as_dict(),
+            "microbatch_processes_stage_seconds": (
+                process_mb.stage_seconds.as_dict()
+            ),
+        },
     )
     for result in (serial_mb, process_mb):
         stages = result.stage_seconds

@@ -11,21 +11,36 @@ Subcommands:
   cluster configurations with the calibrated cost model.
 
 Invoke as ``python -m repro <subcommand> ...``.
+
+Human-readable reporting goes through the ``repro`` logger tree
+(``--log-level``/``--log-json`` control verbosity and format; the
+default output is byte-identical to the historical ``print`` output).
+Data output — ``classify`` predictions — is written straight to stdout
+so it stays pipeable regardless of log configuration. ``run`` accepts
+``--metrics-out FILE`` to export the run's telemetry: JSONL events
+(periodic + final metric snapshots) to FILE and a Prometheus text
+exposition to ``FILE.prom``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import AggressionDetectionPipeline
 from repro.data.loader import read_jsonl, write_jsonl
 from repro.data.synthetic import AbusiveDatasetGenerator
 from repro.engine.cluster import PAPER_SPECS, CostModel, SimulatedCluster
+from repro.obs.export import TelemetrySink, write_exposition
+from repro.obs.logconfig import configure_logging, get_logger
+from repro.obs.metrics import MetricsRegistry
 from repro.streamml.serialize import load_model, save_model
+
+logger = get_logger("cli")
 
 
 def _positive_int(value: str) -> int:
@@ -42,6 +57,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="Real-time aggression detection on social media "
         "(ICDE 2021 reproduction)",
     )
+    parser.add_argument("--log-level", default="info",
+                        choices=("debug", "info", "warning", "error"),
+                        help="minimum log level (default info)")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit log records as JSON lines instead of "
+                        "plain messages")
     commands = parser.add_subparsers(dest="command", required=True)
 
     generate = commands.add_parser(
@@ -106,6 +127,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="quarantine malformed tweets instead of crashing, "
                      "but abort once their fraction exceeds RATE "
                      "(e.g. 0.05; enables supervised execution)")
+    run.add_argument("--metrics-out", default=None, metavar="FILE",
+                     help="export run telemetry: JSONL snapshot/event "
+                     "stream to FILE plus a Prometheus text exposition "
+                     "to FILE.prom")
+    run.add_argument("--metrics-every", type=_positive_int, default=None,
+                     metavar="N",
+                     help="with --metrics-out: snapshot every N "
+                     "micro-batches/chunks (default: checkpoint cadence)")
 
     classify = commands.add_parser(
         "classify", help="classify a JSONL stream with a saved model"
@@ -134,8 +163,30 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     count = write_jsonl(generator.generate(), args.output)
     counts = dict(zip(("normal", "abusive", "hateful"),
                       generator.class_counts))
-    print(f"wrote {count} tweets to {args.output} ({counts})")
+    logger.info("wrote %d tweets to %s (%s)", count, args.output, counts)
     return 0
+
+
+def _open_telemetry(
+    args: argparse.Namespace,
+) -> Optional[TelemetrySink]:
+    if args.metrics_out is None:
+        return None
+    return TelemetrySink(args.metrics_out)
+
+
+def _finalize_telemetry(
+    sink: Optional[TelemetrySink],
+    registry: MetricsRegistry,
+    args: argparse.Namespace,
+) -> None:
+    """Write the exposition sibling and close the JSONL sink."""
+    if sink is None:
+        return
+    prom_path = f"{args.metrics_out}.prom"
+    write_exposition(registry, prom_path)
+    sink.close()
+    logger.info("telemetry      : %s (+ %s)", args.metrics_out, prom_path)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -153,30 +204,39 @@ def _cmd_run(args: argparse.Namespace) -> int:
         or args.max_poison_rate is not None
     )
     if args.resume and args.checkpoint_dir is None:
-        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        logger.error("error: --resume requires --checkpoint-dir")
         return 2
     if supervised:
         return _run_supervised(args, config)
     if args.engine == "microbatch":
         return _run_microbatch(args, config)
+    sink = _open_telemetry(args)
     pipeline = AggressionDetectionPipeline(config)
-    result = pipeline.process_stream(read_jsonl(args.input))
-    print(f"configuration : {config.describe()}")
-    print(f"processed     : {result.n_processed} tweets "
-          f"({result.n_labeled} labeled)")
+    if sink is not None:
+        sink.event("run_start", engine="sequential", input=args.input)
+    result = pipeline.process_stream(
+        read_jsonl(args.input, metrics=pipeline.metrics)
+    )
+    logger.info("configuration : %s", config.describe())
+    logger.info("processed     : %d tweets (%d labeled)",
+                result.n_processed, result.n_labeled)
     for name, value in result.metrics.items():
-        print(f"  {name:10s} {value:.4f}")
+        logger.info("  %-10s %.4f", name, value)
     if result.n_unlabeled:
-        print(f"alerts        : {result.n_alerts}")
+        logger.info("alerts        : %d", result.n_alerts)
     if args.save_model:
         size = save_model(pipeline.model, args.save_model)
-        print(f"model saved   : {args.save_model} ({size} bytes)")
+        logger.info("model saved   : %s (%d bytes)", args.save_model, size)
     if args.report:
         from repro.analysis.reporting import render_run_report
 
         with open(args.report, "w", encoding="utf-8") as handle:
             handle.write(render_run_report(result))
-        print(f"report saved  : {args.report}")
+        logger.info("report saved  : %s", args.report)
+    if sink is not None:
+        sink.snapshot(pipeline.metrics, reason="final")
+        sink.event("run_end", n_processed=result.n_processed)
+    _finalize_telemetry(sink, pipeline.metrics, args)
     return 0
 
 
@@ -201,6 +261,7 @@ def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
         else None
     )
     dead_letters = DeadLetterQueue()
+    sink = _open_telemetry(args)
     if args.resume:
         supervisor = StreamSupervisor.resume(
             args.checkpoint_dir,
@@ -210,6 +271,8 @@ def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
             retry_policy=retry_policy,
             dead_letters=dead_letters,
             max_poison_rate=args.max_poison_rate,
+            telemetry=sink,
+            metrics_every=args.metrics_every,
         )
     else:
         if args.engine == "microbatch":
@@ -230,47 +293,73 @@ def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
             checkpoint_every=args.checkpoint_every,
             dead_letters=dead_letters,
             max_poison_rate=args.max_poison_rate,
+            telemetry=sink,
+            metrics_every=args.metrics_every,
         )
     engine = supervisor.engine
+    if sink is not None:
+        sink.event(
+            "run_start",
+            engine=supervisor._engine_kind,
+            input=args.input,
+            resumed=args.resume,
+        )
     try:
-        run = supervisor.run(read_jsonl(args.input))
+        run = supervisor.run(
+            read_jsonl(args.input, metrics=supervisor.metrics)
+        )
     finally:
         close = getattr(engine, "close", None)
         if close is not None:
             close()
     result = run.result
     health = run.health
-    print(f"configuration : {engine.config.describe()}"
-          if isinstance(engine, MicroBatchEngine)
-          else f"configuration : {engine.pipeline.config.describe()}")
+    logger.info("configuration : %s",
+                engine.config.describe()
+                if isinstance(engine, MicroBatchEngine)
+                else engine.pipeline.config.describe())
     kind = "microbatch" if isinstance(engine, MicroBatchEngine) else "sequential"
-    print(f"engine        : {kind} (supervised"
-          f"{', resumed' if args.resume else ''})")
+    logger.info("engine        : %s (supervised%s)",
+                kind, ", resumed" if args.resume else "")
     n_labeled = (result.n_labeled if isinstance(engine, MicroBatchEngine)
                  else result.pipeline_result.n_labeled)
-    print(f"processed     : {health.n_processed} tweets "
-          f"({n_labeled} labeled)")
+    logger.info("processed     : %d tweets (%d labeled)",
+                health.n_processed, n_labeled)
     for name, value in result.metrics.items():
-        print(f"  {name:10s} {value:.4f}")
-    print(f"quarantined   : {health.n_quarantined} tweets "
-          f"({health.poison_rate:.2%} of {health.n_consumed} consumed)")
+        logger.info("  %-10s %.4f", name, value)
+    logger.info("quarantined   : %d tweets (%.2f%% of %d consumed)",
+                health.n_quarantined, 100.0 * health.poison_rate,
+                health.n_consumed)
     if health.dead_letters_by_stage:
         for stage, count in sorted(health.dead_letters_by_stage.items()):
-            print(f"  {stage:18s} {count}")
-    print(f"retries       : {health.n_retries}")
+            logger.info("  %-18s %d", stage, count)
+    logger.info("retries       : %d", health.n_retries)
     if args.checkpoint_dir:
-        print(f"checkpoints   : {health.n_checkpoints} written to "
-              f"{args.checkpoint_dir}")
+        logger.info("checkpoints   : %d written to %s",
+                    health.n_checkpoints, args.checkpoint_dir)
     if args.save_model:
         model = (engine.model if isinstance(engine, MicroBatchEngine)
                  else engine.pipeline.model)
         size = save_model(model, args.save_model)
-        print(f"model saved   : {args.save_model} ({size} bytes)")
+        logger.info("model saved   : %s (%d bytes)", args.save_model, size)
+    _finalize_telemetry(sink, supervisor.metrics, args)
     return 0
 
 
 def _run_microbatch(args: argparse.Namespace, config: PipelineConfig) -> int:
-    from repro.engine.microbatch import MicroBatchEngine
+    from repro.engine.microbatch import MicroBatchEngine, MicroBatchResult
+
+    sink = _open_telemetry(args)
+    registry = MetricsRegistry()
+    snapshot_every = (
+        args.metrics_every
+        if args.metrics_every is not None
+        else args.checkpoint_every
+    )
+
+    def on_batch(batch: MicroBatchResult) -> None:
+        if sink is not None and (batch.batch_index + 1) % snapshot_every == 0:
+            sink.snapshot(registry, batch=batch.batch_index)
 
     with MicroBatchEngine(
         config,
@@ -278,30 +367,42 @@ def _run_microbatch(args: argparse.Namespace, config: PipelineConfig) -> int:
         batch_size=args.batch_size,
         runner=args.runner,
         n_workers=args.workers,
+        metrics=registry,
+        on_batch=on_batch,
     ) as engine:
-        result = engine.run(read_jsonl(args.input))
-        print(f"configuration : {config.describe()}")
-        print(f"engine        : microbatch ({args.partitions} partitions x "
-              f"{args.batch_size} tweets, runner={args.runner})")
-        print(f"processed     : {result.n_processed} tweets "
-              f"({result.n_labeled} labeled, "
-              f"{len(result.batches)} micro-batches)")
+        if sink is not None:
+            sink.event("run_start", engine="microbatch", input=args.input)
+        result = engine.run(read_jsonl(args.input, metrics=registry))
+        logger.info("configuration : %s", config.describe())
+        logger.info("engine        : microbatch (%d partitions x %d tweets, "
+                    "runner=%s)",
+                    args.partitions, args.batch_size, args.runner)
+        logger.info("processed     : %d tweets (%d labeled, "
+                    "%d micro-batches)",
+                    result.n_processed, result.n_labeled,
+                    len(result.batches))
         for name, value in result.metrics.items():
-            print(f"  {name:10s} {value:.4f}")
-        print(f"throughput    : {result.throughput:,.0f} tweets/s")
-        print("stage timings :")
+            logger.info("  %-10s %.4f", name, value)
+        logger.info("throughput    : %s tweets/s",
+                    format(result.throughput, ",.0f"))
+        logger.info("stage timings :")
         for stage, seconds in result.stage_seconds.as_dict().items():
-            print(f"  {stage:18s} {seconds:9.3f} s")
-        print(f"  {'driver total':18s} "
-              f"{result.stage_seconds.driver_seconds:9.3f} s")
+            logger.info("  %-18s %9.3f s", stage, seconds)
+        logger.info("  %-18s %9.3f s", "driver total",
+                    result.stage_seconds.driver_seconds)
         if result.n_unlabeled:
-            print(f"alerts        : {result.n_alerts}")
+            logger.info("alerts        : %d", result.n_alerts)
         if args.save_model:
             size = save_model(engine.model, args.save_model)
-            print(f"model saved   : {args.save_model} ({size} bytes)")
+            logger.info("model saved   : %s (%d bytes)",
+                        args.save_model, size)
         if args.report:
-            print("report        : only supported with --engine sequential; "
-                  "skipped")
+            logger.info("report        : only supported with --engine "
+                        "sequential; skipped")
+        if sink is not None:
+            sink.snapshot(registry, reason="final")
+            sink.event("run_end", n_processed=result.n_processed)
+    _finalize_telemetry(sink, registry, args)
     return 0
 
 
@@ -311,13 +412,23 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     model = load_model(args.model)
     encoder = LabelEncoder(args.classes)
     extractor = FeatureExtractor(encoder=encoder)
-    for tweet in read_jsonl(args.input):
-        instance = extractor.extract(tweet, update_bow=False)
-        predicted = model.predict_one(instance.x)
-        print(json.dumps({
-            "id_str": tweet.tweet_id,
-            "predicted": encoder.decode(predicted),
-        }, separators=(",", ":")))
+    # Predictions are data output, not logging: write them directly so
+    # they stay pipeable under any --log-level / --log-json setting.
+    out = sys.stdout
+    try:
+        for tweet in read_jsonl(args.input):
+            instance = extractor.extract(tweet, update_bow=False)
+            predicted = model.predict_one(instance.x)
+            out.write(json.dumps({
+                "id_str": tweet.tweet_id,
+                "predicted": encoder.decode(predicted),
+            }, separators=(",", ":")))
+            out.write("\n")
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe; exit
+        # quietly like any well-behaved filter. Swap in a devnull
+        # stdout so interpreter shutdown doesn't re-raise on flush.
+        sys.stdout = open(os.devnull, "w", encoding="utf-8")
     return 0
 
 
@@ -326,12 +437,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         cost_model = CostModel.calibrated(args.measured_throughput)
     else:
         cost_model = CostModel()
-    print(f"{'config':<13s}{'time (s)':>12s}{'tweets/s':>12s}")
+    logger.info("%-13s%12s%12s", "config", "time (s)", "tweets/s")
     for spec in PAPER_SPECS:
         cluster = SimulatedCluster(spec, cost_model)
         result = cluster.simulate(args.tweets)
-        print(f"{spec.name:<13s}{result.execution_time_s:>12.1f}"
-              f"{result.throughput:>12,.0f}")
+        logger.info("%-13s%12.1f%s", spec.name, result.execution_time_s,
+                    format(result.throughput, ">12,.0f"))
     return 0
 
 
@@ -346,6 +457,7 @@ _COMMANDS = {
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(level=args.log_level, json_output=args.log_json)
     return _COMMANDS[args.command](args)
 
 

@@ -108,7 +108,12 @@ def _p2_from_dict(payload: Dict[str, Any]) -> P2Quantile:
 
 def normalizer_to_dict(normalizer: Normalizer) -> Dict[str, Any]:
     """Serialize any normalizer kind."""
-    base = {"n_features": normalizer.n_features, "observed": normalizer.observed}
+    base = {
+        "n_features": normalizer.n_features,
+        "observed": normalizer.observed,
+        "transformed": normalizer.n_transformed,
+        "clipped": normalizer.n_clipped,
+    }
     if isinstance(normalizer, MinMaxNoOutliersNormalizer):
         return dict(
             base,
@@ -160,6 +165,9 @@ def normalizer_from_dict(payload: Dict[str, Any]) -> Normalizer:
     else:
         raise SerializationError(f"unknown normalizer kind {kind!r}")
     normalizer.observed = int(payload["observed"])
+    # Pre-observability checkpoints lack the clip counters; default to 0.
+    normalizer.n_transformed = int(payload.get("transformed", 0))
+    normalizer.n_clipped = int(payload.get("clipped", 0))
     return normalizer
 
 

@@ -40,6 +40,18 @@ class Normalizer(abc.ABC):
             raise ValueError("n_features must be >= 1")
         self.n_features = n_features
         self.observed = 0
+        #: Feature values run through :meth:`transform` so far.
+        self.n_transformed = 0
+        #: Transformed values that fell outside the scaling bounds and
+        #: were clamped (min-max variants only; 0 for z-score/identity).
+        self.n_clipped = 0
+
+    @property
+    def clip_ratio(self) -> float:
+        """Fraction of transformed feature values that were clamped."""
+        if self.n_transformed == 0:
+            return 0.0
+        return self.n_clipped / self.n_transformed
 
     def _check(self, x: Sequence[float]) -> None:
         if len(x) != self.n_features:
@@ -61,6 +73,11 @@ class Normalizer(abc.ABC):
     def transform_instance(self, instance: Instance) -> Instance:
         """Observe and transform an instance, preserving its metadata."""
         return instance.with_features(self.observe_and_transform(instance.x))
+
+    def _merge_counts(self, other: "Normalizer") -> None:
+        self.observed += other.observed
+        self.n_transformed += other.n_transformed
+        self.n_clipped += other.n_clipped
 
     @abc.abstractmethod
     def merge(self, other: "Normalizer") -> None:
@@ -92,6 +109,7 @@ class MinMaxNormalizer(Normalizer):
 
     def transform(self, x: Sequence[float]) -> Tuple[float, ...]:
         self._check(x)
+        self.n_transformed += len(x)
         result = []
         for tracker, value in zip(self._trackers, x):
             span = tracker.range
@@ -99,13 +117,15 @@ class MinMaxNormalizer(Normalizer):
                 result.append(0.0)
             else:
                 scaled = (value - tracker.min) / span
+                if scaled < 0.0 or scaled > 1.0:
+                    self.n_clipped += 1
                 result.append(min(max(scaled, 0.0), 1.0))
         return tuple(result)
 
     def merge(self, other: Normalizer) -> None:
         if not isinstance(other, MinMaxNormalizer):
             raise TypeError(f"cannot merge MinMaxNormalizer with {type(other)}")
-        self.observed += other.observed
+        self._merge_counts(other)
         self._trackers = [
             mine.merge(theirs)
             for mine, theirs in zip(self._trackers, other._trackers)
@@ -146,6 +166,7 @@ class MinMaxNoOutliersNormalizer(Normalizer):
 
     def transform(self, x: Sequence[float]) -> Tuple[float, ...]:
         self._check(x)
+        self.n_transformed += len(x)
         result = []
         for lower, upper, value in zip(self._lower, self._upper, x):
             lo = lower.value
@@ -154,6 +175,8 @@ class MinMaxNoOutliersNormalizer(Normalizer):
                 result.append(0.0)
                 continue
             scaled = (value - lo) / (hi - lo)
+            if scaled < 0.0 or scaled > 1.0:
+                self.n_clipped += 1
             result.append(min(max(scaled, 0.0), 1.0))
         return tuple(result)
 
@@ -177,7 +200,7 @@ class MinMaxNoOutliersNormalizer(Normalizer):
             or self.upper_quantile != other.upper_quantile
         ):
             raise ValueError("cannot merge normalizers with different bounds")
-        self.observed += other.observed
+        self._merge_counts(other)
         self._lower = [
             mine.merge(theirs)
             for mine, theirs in zip(self._lower, other._lower)
@@ -222,7 +245,7 @@ class ZScoreNormalizer(Normalizer):
     def merge(self, other: Normalizer) -> None:
         if not isinstance(other, ZScoreNormalizer):
             raise TypeError(f"cannot merge ZScoreNormalizer with {type(other)}")
-        self.observed += other.observed
+        self._merge_counts(other)
         self._stats = [
             mine.merge(theirs)
             for mine, theirs in zip(self._stats, other._stats)
@@ -241,7 +264,7 @@ class IdentityNormalizer(Normalizer):
         return tuple(float(v) for v in x)
 
     def merge(self, other: Normalizer) -> None:
-        self.observed += other.observed
+        self._merge_counts(other)
 
 
 def make_normalizer(kind: str, n_features: int) -> Normalizer:

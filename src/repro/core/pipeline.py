@@ -22,6 +22,7 @@ error propagates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.adaptive_bow import AdaptiveBagOfWords, FixedBagOfWords
@@ -32,6 +33,7 @@ from repro.core.features import N_FEATURES, FeatureExtractor, LabelEncoder
 from repro.core.normalization import Normalizer, make_normalizer
 from repro.core.sampling import BoostedRandomSampler
 from repro.data.tweet import Tweet
+from repro.obs.metrics import MetricsRegistry
 from repro.reliability.deadletter import (
     CircuitBreaker,
     DeadLetterQueue,
@@ -64,11 +66,17 @@ class PipelineResult:
 class AggressionDetectionPipeline:
     """Streaming aggression detector over labeled + unlabeled tweets."""
 
+    #: Quantile-sketch sampling for the per-tweet stage histograms:
+    #: count/sum stay exact per tweet, the P² sketches ingest every 8th
+    #: observation, keeping instrumentation ~1-2% of per-tweet cost.
+    STAGE_SKETCH_EVERY = 8
+
     def __init__(
         self,
         config: Optional[PipelineConfig] = None,
         dead_letters: Optional[DeadLetterQueue] = None,
         max_poison_rate: Optional[float] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.config = config if config is not None else PipelineConfig()
         self.dead_letters = dead_letters
@@ -116,6 +124,52 @@ class AggressionDetectionPipeline:
         self.n_labeled = 0
         self.n_unlabeled = 0
         self.n_quarantined = 0
+        # Observability: bound references so the per-tweet hot path pays
+        # one attribute load + one method call per metric, no dict
+        # lookups. The registry is shared with whatever engine or
+        # supervisor wraps this pipeline.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        engine_label = "sequential"
+        self._m_processed = self.metrics.counter(
+            "tweets_processed_total", engine=engine_label
+        )
+        self._m_labeled = self.metrics.counter(
+            "tweets_labeled_total", engine=engine_label
+        )
+        self._m_unlabeled = self.metrics.counter(
+            "tweets_unlabeled_total", engine=engine_label
+        )
+        self._m_alerts = self.metrics.counter(
+            "alerts_total", engine=engine_label
+        )
+        self._stage_hists = {
+            stage: self.metrics.histogram(
+                "tweet_stage_seconds",
+                sketch_every=self.STAGE_SKETCH_EVERY,
+                engine=engine_label,
+                stage=stage,
+            )
+            for stage in ("extract", "normalize", "predict", "learn", "alert")
+        }
+        self._publish_gauges()
+
+    def _publish_gauges(self) -> None:
+        """Refresh the point-in-time gauges (BoW size, normalizer state)."""
+        gauge = self.metrics.gauge
+        gauge("bow_size", engine="sequential").set(len(self.bag_of_words))
+        if isinstance(self.bag_of_words, AdaptiveBagOfWords):
+            gauge("bow_words_added", engine="sequential").set(
+                self.bag_of_words.n_added
+            )
+            gauge("bow_words_removed", engine="sequential").set(
+                self.bag_of_words.n_removed
+            )
+        gauge("normalizer_observed", engine="sequential").set(
+            self.normalizer.observed
+        )
+        gauge("normalizer_clip_ratio", engine="sequential").set(
+            self.normalizer.clip_ratio
+        )
 
     # ------------------------------------------------------------------
     # Per-tweet processing
@@ -139,43 +193,62 @@ class AggressionDetectionPipeline:
         """
         quarantine = self.dead_letters is not None
         stage = "validate"
+        t_start = perf_counter()
         try:
             if quarantine:
                 validate_tweet(tweet)
             stage = "extract"
             instance = self.extractor.extract(tweet)
+            t_extract = perf_counter()
             stage = "normalize"
             normalized = self.normalizer.transform_instance(instance)
+            t_normalize = perf_counter()
             stage = "predict"
             proba = self.model.predict_proba_one(normalized.x)
+            t_predict = perf_counter()
         except Exception as exc:
             if not quarantine:
                 raise
             self._quarantine(tweet, stage, exc)
             return None
+        hists = self._stage_hists
+        hists["extract"].observe(t_extract - t_start)
+        hists["normalize"].observe(t_normalize - t_extract)
+        hists["predict"].observe(t_predict - t_normalize)
         if self.breaker is not None:
             self.breaker.record(False)
         self.n_processed += 1
+        self._m_processed.inc()
         predicted = _argmax(proba)
         classified = ClassifiedInstance(
             instance=normalized, predicted=predicted, proba=proba
         )
         if normalized.is_labeled:
             self.n_labeled += 1
+            self._m_labeled.inc()
             assert normalized.y is not None
             self.evaluator.add_labeled(normalized.y, predicted)
             self.model.learn_one(normalized)
+            hists["learn"].observe(perf_counter() - t_predict)
         else:
             self.n_unlabeled += 1
+            self._m_unlabeled.inc()
             self.evaluator.add_unlabeled(predicted)
+            before = self.alert_manager.n_alerts
             self.alert_manager.process(classified, user_id=tweet.user.user_id)
             self.sampler.offer(classified)
+            if self.alert_manager.n_alerts > before:
+                self._m_alerts.inc(self.alert_manager.n_alerts - before)
+            hists["alert"].observe(perf_counter() - t_predict)
         return classified
 
     def _quarantine(self, tweet: Tweet, stage: str, exc: Exception) -> None:
         """Route a poison tweet to the dead-letter queue; maybe trip."""
         assert self.dead_letters is not None
         self.n_quarantined += 1
+        self.metrics.counter(
+            "tweets_quarantined_total", engine="sequential", stage=stage
+        ).inc()
         self.dead_letters.add_failure(
             getattr(tweet, "tweet_id", None), stage, exc
         )
@@ -215,6 +288,7 @@ class AggressionDetectionPipeline:
         bow_history: List[Tuple[int, int]] = []
         if isinstance(self.bag_of_words, AdaptiveBagOfWords):
             bow_history = list(self.bag_of_words.size_history)
+        self._publish_gauges()
         return PipelineResult(
             config=self.config,
             n_processed=self.n_processed,

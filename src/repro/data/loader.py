@@ -12,9 +12,21 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.data.tweet import Tweet
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.metrics import MetricsRegistry
 
 PathLike = Union[str, Path]
 
@@ -51,13 +63,28 @@ def sanitize_tweet(tweet: Tweet, stats: Optional[IngestStats] = None) -> Tweet:
 
 
 def sanitize_stream(
-    tweets: Iterable[Tweet], stats: Optional[IngestStats] = None
+    tweets: Iterable[Tweet],
+    stats: Optional[IngestStats] = None,
+    metrics: Optional["MetricsRegistry"] = None,
 ) -> Iterator[Tweet]:
-    """Lazily sanitize a stream, counting reads and repairs."""
+    """Lazily sanitize a stream, counting reads and repairs.
+
+    Pass a :class:`~repro.obs.metrics.MetricsRegistry` to also publish
+    the counts as ``ingest_reads_total`` / ``ingest_null_text_total``.
+    """
+    m_read = m_null = None
+    if metrics is not None:
+        m_read = metrics.counter("ingest_reads_total")
+        m_null = metrics.counter("ingest_null_text_total")
     for tweet in tweets:
         if stats is not None:
             stats.n_read += 1
-        yield sanitize_tweet(tweet, stats)
+        if m_read is not None:
+            m_read.inc()
+        repaired = sanitize_tweet(tweet, stats)
+        if m_null is not None and repaired is not tweet:
+            m_null.inc()
+        yield repaired
 
 
 def write_jsonl(tweets: Iterable[Tweet], path: PathLike) -> int:
@@ -72,20 +99,25 @@ def write_jsonl(tweets: Iterable[Tweet], path: PathLike) -> int:
 
 
 def read_jsonl(
-    path: PathLike, stats: Optional[IngestStats] = None
+    path: PathLike,
+    stats: Optional[IngestStats] = None,
+    metrics: Optional["MetricsRegistry"] = None,
 ) -> Iterator[Tweet]:
     """Lazily read tweets from a JSONL file (blank lines skipped).
 
     Null ``text`` fields are normalized to the empty string; pass an
-    :class:`IngestStats` to count how many lines needed that repair.
+    :class:`IngestStats` to count how many lines needed that repair,
+    and/or a :class:`~repro.obs.metrics.MetricsRegistry` to publish the
+    same counts as ``ingest_reads_total`` / ``ingest_null_text_total``.
     """
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                if stats is not None:
-                    stats.n_read += 1
-                yield sanitize_tweet(Tweet.from_json_line(line), stats)
+    def lines() -> Iterator[Tweet]:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield Tweet.from_json_line(line)
+
+    return sanitize_stream(lines(), stats=stats, metrics=metrics)
 
 
 def strip_labels(tweets: Iterable[Tweet]) -> Iterator[Tweet]:

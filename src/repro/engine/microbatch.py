@@ -57,6 +57,7 @@ import traceback as traceback_module
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
+    Callable,
     Dict,
     Iterable,
     List,
@@ -81,6 +82,8 @@ from repro.engine.runners import (
     SerialRunner,
     make_runner,
 )
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.tracing import Tracer, stage_seconds_by_stage
 from repro.reliability.deadletter import (
     CircuitBreaker,
     DeadLetterQueue,
@@ -93,6 +96,14 @@ from repro.streamml.slr import StreamingLogisticRegression
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.reliability.supervisor import RetryPolicy
+
+#: Driver-side callback fired after each completed micro-batch.
+BatchCallback = Callable[["MicroBatchResult"], None]
+
+#: Quantile-sketch sampling factor for the per-tweet stage histograms
+#: (matches the sequential pipeline's STAGE_SKETCH_EVERY): count/sum
+#: stay exact per tweet, P² sketches ingest every 8th observation.
+TWEET_SKETCH_EVERY = 8
 
 
 @dataclass
@@ -117,6 +128,10 @@ class _PartitionOutput:
     poisoned: List[Tuple[Optional[str], str, str, str]] = field(
         default_factory=list
     )
+    # Partition-local metric snapshot (per-tweet stage histograms,
+    # throughput counters); the driver folds it into its registry with
+    # MetricsRegistry.merge_snapshot — same pattern as the normalizer.
+    metrics: Optional[MetricsSnapshot] = None
 
 
 class _PartitionTask:
@@ -147,6 +162,28 @@ class _PartitionTask:
         self.quarantine = quarantine
 
     def __call__(self) -> _PartitionOutput:
+        # Partition-local observability: nothing here is shared with the
+        # driver or sibling partitions; the snapshot rides back on the
+        # output, exactly like the partition-local normalizer.
+        registry = MetricsRegistry()
+        m_processed = registry.counter(
+            "tweets_processed_total", engine="microbatch"
+        )
+        m_labeled = registry.counter(
+            "tweets_labeled_total", engine="microbatch"
+        )
+        m_unlabeled = registry.counter(
+            "tweets_unlabeled_total", engine="microbatch"
+        )
+        stage_hists = {
+            hist_stage: registry.histogram(
+                "tweet_stage_seconds",
+                sketch_every=TWEET_SKETCH_EVERY,
+                engine="microbatch",
+                stage=hist_stage,
+            )
+            for hist_stage in ("extract", "normalize", "predict")
+        }
         encoder = LabelEncoder(self.n_classes)
         bow_delta: Optional[AdaptiveBagOfWords] = None
         if self.adaptive_bow:
@@ -166,6 +203,8 @@ class _PartitionTask:
         # deep copy keeps the driver's (possibly shared) normalizer
         # untouched under the serial and thread runners.
         seen = copy.deepcopy(self.normalizer)
+        base_transformed = seen.n_transformed
+        base_clipped = seen.n_clipped
         local_normalizer = self.normalizer.fresh()
         stats = ConfusionMatrix(self.n_classes)
         labeled: List[Instance] = []
@@ -175,20 +214,29 @@ class _PartitionTask:
         n_unlabeled = 0
         for tweet in self.tweets:
             stage = "validate"
+            t_start = time.perf_counter()
             try:
                 if self.quarantine:
                     validate_tweet(tweet)
                 stage = "extract"
                 instance = extractor.extract(tweet)  # op #1 (extract)
+                t_extract = time.perf_counter()
                 stage = "normalize"
                 normalized = instance.with_features(
                     seen.observe_and_transform(instance.x)
                 )  # op #1 (normalize: broadcast + partition-local statistics)
+                t_normalize = time.perf_counter()
                 stage = "predict"
                 proba = self.model.predict_proba_one(normalized.x)  # op #4
+                t_predict = time.perf_counter()
             except Exception as exc:
                 if not self.quarantine:
                     raise
+                registry.counter(
+                    "tweets_quarantined_total",
+                    engine="microbatch",
+                    stage=stage,
+                ).inc()
                 poisoned.append(
                     (
                         getattr(tweet, "tweet_id", None),
@@ -202,15 +250,21 @@ class _PartitionTask:
                     )
                 )
                 continue
+            stage_hists["extract"].observe(t_extract - t_start)
+            stage_hists["normalize"].observe(t_normalize - t_extract)
+            stage_hists["predict"].observe(t_predict - t_normalize)
+            m_processed.inc()
             local_normalizer.observe(instance.x)
             predicted = max(range(len(proba)), key=proba.__getitem__)
             if normalized.is_labeled:
                 n_labeled += 1
+                m_labeled.inc()
                 assert normalized.y is not None
                 stats.add(normalized.y, predicted)  # op #5
                 labeled.append(normalized)  # op #2 (filter)
             else:
                 n_unlabeled += 1
+                m_unlabeled.inc()
                 unlabeled.append(
                     (
                         ClassifiedInstance(
@@ -222,8 +276,21 @@ class _PartitionTask:
                     )
                 )
         if self.local_model is not None:
+            t_learn = time.perf_counter()
             for instance in labeled:  # op #3, local part
                 self.local_model.learn_one(instance)
+            if labeled:
+                registry.histogram(
+                    "tweet_stage_seconds",
+                    sketch_every=TWEET_SKETCH_EVERY,
+                    engine="microbatch",
+                    stage="learn",
+                ).observe(time.perf_counter() - t_learn)
+        # The broadcast copy did this partition's transforms; hand the
+        # clip deltas back on the fresh normalizer so the driver's
+        # merge() accumulates them globally.
+        local_normalizer.n_transformed = seen.n_transformed - base_transformed
+        local_normalizer.n_clipped = seen.n_clipped - base_clipped
         return _PartitionOutput(
             local_model=self.local_model,
             bow_delta=bow_delta,
@@ -233,6 +300,7 @@ class _PartitionTask:
             n_unlabeled=n_unlabeled,
             unlabeled=unlabeled,
             poisoned=poisoned,
+            metrics=registry.snapshot(),
         )
 
 
@@ -284,6 +352,27 @@ class StageTimings:
         self.bow_absorb += other.bow_absorb
         self.normalizer_merge += other.normalizer_merge
         self.drain += other.drain
+
+    @classmethod
+    def from_registry(
+        cls, registry: MetricsRegistry, engine: str = "microbatch"
+    ) -> "StageTimings":
+        """Rebuild cumulative timings from the span histograms.
+
+        The engine no longer keeps a parallel accumulator: every driver
+        stage is measured by a :class:`~repro.obs.tracing.Span` that
+        records into ``stage_seconds{engine=..., stage=...}``, and this
+        view reads the exact histogram sums back. Stages never run yet
+        read as 0.
+        """
+        totals = stage_seconds_by_stage(registry, engine=engine)
+        return cls(
+            partition_execute=totals.get("partition_execute", 0.0),
+            model_merge=totals.get("model_merge", 0.0),
+            bow_absorb=totals.get("bow_absorb", 0.0),
+            normalizer_merge=totals.get("normalizer_merge", 0.0),
+            drain=totals.get("drain", 0.0),
+        )
 
 
 @dataclass
@@ -355,6 +444,12 @@ class MicroBatchEngine:
             :meth:`process_batch` raises
             :class:`~repro.reliability.deadletter.CircuitOpenError`
             once the quarantined fraction exceeds this rate.
+        metrics: share a :class:`MetricsRegistry` with the caller
+            (supervisor, CLI); by default the engine creates its own.
+            Partition-side snapshots fold into it every batch.
+        on_batch: driver-side callback invoked with each completed
+            :class:`MicroBatchResult` (after merges and metric folds) —
+            the telemetry hook for periodic snapshot export.
     """
 
     def __init__(
@@ -367,6 +462,8 @@ class MicroBatchEngine:
         retry_policy: Optional["RetryPolicy"] = None,
         dead_letters: Optional[DeadLetterQueue] = None,
         max_poison_rate: Optional[float] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        on_batch: Optional["BatchCallback"] = None,
     ) -> None:
         if n_partitions < 1:
             raise ValueError("n_partitions must be >= 1")
@@ -424,12 +521,55 @@ class MicroBatchEngine:
             seed=self.config.seed,
         )
         self.batches: List[MicroBatchResult] = []
-        self.stage_seconds = StageTimings()
         self.n_processed = 0
         self.n_labeled = 0
         self.n_unlabeled = 0
         self.n_quarantined = 0
         self.n_retries = 0
+        self.on_batch = on_batch
+        # Observability: one registry for the whole engine; driver
+        # stages are measured by tracer spans, partition snapshots fold
+        # in per batch, and StageTimings is a read-back view.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._tracer = Tracer(self.metrics, labels={"engine": "microbatch"})
+        self._m_ingested = self.metrics.counter(
+            "tweets_ingested_total", engine="microbatch"
+        )
+        self._m_batches = self.metrics.counter(
+            "batches_total", engine="microbatch"
+        )
+        self._m_retries = self.metrics.counter(
+            "retries_total", engine="microbatch"
+        )
+        self._m_alerts = self.metrics.counter(
+            "alerts_total", engine="microbatch"
+        )
+        self._batch_hist = self.metrics.histogram(
+            "batch_seconds", engine="microbatch"
+        )
+
+    @property
+    def stage_seconds(self) -> StageTimings:
+        """Cumulative driver stage timings (view over span histograms)."""
+        return StageTimings.from_registry(self.metrics)
+
+    def _publish_gauges(self) -> None:
+        """Refresh the point-in-time gauges (BoW size, normalizer state)."""
+        gauge = self.metrics.gauge
+        gauge("bow_size", engine="microbatch").set(len(self.bag_of_words))
+        if isinstance(self.bag_of_words, AdaptiveBagOfWords):
+            gauge("bow_words_added", engine="microbatch").set(
+                self.bag_of_words.n_added
+            )
+            gauge("bow_words_removed", engine="microbatch").set(
+                self.bag_of_words.n_removed
+            )
+        gauge("normalizer_observed", engine="microbatch").set(
+            self.normalizer.observed
+        )
+        gauge("normalizer_clip_ratio", engine="microbatch").set(
+            self.normalizer.clip_ratio
+        )
 
     # ------------------------------------------------------------------
     # Runner ownership
@@ -593,30 +733,33 @@ class MicroBatchEngine:
                 stop signal, not a rollback.
         """
         start = time.perf_counter()
-        timings = StageTimings()
         bow_words = frozenset(self.bag_of_words.words)
         # Everything below the execute stage mutates engine state;
         # keeping it first means a PartitionError leaves the engine
-        # exactly as it was before the batch.
-        outputs, retries_used = self._execute_with_retry(tweets, bow_words)
-        timings.partition_execute = time.perf_counter() - start
+        # exactly as it was before the batch. Each driver stage runs
+        # under a tracer span that records into the stage_seconds
+        # histogram family; the per-batch StageTimings is built from the
+        # spans' raw durations, so both views see the same numbers.
+        with self._tracer.span("partition_execute") as span_execute:
+            outputs, retries_used = self._execute_with_retry(
+                tweets, bow_words
+            )
 
-        mark = time.perf_counter()
-        self._combine_models([o.local_model for o in outputs if o.local_model])
-        timings.model_merge = time.perf_counter() - mark
+        with self._tracer.span("model_merge") as span_model:
+            self._combine_models(
+                [o.local_model for o in outputs if o.local_model]
+            )
 
-        mark = time.perf_counter()
-        if isinstance(self.bag_of_words, AdaptiveBagOfWords):
+        with self._tracer.span("bow_absorb") as span_bow:
+            if isinstance(self.bag_of_words, AdaptiveBagOfWords):
+                for output in outputs:
+                    if output.bow_delta is not None:
+                        self.bag_of_words.absorb(output.bow_delta)
+                self.bag_of_words.maintain()
+
+        with self._tracer.span("normalizer_merge") as span_normalizer:
             for output in outputs:
-                if output.bow_delta is not None:
-                    self.bag_of_words.absorb(output.bow_delta)
-            self.bag_of_words.maintain()
-        timings.bow_absorb = time.perf_counter() - mark
-
-        mark = time.perf_counter()
-        for output in outputs:
-            self.normalizer.merge(output.local_normalizer)
-        timings.normalizer_merge = time.perf_counter() - mark
+                self.normalizer.merge(output.local_normalizer)
 
         n_labeled = 0
         n_unlabeled = 0
@@ -626,6 +769,8 @@ class MicroBatchEngine:
             n_labeled += output.n_labeled
             n_unlabeled += output.n_unlabeled
             n_poisoned += len(output.poisoned)
+            if output.metrics is not None:
+                self.metrics.merge_snapshot(output.metrics)
             if output.poisoned and self.dead_letters is not None:
                 for tweet_id, stage, error, trace in output.poisoned:
                     self.dead_letters.add(
@@ -638,26 +783,41 @@ class MicroBatchEngine:
                         )
                     )
 
-        mark = time.perf_counter()
-        for output in outputs:
-            if output.unlabeled:
-                self.alert_manager.process_batch(output.unlabeled)
-                self.sampler.offer_many(
-                    classified for classified, _ in output.unlabeled
-                )
-        timings.drain = time.perf_counter() - mark
+        alerts_before = self.alert_manager.n_alerts
+        with self._tracer.span("drain") as span_drain:
+            for output in outputs:
+                if output.unlabeled:
+                    self.alert_manager.process_batch(output.unlabeled)
+                    self.sampler.offer_many(
+                        classified for classified, _ in output.unlabeled
+                    )
+        if self.alert_manager.n_alerts > alerts_before:
+            self._m_alerts.inc(self.alert_manager.n_alerts - alerts_before)
 
+        timings = StageTimings(
+            partition_execute=span_execute.duration or 0.0,
+            model_merge=span_model.duration or 0.0,
+            bow_absorb=span_bow.duration or 0.0,
+            normalizer_merge=span_normalizer.duration or 0.0,
+            drain=span_drain.duration or 0.0,
+        )
         self.n_processed += len(tweets) - n_poisoned
         self.n_labeled += n_labeled
         self.n_unlabeled += n_unlabeled
         self.n_quarantined += n_poisoned
-        self.stage_seconds.accumulate(timings)
+        self._m_ingested.inc(len(tweets))
+        self._m_batches.inc()
+        if retries_used:
+            self._m_retries.inc(retries_used)
+        self._publish_gauges()
+        elapsed = time.perf_counter() - start
+        self._batch_hist.observe(elapsed)
         result = MicroBatchResult(
             batch_index=len(self.batches),
             n_processed=len(tweets) - n_poisoned,
             n_labeled=n_labeled,
             n_unlabeled=n_unlabeled,
-            elapsed_seconds=time.perf_counter() - start,
+            elapsed_seconds=elapsed,
             cumulative_f1=self.cumulative.weighted_f1,
             cumulative_accuracy=self.cumulative.accuracy,
             stage_seconds=timings,
@@ -668,6 +828,8 @@ class MicroBatchEngine:
         if self.breaker is not None:
             self.breaker.record_batch(len(tweets) - n_poisoned, n_poisoned)
             self.breaker.check()
+        if self.on_batch is not None:
+            self.on_batch(result)
         return result
 
     def run(self, tweets: Iterable[Tweet]) -> EngineResult:
@@ -714,7 +876,7 @@ class MicroBatchEngine:
             batches=list(self.batches),
             elapsed_seconds=elapsed_seconds,
             n_alerts=self.alert_manager.n_alerts,
-            stage_seconds=copy.copy(self.stage_seconds),
+            stage_seconds=self.stage_seconds,
             n_quarantined=self.n_quarantined,
             n_retries=self.n_retries,
         )

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.data.tweet import Tweet
+from repro.obs.metrics import MetricsRegistry
 from repro.streamml.stats import percentile
 
 
@@ -62,15 +63,23 @@ class StreamReplayer:
             unless ``service_time_s`` is given.
         service_time_s: fixed per-tweet service time for the queueing
             simulation; ``None`` measures each call with a wall clock.
+        metrics: optional registry; each replay records its simulated
+            latencies into ``replay_latency_seconds`` and measured
+            service times into ``replay_service_seconds`` histograms.
+            The :class:`LatencyReport` itself always uses exact sorted
+            percentiles over the full sample — the registry view is for
+            export alongside the rest of the run's telemetry.
     """
 
     def __init__(
         self,
         process: Callable[[Tweet], object],
         service_time_s: Optional[float] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.process = process
         self.service_time_s = service_time_s
+        self.metrics = metrics
 
     def replay(
         self,
@@ -114,6 +123,12 @@ class StreamReplayer:
             last_completion = completion
         if not latencies:
             raise ValueError("cannot replay an empty stream")
+        if self.metrics is not None:
+            latency_hist = self.metrics.histogram("replay_latency_seconds")
+            service_hist = self.metrics.histogram("replay_service_seconds")
+            for latency, service in zip(latencies, service_times):
+                latency_hist.observe(latency)
+                service_hist.observe(service)
         mean_service = sum(service_times) / len(service_times)
         return LatencyReport(
             n_tweets=len(latencies),

@@ -5,17 +5,26 @@ scheduling overhead; this engine does the same by delegating to the
 reference :class:`~repro.core.pipeline.AggressionDetectionPipeline`,
 while recording wall-clock time and throughput so the scalability study
 can compare it against the micro-batch engine (Figs. 15/16).
+
+Observability: the engine shares one
+:class:`~repro.obs.metrics.MetricsRegistry` with its pipeline, times
+its driver loop with :class:`~repro.obs.tracing.Tracer` spans
+(``stage_seconds{engine="sequential"}``), and surfaces the pipeline's
+per-tweet stage totals (``tweet_stage_seconds``) as
+:attr:`SequentialRunResult.stage_seconds` — the same shape the
+micro-batch engine reports, so the two are directly comparable.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import AggressionDetectionPipeline, PipelineResult
 from repro.data.tweet import Tweet
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer, stage_seconds_by_stage
 from repro.reliability.deadletter import DeadLetterQueue
 
 
@@ -25,6 +34,9 @@ class SequentialRunResult:
 
     pipeline_result: PipelineResult
     elapsed_seconds: float
+    #: Exact seconds per per-tweet stage (extract/normalize/predict/
+    #: learn/alert), read back from the registry's span histograms.
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -43,7 +55,9 @@ class SequentialEngine:
 
     ``dead_letters`` / ``max_poison_rate`` pass straight through to the
     pipeline's poison-tweet quarantine (see
-    :class:`~repro.core.pipeline.AggressionDetectionPipeline`).
+    :class:`~repro.core.pipeline.AggressionDetectionPipeline`);
+    ``metrics`` lets a caller (supervisor, CLI) share a registry with
+    the engine — by default the engine creates its own.
     """
 
     def __init__(
@@ -51,11 +65,39 @@ class SequentialEngine:
         config: Optional[PipelineConfig] = None,
         dead_letters: Optional[DeadLetterQueue] = None,
         max_poison_rate: Optional[float] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.pipeline = AggressionDetectionPipeline(
-            config, dead_letters=dead_letters, max_poison_rate=max_poison_rate
+            config,
+            dead_letters=dead_letters,
+            max_poison_rate=max_poison_rate,
+            metrics=metrics,
+        )
+        self.metrics = self.pipeline.metrics
+        self._tracer = Tracer(self.metrics, labels={"engine": "sequential"})
+        self._m_ingested = self.metrics.counter(
+            "tweets_ingested_total", engine="sequential"
         )
         self._elapsed = 0.0
+
+    def replace_pipeline(self, pipeline: AggressionDetectionPipeline) -> None:
+        """Swap in a (restored) pipeline and rebind the shared registry.
+
+        The engine's tracer and bound counters must follow the new
+        pipeline's registry or the two would report into different
+        worlds; checkpoint resume uses this.
+        """
+        self.pipeline = pipeline
+        self.metrics = pipeline.metrics
+        self._tracer = Tracer(self.metrics, labels={"engine": "sequential"})
+        self._m_ingested = self.metrics.counter(
+            "tweets_ingested_total", engine="sequential"
+        )
+
+    def _stage_totals(self) -> Dict[str, float]:
+        return stage_seconds_by_stage(
+            self.metrics, metric="tweet_stage_seconds", engine="sequential"
+        )
 
     def process_many(self, tweets: Iterable[Tweet]) -> int:
         """Process a chunk of the stream, accumulating elapsed time.
@@ -64,12 +106,14 @@ class SequentialEngine:
         it can checkpoint between chunks; returns the number of tweets
         consumed (including quarantined ones).
         """
-        start = time.perf_counter()
         count = 0
-        for tweet in tweets:
-            self.pipeline.process(tweet)
-            count += 1
-        self._elapsed += time.perf_counter() - start
+        with self._tracer.span("process_many") as span:
+            for tweet in tweets:
+                self.pipeline.process(tweet)
+                count += 1
+        self._m_ingested.inc(count)
+        assert span.duration is not None
+        self._elapsed += span.duration
         return count
 
     def result(self) -> SequentialRunResult:
@@ -77,28 +121,38 @@ class SequentialEngine:
         return SequentialRunResult(
             pipeline_result=self.pipeline.result(),
             elapsed_seconds=self._elapsed,
+            stage_seconds=self._stage_totals(),
         )
 
     def run(self, tweets: Iterable[Tweet]) -> SequentialRunResult:
         """Process the whole stream one tweet at a time."""
-        start = time.perf_counter()
-        result = self.pipeline.process_stream(tweets)
-        elapsed = time.perf_counter() - start
-        return SequentialRunResult(pipeline_result=result, elapsed_seconds=elapsed)
+        count = 0
+        with self._tracer.span("run") as span:
+            for tweet in tweets:
+                self.pipeline.process(tweet)
+                count += 1
+        self._m_ingested.inc(count)
+        assert span.duration is not None
+        return SequentialRunResult(
+            pipeline_result=self.pipeline.result(),
+            elapsed_seconds=span.duration,
+            stage_seconds=self._stage_totals(),
+        )
 
     def measure_throughput(
         self, tweets: Iterable[Tweet], warmup: int = 1000
     ) -> float:
         """Steady-state tweets/second after a warm-up prefix."""
         iterator = iter(tweets)
-        for _, tweet in zip(range(warmup), iterator):
-            self.pipeline.process(tweet)
-        start = time.perf_counter()
+        with self._tracer.span("warmup"):
+            for _, tweet in zip(range(warmup), iterator):
+                self.pipeline.process(tweet)
         count = 0
-        for tweet in iterator:
-            self.pipeline.process(tweet)
-            count += 1
-        elapsed = time.perf_counter() - start
-        if elapsed <= 0 or count == 0:
+        with self._tracer.span("measure") as span:
+            for tweet in iterator:
+                self.pipeline.process(tweet)
+                count += 1
+        assert span.duration is not None
+        if span.duration <= 0 or count == 0:
             return 0.0
-        return count / elapsed
+        return count / span.duration

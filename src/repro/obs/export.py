@@ -1,0 +1,180 @@
+"""Telemetry export: JSONL event sink and Prometheus text exposition.
+
+Two consumers, two formats:
+
+* :class:`TelemetrySink` appends one JSON object per line to a file —
+  periodic metric snapshots plus discrete run events (alerts,
+  quarantines, checkpoints, run start/end). JSONL survives crashes
+  (every line is flushed) and is trivially greppable/parsable, which is
+  what the CI smoke step and offline analysis want.
+* :func:`prometheus_exposition` renders a snapshot in the Prometheus
+  text format (counters/gauges as-is, histograms as summaries with
+  ``quantile`` labels plus ``_sum``/``_count``), so a scrape endpoint
+  or textfile collector can serve the same registry.
+
+Wired into the CLI via ``--metrics-out`` / ``--metrics-every``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, TextIO, Union
+
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+
+PathLike = Union[str, Path]
+
+#: Default name prefix for exposed metrics.
+PROM_PREFIX = "repro_"
+
+
+class TelemetrySink:
+    """Append-only JSONL event stream for one run.
+
+    Every event carries ``event`` (its kind), ``ts`` (wall-clock epoch
+    seconds) and ``seq`` (a per-sink monotonic sequence number, so
+    ordering survives coarse timestamps). Lines are flushed as written;
+    a crash loses at most the event being formatted.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: Optional[TextIO] = open(
+            self.path, "a", encoding="utf-8"
+        )
+        self._seq = 0
+
+    def event(self, kind: str, **fields: Any) -> None:
+        """Append one event line (no-op after :meth:`close`)."""
+        if self._handle is None:
+            return
+        payload: Dict[str, Any] = {
+            "event": kind, "ts": time.time(), "seq": self._seq
+        }
+        payload.update(fields)
+        self._seq += 1
+        self._handle.write(json.dumps(payload, separators=(",", ":")))
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def snapshot(
+        self,
+        source: Union[MetricsRegistry, MetricsSnapshot],
+        exact: bool = False,
+        **fields: Any,
+    ) -> None:
+        """Append a ``snapshot`` event with the registry's current state.
+
+        Compact by default (quantile estimates only); pass
+        ``exact=True`` to embed the full sketch state.
+        """
+        if isinstance(source, MetricsRegistry):
+            source = source.snapshot()
+        self.event("snapshot", metrics=source.as_dict(exact=exact), **fields)
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TelemetrySink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _format_labels(labels: Dict[str, str], extra: str = "") -> str:
+    items = [f'{k}="{_escape(v)}"' for k, v in sorted(labels.items())]
+    if extra:
+        items.append(extra)
+    if not items:
+        return ""
+    return "{" + ",".join(items) + "}"
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    return repr(float(value))
+
+
+def prometheus_exposition(
+    source: Union[MetricsRegistry, MetricsSnapshot],
+    prefix: str = PROM_PREFIX,
+) -> str:
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Counters and gauges become single samples; histograms are exposed
+    summary-style: one sample per tracked quantile (``quantile``
+    label), plus ``<name>_sum`` and ``<name>_count``. Unset gauges and
+    never-observed quantiles are skipped.
+    """
+    if isinstance(source, MetricsRegistry):
+        source = source.snapshot()
+    lines = []
+    seen_types = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {prefix}{name} {kind}")
+
+    for (name, labels), value in sorted(source.counters.items()):
+        type_line(name, "counter")
+        lines.append(
+            f"{prefix}{name}{_format_labels(dict(labels))} "
+            f"{_format_value(value)}"
+        )
+    for (name, labels), value in sorted(source.gauges.items()):
+        if value is None:
+            continue
+        type_line(name, "gauge")
+        lines.append(
+            f"{prefix}{name}{_format_labels(dict(labels))} "
+            f"{_format_value(value)}"
+        )
+    for (name, labels), state in sorted(source.histograms.items()):
+        type_line(name, "summary")
+        label_dict = dict(labels)
+        for sketch in state.sketches:
+            if sketch.value is None:
+                continue
+            quantile_label = f'quantile="{sketch.quantile:g}"'
+            lines.append(
+                f"{prefix}{name}"
+                f"{_format_labels(label_dict, quantile_label)} "
+                f"{_format_value(sketch.value)}"
+            )
+        lines.append(
+            f"{prefix}{name}_sum{_format_labels(label_dict)} "
+            f"{_format_value(state.sum)}"
+        )
+        lines.append(
+            f"{prefix}{name}_count{_format_labels(label_dict)} "
+            f"{_format_value(state.count)}"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_exposition(
+    source: Union[MetricsRegistry, MetricsSnapshot],
+    path: PathLike,
+    prefix: str = PROM_PREFIX,
+) -> int:
+    """Write the exposition text to ``path``; returns the byte count."""
+    text = prometheus_exposition(source, prefix=prefix)
+    data = text.encode("utf-8")
+    Path(path).write_bytes(data)
+    return len(data)

@@ -1,0 +1,96 @@
+"""Structured logging for the CLI and the reliability layer.
+
+The library modules log through ordinary stdlib loggers under the
+``"repro"`` namespace (quarantines at DEBUG, checkpoints at INFO,
+breaker trips at WARNING) and never configure handlers themselves —
+embedding applications keep full control. The CLI calls
+:func:`configure_logging` once per invocation:
+
+* human mode (default): bare messages, INFO+ to stdout, ERROR+ to
+  stderr — byte-identical to the historical ``print()`` output;
+* ``--log-json``: one JSON object per line (``ts``, ``level``,
+  ``logger``, ``message``), machine-parseable for log shippers.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Optional, TextIO
+
+#: Root logger name for the whole package.
+ROOT_LOGGER = "repro"
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, message."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": record.created,
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, separators=(",", ":"))
+
+
+class _BelowErrorFilter(logging.Filter):
+    def filter(self, record: logging.LogRecord) -> bool:
+        return record.levelno < logging.ERROR
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``repro.<name>``)."""
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure_logging(
+    level: str = "info",
+    json_output: bool = False,
+    stdout: Optional[TextIO] = None,
+    stderr: Optional[TextIO] = None,
+) -> logging.Logger:
+    """(Re)configure the ``repro`` logger tree for a CLI invocation.
+
+    Existing handlers on the ``repro`` logger are removed first, so
+    calling ``main()`` repeatedly (tests do) never duplicates output.
+    Records below ERROR go to ``stdout``, ERROR and above to
+    ``stderr`` — matching the historical print-based behaviour.
+
+    Args:
+        level: minimum level name ("debug", "info", "warning", "error").
+        json_output: emit JSON lines instead of bare messages.
+        stdout: stream for sub-ERROR records (default ``sys.stdout``,
+            resolved at call time so pytest's capture sees it).
+        stderr: stream for ERROR+ records (default ``sys.stderr``).
+    """
+    numeric = getattr(logging, level.upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    logger = logging.getLogger(ROOT_LOGGER)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    formatter: logging.Formatter = (
+        JsonFormatter() if json_output else logging.Formatter("%(message)s")
+    )
+    out_handler = logging.StreamHandler(
+        stdout if stdout is not None else sys.stdout
+    )
+    out_handler.setFormatter(formatter)
+    out_handler.addFilter(_BelowErrorFilter())
+    err_handler = logging.StreamHandler(
+        stderr if stderr is not None else sys.stderr
+    )
+    err_handler.setFormatter(formatter)
+    err_handler.setLevel(logging.ERROR)
+    logger.addHandler(out_handler)
+    logger.addHandler(err_handler)
+    logger.setLevel(numeric)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,147 @@
+"""Lightweight stage spans over the metrics registry.
+
+Replaces the scattered ``time.perf_counter()`` arithmetic in the
+engines and the supervisor: a :class:`Span` is a context manager that
+measures one stage and emits its duration into a registry histogram
+(``stage_seconds{stage=..., **tracer labels}``), so per-stage latency
+distributions (p50/p95/p99) and exact per-stage second totals come from
+one bookkeeping path. :class:`repro.engine.microbatch.StageTimings` is
+a *view* over this span data, not a parallel accumulator.
+
+Spans nest: the tracer keeps a stack, each span knows its parent and
+its ``path`` (``"batch/partition_execute"``), and nothing here is
+thread-shared — partition tasks build their own registry + tracer and
+ship a snapshot back to the driver.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.metrics import DEFAULT_QUANTILES, MetricsRegistry
+
+#: Metric family spans emit into by default.
+STAGE_SECONDS = "stage_seconds"
+
+
+class Span:
+    """One measured stage; use as a context manager.
+
+    The duration is recorded on exit into the tracer's histogram family
+    and exposed as :attr:`duration` for callers that also want the raw
+    number (the micro-batch engine builds its per-batch
+    ``StageTimings`` from these).
+    """
+
+    __slots__ = ("tracer", "name", "labels", "parent",
+                 "started", "duration")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        labels: Dict[str, str],
+        parent: Optional["Span"],
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.labels = labels
+        self.parent = parent
+        self.started: Optional[float] = None
+        self.duration: Optional[float] = None
+
+    @property
+    def path(self) -> str:
+        """Slash-joined ancestry, e.g. ``"batch/model_merge"``."""
+        if self.parent is None:
+            return self.name
+        return f"{self.parent.path}/{self.name}"
+
+    def __enter__(self) -> "Span":
+        self.tracer._push(self)
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self.started is not None
+        self.duration = time.perf_counter() - self.started
+        self.tracer._pop(self)
+
+
+class Tracer:
+    """Factory for spans bound to one registry and base label set.
+
+    Args:
+        registry: where span durations are recorded.
+        labels: labels stamped on every span's metrics (e.g.
+            ``{"engine": "microbatch"}``).
+        metric: histogram family name (default ``stage_seconds``).
+        quantiles: quantile points tracked per stage.
+        sketch_every: quantile-sketch sampling factor for the emitted
+            histograms (1 = sketch every observation).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        labels: Optional[Dict[str, str]] = None,
+        metric: str = STAGE_SECONDS,
+        quantiles: Iterable[float] = DEFAULT_QUANTILES,
+        sketch_every: int = 1,
+    ) -> None:
+        self.registry = registry
+        self.labels = dict(labels or {})
+        self.metric = metric
+        self.quantiles = tuple(quantiles)
+        self.sketch_every = sketch_every
+        self._stack: List[Span] = []
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def span(self, name: str, **labels: str) -> Span:
+        """A new span for stage ``name`` (enter it with ``with``)."""
+        merged = dict(self.labels)
+        merged.update(labels)
+        merged["stage"] = name
+        return Span(self, name, merged, self.current)
+
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # tolerate out-of-order exits
+            self._stack.remove(span)
+        assert span.duration is not None
+        self.registry.histogram(
+            self.metric,
+            quantiles=self.quantiles,
+            sketch_every=self.sketch_every,
+            **span.labels,
+        ).observe(span.duration)
+
+
+def stage_seconds_by_stage(
+    registry: MetricsRegistry, metric: str = STAGE_SECONDS, **label_filter: str
+) -> Dict[str, float]:
+    """Exact seconds spent per stage, read back from span histograms.
+
+    Sums the ``metric`` family's histogram sums grouped by their
+    ``stage`` label, restricted to children matching ``label_filter``
+    (e.g. ``engine="sequential"``).
+    """
+    wanted = set(
+        (str(k), str(v)) for k, v in label_filter.items()
+    )
+    totals: Dict[str, float] = {}
+    for (name, labels), hist in registry._histograms.items():
+        if name != metric or not wanted.issubset(labels):
+            continue
+        stage = dict(labels).get("stage", "")
+        totals[stage] = totals.get(stage, 0.0) + hist.sum
+    return totals

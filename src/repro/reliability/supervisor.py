@@ -62,8 +62,12 @@ from repro.engine.microbatch import (
 )
 from repro.engine.runners import Runner
 from repro.engine.sequential import SequentialEngine
+from repro.obs.export import TelemetrySink
+from repro.obs.logconfig import get_logger
+from repro.obs.metrics import MetricsSnapshot
 from repro.reliability.deadletter import (
     CircuitBreaker,
+    CircuitOpenError,
     DeadLetterQueue,
     PoisonTweetError,
     StreamHealth,
@@ -75,8 +79,14 @@ from repro.streamml.serialize import (
     model_to_dict,
 )
 
-SUPERVISOR_CHECKPOINT_VERSION = 1
+#: Version 2 adds the ``metrics`` registry snapshot to the payload;
+#: version-1 checkpoints are still readable (metrics resume as rebuilt
+#: approximations instead of exact restores).
+SUPERVISOR_CHECKPOINT_VERSION = 2
+_READABLE_CHECKPOINT_VERSIONS = (1, 2)
 CHECKPOINT_FILENAME = "checkpoint.json"
+
+logger = get_logger("supervisor")
 
 PathLike = Union[str, Path]
 Engine = Union[MicroBatchEngine, SequentialEngine]
@@ -229,8 +239,48 @@ def microbatch_engine_from_dict(
     engine.n_quarantined = int(counters["n_quarantined"])
     engine.n_retries = int(counters["n_retries"])
     engine.batches = [_batch_result_from_dict(b) for b in payload["batches"]]
-    engine.stage_seconds = _timings_from_dict(payload["stage_seconds"])
+    _seed_registry_from_counters(engine)
     return engine
+
+
+def _seed_registry_from_counters(engine: MicroBatchEngine) -> None:
+    """Approximate the restored engine's registry from its counters.
+
+    ``stage_seconds`` is a view over the registry, so a restored engine
+    must carry span history: each stage's saved total becomes a single
+    histogram observation (exact sums, coarser distributions), and the
+    data-flow counters are replayed. A supervisor-level resume then
+    *replaces* all of this with the checkpoint's exact snapshot — this
+    seeding only matters for standalone engine restores and for
+    version-1 checkpoints that predate the snapshot.
+    """
+    registry = engine.metrics
+    for batch in engine.batches:
+        for stage, seconds in batch.stage_seconds.as_dict().items():
+            registry.histogram(
+                "stage_seconds", engine="microbatch", stage=stage
+            ).observe(float(seconds))
+        engine._batch_hist.observe(batch.elapsed_seconds)
+    engine._m_batches.inc(len(engine.batches))
+    engine._m_ingested.inc(engine.n_processed + engine.n_quarantined)
+    if engine.n_retries:
+        engine._m_retries.inc(engine.n_retries)
+    registry.counter("tweets_processed_total", engine="microbatch").inc(
+        engine.n_processed
+    )
+    registry.counter("tweets_labeled_total", engine="microbatch").inc(
+        engine.n_labeled
+    )
+    registry.counter("tweets_unlabeled_total", engine="microbatch").inc(
+        engine.n_unlabeled
+    )
+    if engine.n_quarantined:
+        registry.counter(
+            "tweets_quarantined_total", engine="microbatch", stage="partition"
+        ).inc(engine.n_quarantined)
+    if engine.alert_manager.n_alerts:
+        engine._m_alerts.inc(engine.alert_manager.n_alerts)
+    engine._publish_gauges()
 
 
 def _engine_to_dict(engine: Engine) -> Dict[str, Any]:
@@ -275,6 +325,12 @@ class StreamSupervisor:
         validate: validate tweets at ingest (before batch assembly) so
             corrupt records never skew batch composition. Disable only
             if the engine's own in-partition quarantine should see them.
+        telemetry: optional :class:`~repro.obs.export.TelemetrySink`;
+            the supervisor emits checkpoint/quarantine/breaker events
+            and periodic metric snapshots into it. The sink's lifecycle
+            belongs to the caller.
+        metrics_every: emit a snapshot event every N chunks (defaults
+            to ``checkpoint_every``; only meaningful with ``telemetry``).
     """
 
     def __init__(
@@ -286,6 +342,8 @@ class StreamSupervisor:
         dead_letters: Optional[DeadLetterQueue] = None,
         max_poison_rate: Optional[float] = None,
         validate: bool = True,
+        telemetry: Optional[TelemetrySink] = None,
+        metrics_every: Optional[int] = None,
     ) -> None:
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
@@ -312,11 +370,32 @@ class StreamSupervisor:
             else None
         )
         self.validate = validate
+        if metrics_every is not None and metrics_every < 1:
+            raise ValueError("metrics_every must be >= 1")
+        self.telemetry = telemetry
+        self.metrics_every = (
+            metrics_every if metrics_every is not None else checkpoint_every
+        )
         self._cursor = 0  # tweets drawn from the stream, incl. quarantined
         self._chunks_done = 0
         self._n_poisoned = 0  # quarantined at ingest validation
         self.n_checkpoints = 0
         self.last_checkpoint_chunk: Optional[int] = None
+        # Shared registry: the engine (and its pipeline/partitions)
+        # already report into it; the supervisor adds the ingest-side
+        # counters and reads health back out.
+        self.metrics = engine.metrics
+        self._engine_kind = (
+            "microbatch" if isinstance(engine, MicroBatchEngine)
+            else "sequential"
+        )
+        self._m_consumed = self.metrics.counter("tweets_consumed_total")
+        self._m_checkpoints = self.metrics.counter("checkpoints_total")
+        self._m_ingest_quarantined = self.metrics.counter(
+            "tweets_quarantined_total",
+            engine=self._engine_kind,
+            stage="ingest-validate",
+        )
 
     # -- checkpointing --------------------------------------------------
 
@@ -344,10 +423,25 @@ class StreamSupervisor:
                 else None
             ),
             "engine": _engine_to_dict(self.engine),
+            # Exact registry state (sketches included): a resumed run's
+            # registry continues from precisely this point.
+            "metrics": self.metrics.snapshot().as_dict(exact=True),
         }
         size = atomic_write_json(path, payload)
         self.n_checkpoints += 1
         self.last_checkpoint_chunk = self._chunks_done
+        self._m_checkpoints.inc()
+        logger.info(
+            "checkpoint written: chunk=%d cursor=%d bytes=%d",
+            self._chunks_done, self._cursor, size,
+        )
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "checkpoint",
+                chunk=self._chunks_done,
+                cursor=self._cursor,
+                bytes=size,
+            )
         return size
 
     @classmethod
@@ -361,6 +455,8 @@ class StreamSupervisor:
         dead_letters: Optional[DeadLetterQueue] = None,
         max_poison_rate: Optional[float] = None,
         validate: bool = True,
+        telemetry: Optional[TelemetrySink] = None,
+        metrics_every: Optional[int] = None,
     ) -> "StreamSupervisor":
         """Rebuild a supervisor from the last good checkpoint.
 
@@ -372,7 +468,7 @@ class StreamSupervisor:
         path = Path(checkpoint_dir) / CHECKPOINT_FILENAME
         payload = json.loads(path.read_text(encoding="utf-8"))
         version = payload.get("supervisor_version")
-        if version != SUPERVISOR_CHECKPOINT_VERSION:
+        if version not in _READABLE_CHECKPOINT_VERSIONS:
             raise SerializationError(
                 f"unsupported supervisor checkpoint version {version!r}"
             )
@@ -392,12 +488,18 @@ class StreamSupervisor:
                 dead_letters=dead_letters, max_poison_rate=max_poison_rate
             )
             quarantine = (engine.pipeline.dead_letters, engine.pipeline.breaker)
-            engine.pipeline = pipeline_from_dict(engine_payload["pipeline"])
-            engine.pipeline.dead_letters, engine.pipeline.breaker = quarantine
+            pipeline = pipeline_from_dict(engine_payload["pipeline"])
+            pipeline.dead_letters, pipeline.breaker = quarantine
+            engine.replace_pipeline(pipeline)
         else:
             raise SerializationError(
                 f"unknown engine kind {engine_payload['engine']!r}"
             )
+        metrics_payload = payload.get("metrics")
+        if metrics_payload is not None:
+            # Replace the seeded approximations with the exact snapshot
+            # (in place — the engine's bound metric objects stay live).
+            engine.metrics.restore(MetricsSnapshot.from_dict(metrics_payload))
         supervisor = cls(
             engine,
             checkpoint_dir=checkpoint_dir,
@@ -406,6 +508,12 @@ class StreamSupervisor:
             dead_letters=dead_letters,
             max_poison_rate=max_poison_rate,
             validate=validate,
+            telemetry=telemetry,
+            metrics_every=metrics_every,
+        )
+        logger.info(
+            "resumed from checkpoint: cursor=%d chunks_done=%d",
+            int(payload["cursor"]), int(payload["chunks_done"]),
         )
         supervisor._cursor = int(payload["cursor"])
         supervisor._chunks_done = int(payload["chunks_done"])
@@ -434,6 +542,7 @@ class StreamSupervisor:
         chunk: List[Tweet] = []
         for tweet in iterator:
             self._cursor += 1
+            self._m_consumed.inc()
             if self.validate and not self._admit(tweet):
                 continue
             chunk.append(tweet)
@@ -443,9 +552,13 @@ class StreamSupervisor:
         if chunk:
             self._process_chunk(chunk)
         self.write_checkpoint()
+        health = self.health()
+        if self.telemetry is not None:
+            self.telemetry.snapshot(self.metrics, reason="final")
+            self.telemetry.event("run_end", health=health.as_dict())
         return SupervisedRun(
             result=self.engine.result(),
-            health=self.health(),
+            health=health,
             dead_letters=self.dead_letters,
         )
 
@@ -455,15 +568,42 @@ class StreamSupervisor:
             validate_tweet(tweet)
         except PoisonTweetError as exc:
             self._n_poisoned += 1
+            self._m_ingest_quarantined.inc()
+            tweet_id = getattr(tweet, "tweet_id", None)
             self.dead_letters.add_failure(
-                getattr(tweet, "tweet_id", None),
+                tweet_id,
                 "ingest-validate",
                 exc,
                 with_traceback=False,
             )
+            logger.debug(
+                "quarantined tweet %r at ingest: %s", tweet_id, exc
+            )
+            if self.telemetry is not None:
+                self.telemetry.event(
+                    "quarantine",
+                    tweet_id=tweet_id,
+                    stage="ingest-validate",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
             if self.breaker is not None:
                 self.breaker.record(True)
-                self.breaker.check()
+                try:
+                    self.breaker.check()
+                except CircuitOpenError:
+                    logger.warning(
+                        "circuit breaker open: %.2f%% of %d consumed "
+                        "tweets quarantined",
+                        100.0 * self.breaker.failure_rate,
+                        self.breaker.n_events,
+                    )
+                    if self.telemetry is not None:
+                        self.telemetry.event(
+                            "breaker_open",
+                            failure_rate=self.breaker.failure_rate,
+                            n_events=self.breaker.n_events,
+                        )
+                    raise
             return False
         if self.breaker is not None:
             self.breaker.record(False)
@@ -476,6 +616,13 @@ class StreamSupervisor:
             self.engine.process_many(chunk)
         self._chunks_done += 1
         if (
+            self.telemetry is not None
+            and self._chunks_done % self.metrics_every == 0
+        ):
+            self.telemetry.snapshot(
+                self.metrics, chunk=self._chunks_done, cursor=self._cursor
+            )
+        if (
             self.checkpoint_dir is not None
             and self._chunks_done % self.checkpoint_every == 0
         ):
@@ -484,20 +631,21 @@ class StreamSupervisor:
     # -- reporting ------------------------------------------------------
 
     def health(self) -> StreamHealth:
-        """Current reliability summary across supervisor and engine."""
+        """Current reliability summary across supervisor and engine.
+
+        The data-flow counts (consumed/processed/quarantined/retries)
+        are registry reads — the supervisor, both engines, the pipeline
+        and the partition tasks all report into the shared registry, so
+        there is no second bookkeeping path to reconcile. Checkpoint
+        bookkeeping stays supervisor-local: a resumed run reports only
+        the checkpoints *it* wrote.
+        """
         if isinstance(self.engine, MicroBatchEngine):
-            engine_quarantined = self.engine.n_quarantined
-            engine_retries = self.engine.n_retries
-            n_processed = self.engine.n_processed
             engine_breaker = self.engine.breaker
             engine_dlq = self.engine.dead_letters
         else:
-            pipeline = self.engine.pipeline
-            engine_quarantined = pipeline.n_quarantined
-            engine_retries = 0
-            n_processed = pipeline.n_processed
-            engine_breaker = pipeline.breaker
-            engine_dlq = pipeline.dead_letters
+            engine_breaker = self.engine.pipeline.breaker
+            engine_dlq = self.engine.pipeline.dead_letters
         by_stage = self.dead_letters.by_stage()
         if engine_dlq is not None and engine_dlq is not self.dead_letters:
             for stage, count in engine_dlq.by_stage().items():
@@ -505,11 +653,8 @@ class StreamSupervisor:
         breaker_open = any(
             b is not None and b.is_open for b in (self.breaker, engine_breaker)
         )
-        return StreamHealth(
-            n_consumed=self._cursor,
-            n_processed=n_processed,
-            n_quarantined=self._n_poisoned + engine_quarantined,
-            n_retries=engine_retries,
+        return StreamHealth.from_registry(
+            self.metrics,
             n_checkpoints=self.n_checkpoints,
             last_checkpoint_batch=self.last_checkpoint_chunk,
             breaker_open=breaker_open,

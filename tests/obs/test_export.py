@@ -1,0 +1,119 @@
+"""JSONL telemetry sink and Prometheus text exposition."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import (
+    TelemetrySink,
+    prometheus_exposition,
+    write_exposition,
+)
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+
+
+def _registry():
+    registry = MetricsRegistry()
+    registry.counter("tweets_total", engine="seq").inc(10)
+    registry.gauge("bow_size").set(123)
+    hist = registry.histogram("latency_seconds")
+    for value in (0.1, 0.2, 0.3, 0.4):
+        hist.observe(value)
+    return registry
+
+
+class TestTelemetrySink:
+    def test_events_are_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with TelemetrySink(path) as sink:
+            sink.event("run_start", input="data.jsonl")
+            sink.event("checkpoint", chunk=4)
+        events = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [e["event"] for e in events] == ["run_start", "checkpoint"]
+        assert events[0]["input"] == "data.jsonl"
+        assert events[1]["chunk"] == 4
+
+    def test_seq_is_monotonic_across_events(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with TelemetrySink(path) as sink:
+            for _ in range(5):
+                sink.event("tick")
+        seqs = [
+            json.loads(l)["seq"] for l in path.read_text().splitlines()
+        ]
+        assert seqs == sorted(seqs) == list(range(5))
+
+    def test_snapshot_event_embeds_metrics(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with TelemetrySink(path) as sink:
+            sink.snapshot(_registry(), reason="final")
+        event = json.loads(path.read_text())
+        assert event["event"] == "snapshot"
+        assert event["reason"] == "final"
+        names = {c["name"] for c in event["metrics"]["counters"]}
+        assert "tweets_total" in names
+        # Compact by default: no sketch state embedded.
+        assert "sketches" not in event["metrics"]["histograms"][0]
+
+    def test_exact_snapshot_roundtrips(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with TelemetrySink(path) as sink:
+            sink.snapshot(_registry(), exact=True)
+        event = json.loads(path.read_text())
+        rebuilt = MetricsSnapshot.from_dict(event["metrics"])
+        assert rebuilt.counters == _registry().snapshot().counters
+
+    def test_write_after_close_is_noop(self, tmp_path):
+        sink = TelemetrySink(tmp_path / "events.jsonl")
+        sink.event("one")
+        sink.close()
+        sink.event("two")
+        sink.close()  # idempotent
+        lines = (tmp_path / "events.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+
+    def test_appends_across_sinks(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with TelemetrySink(path) as sink:
+            sink.event("first_run")
+        with TelemetrySink(path) as sink:
+            sink.event("second_run")
+        kinds = [
+            json.loads(l)["event"] for l in path.read_text().splitlines()
+        ]
+        assert kinds == ["first_run", "second_run"]
+
+
+class TestPrometheusExposition:
+    def test_counters_gauges_and_summaries(self):
+        text = prometheus_exposition(_registry())
+        assert '# TYPE repro_tweets_total counter' in text
+        assert 'repro_tweets_total{engine="seq"} 10.0' in text
+        assert '# TYPE repro_bow_size gauge' in text
+        assert 'repro_bow_size 123.0' in text
+        assert '# TYPE repro_latency_seconds summary' in text
+        assert 'repro_latency_seconds{quantile="0.5"}' in text
+        assert 'repro_latency_seconds_count 4.0' in text
+        assert 'repro_latency_seconds_sum 1.0' in text
+
+    def test_unset_gauges_are_skipped(self):
+        registry = MetricsRegistry()
+        registry.gauge("never_set")
+        assert prometheus_exposition(registry) == ""
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", path='a"b\\c\nd').inc()
+        text = prometheus_exposition(registry)
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+    def test_snapshot_and_registry_render_identically(self):
+        registry = _registry()
+        assert prometheus_exposition(registry) == prometheus_exposition(
+            registry.snapshot()
+        )
+
+    def test_write_exposition_returns_byte_count(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        n = write_exposition(_registry(), path)
+        assert path.stat().st_size == n > 0

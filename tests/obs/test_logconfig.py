@@ -1,0 +1,90 @@
+"""CLI logging: level routing, JSON formatter, reconfiguration."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logconfig import configure_logging, get_logger
+
+
+@pytest.fixture()
+def streams():
+    return io.StringIO(), io.StringIO()
+
+
+class TestGetLogger:
+    def test_names_live_under_repro(self):
+        assert get_logger("cli").name == "repro.cli"
+        assert get_logger("repro").name == "repro"
+        assert get_logger("repro.supervisor").name == "repro.supervisor"
+
+    def test_children_propagate_to_repro_handlers(self, streams):
+        out, err = streams
+        configure_logging(stdout=out, stderr=err)
+        get_logger("supervisor").info("checkpointed")
+        assert out.getvalue() == "checkpointed\n"
+
+
+class TestRouting:
+    def test_info_to_stdout_error_to_stderr(self, streams):
+        out, err = streams
+        logger = configure_logging(stdout=out, stderr=err)
+        logger.info("plain message")
+        logger.error("bad news")
+        assert out.getvalue() == "plain message\n"
+        assert err.getvalue() == "bad news\n"
+
+    def test_level_filters_below_threshold(self, streams):
+        out, err = streams
+        logger = configure_logging("warning", stdout=out, stderr=err)
+        logger.debug("hidden")
+        logger.info("hidden too")
+        logger.warning("visible")
+        assert out.getvalue() == "visible\n"
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError):
+            configure_logging("loud")
+
+    def test_reconfigure_does_not_duplicate_handlers(self, streams):
+        out, err = streams
+        for _ in range(3):
+            logger = configure_logging(stdout=out, stderr=err)
+        logger.info("once")
+        assert out.getvalue() == "once\n"
+        assert len(logger.handlers) == 2
+
+
+class TestJsonMode:
+    def test_records_are_json_lines(self, streams):
+        out, err = streams
+        logger = configure_logging(json_output=True, stdout=out, stderr=err)
+        logger.info("processed %d tweets", 42)
+        record = json.loads(out.getvalue())
+        assert record["level"] == "info"
+        assert record["logger"] == "repro"
+        assert record["message"] == "processed 42 tweets"
+        assert isinstance(record["ts"], float)
+
+    def test_exceptions_carry_traceback(self, streams):
+        out, err = streams
+        logger = configure_logging(json_output=True, stdout=out, stderr=err)
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            logger.exception("stage failed")
+        record = json.loads(err.getvalue())
+        assert record["level"] == "error"
+        assert "RuntimeError: boom" in record["exc_info"]
+
+
+class TestLibraryNeutrality:
+    def test_library_loggers_have_no_handlers_by_default(self):
+        # Modules must not configure handlers at import time; only
+        # configure_logging() attaches them (to the "repro" root).
+        for name in ("repro.supervisor", "repro.cli"):
+            assert logging.getLogger(name).handlers == []

@@ -1,0 +1,98 @@
+"""Span nesting and the registry-backed stage-seconds view."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer, stage_seconds_by_stage
+
+
+class TestSpans:
+    def test_span_records_duration_into_registry(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry, labels={"engine": "test"})
+        with tracer.span("work") as span:
+            pass
+        assert span.duration is not None and span.duration >= 0.0
+        hist = registry.histogram(
+            "stage_seconds", engine="test", stage="work"
+        )
+        assert hist.count == 1
+        assert hist.sum == pytest.approx(span.duration)
+
+    def test_nesting_builds_paths_and_stack(self):
+        tracer = Tracer(MetricsRegistry())
+        assert tracer.current is None
+        with tracer.span("batch") as outer:
+            assert tracer.current is outer
+            with tracer.span("merge") as inner:
+                assert tracer.current is inner
+                assert inner.parent is outer
+                assert inner.path == "batch/merge"
+            assert tracer.current is outer
+        assert tracer.current is None
+        assert outer.path == "batch"
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer(MetricsRegistry())
+        with tracer.span("run"):
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.path == "run/a"
+        assert b.path == "run/b"
+
+    def test_duration_recorded_even_when_stage_raises(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry)
+        with pytest.raises(RuntimeError):
+            with tracer.span("explodes"):
+                raise RuntimeError("boom")
+        assert tracer.current is None
+        assert registry.histogram("stage_seconds", stage="explodes").count == 1
+
+    def test_per_span_labels_override_tracer_labels(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry, labels={"engine": "a"})
+        with tracer.span("s", engine="b"):
+            pass
+        assert registry.histogram(
+            "stage_seconds", engine="b", stage="s"
+        ).count == 1
+
+
+class TestStageSecondsByStage:
+    def test_groups_sums_by_stage_label(self):
+        registry = MetricsRegistry()
+        registry.histogram(
+            "stage_seconds", engine="mb", stage="merge"
+        ).observe(1.0)
+        registry.histogram(
+            "stage_seconds", engine="mb", stage="merge"
+        ).observe(2.0)
+        registry.histogram(
+            "stage_seconds", engine="mb", stage="drain"
+        ).observe(4.0)
+        registry.histogram(
+            "stage_seconds", engine="seq", stage="merge"
+        ).observe(8.0)
+        assert stage_seconds_by_stage(registry, engine="mb") == {
+            "merge": 3.0, "drain": 4.0
+        }
+        assert stage_seconds_by_stage(registry) == {"merge": 11.0, "drain": 4.0}
+
+    def test_metric_family_filter(self):
+        registry = MetricsRegistry()
+        registry.histogram(
+            "tweet_stage_seconds", stage="extract"
+        ).observe(0.5)
+        registry.histogram("stage_seconds", stage="run").observe(1.0)
+        per_tweet = stage_seconds_by_stage(
+            registry, metric="tweet_stage_seconds"
+        )
+        assert per_tweet == {"extract": 0.5}
+
+    def test_empty_registry_yields_empty_mapping(self):
+        assert stage_seconds_by_stage(MetricsRegistry()) == {}

@@ -1,0 +1,115 @@
+"""Property tests for metric snapshot merge semantics.
+
+The driver folds per-partition snapshots in arrival order, and the
+supervisor may fold a checkpointed snapshot on top of that — so merge
+must be associative (and, for the exact fields, commutative) or the
+same run would report different totals depending on partition
+completion order. Counters, gauges, and histogram count/sum/min/max
+are exactly associative; the P² quantile sketches are only
+approximately so and are therefore excluded from the equality checks
+(their accuracy is covered in ``tests/obs/test_metrics.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+amounts = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+partition = st.fixed_dictionaries(
+    {
+        "counts": st.lists(amounts, max_size=8),
+        "gauge": st.none() | finite,
+        "observations": st.lists(finite, max_size=20),
+    }
+)
+
+
+def _registry_for(data):
+    registry = MetricsRegistry()
+    for amount in data["counts"]:
+        registry.counter("events_total", engine="p").inc(amount)
+    if data["gauge"] is not None:
+        registry.gauge("size").set(data["gauge"])
+    hist = registry.histogram("latency_seconds")
+    for value in data["observations"]:
+        hist.observe(value)
+    return registry
+
+
+def _exact_view(registry):
+    """Merge-exact registry state: counters, gauges, histogram fields."""
+    snap = registry.snapshot()
+    return {
+        "counters": snap.counters,
+        "gauges": snap.gauges,
+        "histograms": {
+            key: (state.count, state.sum, state.min, state.max)
+            for key, state in snap.histograms.items()
+        },
+    }
+
+
+def _merged(*parts):
+    base = _registry_for(parts[0])
+    for part in parts[1:]:
+        base.merge_snapshot(_registry_for(part).snapshot())
+    return base
+
+
+def _assert_exact_equal(left, right):
+    a, b = _exact_view(left), _exact_view(right)
+    assert a["counters"].keys() == b["counters"].keys()
+    for key in a["counters"]:
+        assert a["counters"][key] == pytest.approx(b["counters"][key])
+    assert a["gauges"] == b["gauges"]
+    assert a["histograms"].keys() == b["histograms"].keys()
+    for key in a["histograms"]:
+        count_a, sum_a, min_a, max_a = a["histograms"][key]
+        count_b, sum_b, min_b, max_b = b["histograms"][key]
+        assert count_a == count_b
+        assert sum_a == pytest.approx(sum_b)
+        assert min_a == min_b
+        assert max_a == max_b
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=60, deadline=None)
+    @given(partition, partition, partition)
+    def test_merge_is_associative(self, a, b, c):
+        left = _registry_for(a)
+        bc = _registry_for(b)
+        bc.merge_snapshot(_registry_for(c).snapshot())
+        left.merge_snapshot(bc.snapshot())  # a ⊕ (b ⊕ c)
+        right = _merged(a, b, c)  # (a ⊕ b) ⊕ c
+        _assert_exact_equal(left, right)
+
+    @settings(max_examples=60, deadline=None)
+    @given(partition, partition)
+    def test_exact_fields_commute(self, a, b):
+        _assert_exact_equal(_merged(a, b), _merged(b, a))
+
+    @settings(max_examples=60, deadline=None)
+    @given(partition, partition)
+    def test_merge_conserves_counts(self, a, b):
+        merged = _merged(a, b)
+        assert merged.total("events_total") == pytest.approx(
+            sum(a["counts"]) + sum(b["counts"])
+        )
+        assert merged.histogram("latency_seconds").count == len(
+            a["observations"]
+        ) + len(b["observations"])
+
+    @settings(max_examples=40, deadline=None)
+    @given(partition)
+    def test_merging_an_empty_snapshot_is_identity(self, a):
+        merged = _registry_for(a)
+        merged.merge_snapshot(MetricsRegistry().snapshot())
+        _assert_exact_equal(merged, _registry_for(a))

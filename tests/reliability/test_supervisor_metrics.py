@@ -1,0 +1,152 @@
+"""Registry-backed supervision: crash-resume metric equivalence.
+
+The observability acceptance bar: a supervised run that crashes and
+resumes from its checkpoint must end with the *same* data-flow metrics
+as one that never crashed — otherwise dashboards built on the exported
+telemetry silently lie after every recovery. Wall-clock families
+(``*_seconds`` histograms) legitimately differ between the two runs,
+and ``checkpoints_total`` counts only the checkpoints the surviving
+process wrote, so both are excluded from the comparison.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.data.synthetic import AbusiveDatasetGenerator
+from repro.engine.microbatch import MicroBatchEngine
+from repro.engine.sequential import SequentialEngine
+from repro.obs.export import TelemetrySink
+from repro.reliability import StreamSupervisor
+
+
+def _tweets(n=600, seed=3):
+    return AbusiveDatasetGenerator(n_tweets=n, seed=seed).generate_list()
+
+
+class _Crash(Exception):
+    """Simulated hard driver death mid-stream."""
+
+
+def _crashing(tweets, at):
+    for index, tweet in enumerate(tweets):
+        if index >= at:
+            raise _Crash(f"driver died at tweet {index}")
+        yield tweet
+
+
+def _deterministic_view(registry):
+    """Counters and gauges that must match run-for-run.
+
+    Timing histograms and the checkpoint counter are process-local by
+    nature; everything else in the registry is a pure function of the
+    input stream and must survive crash-resume bit-exactly.
+    """
+    snap = registry.snapshot()
+    counters = {
+        key: value
+        for key, value in snap.counters.items()
+        if key[0] != "checkpoints_total"
+    }
+    return counters, dict(snap.gauges)
+
+
+class TestCrashResumeMetricEquivalence:
+    @pytest.mark.parametrize("engine_kind", ["microbatch", "sequential"])
+    def test_resumed_registry_matches_uninterrupted(
+        self, tmp_path, engine_kind
+    ):
+        tweets = _tweets()
+
+        def build():
+            if engine_kind == "microbatch":
+                return MicroBatchEngine(n_partitions=4, batch_size=50)
+            return SequentialEngine()
+
+        baseline = StreamSupervisor(
+            build(),
+            checkpoint_dir=tmp_path / "base",
+            checkpoint_every=2,
+            chunk_size=50,
+        )
+        baseline.run(tweets)
+
+        crashed = StreamSupervisor(
+            build(),
+            checkpoint_dir=tmp_path / "crash",
+            checkpoint_every=2,
+            chunk_size=50,
+        )
+        with pytest.raises(_Crash):
+            crashed.run(_crashing(tweets, at=330))
+        assert crashed.n_checkpoints >= 3
+
+        resumed = StreamSupervisor.resume(
+            tmp_path / "crash", checkpoint_every=2
+        )
+        resumed.run(tweets)
+
+        base_counters, base_gauges = _deterministic_view(baseline.metrics)
+        res_counters, res_gauges = _deterministic_view(resumed.metrics)
+        assert res_counters == base_counters
+        assert res_gauges == base_gauges
+        # The interesting families really are in the comparison.
+        names = {name for name, _ in base_counters}
+        assert "tweets_consumed_total" in names
+        assert "tweets_ingested_total" in names
+        assert "tweets_processed_total" in names
+
+    def test_health_is_a_registry_view(self, tmp_path):
+        supervisor = StreamSupervisor(
+            SequentialEngine(),
+            checkpoint_dir=tmp_path,
+            checkpoint_every=2,
+            chunk_size=50,
+        )
+        run = supervisor.run(_tweets(300))
+        health = run.health
+        registry = supervisor.metrics
+        assert health.n_consumed == registry.total("tweets_consumed_total")
+        assert health.n_processed == registry.total("tweets_processed_total")
+        assert health.n_checkpoints == supervisor.n_checkpoints > 0
+
+
+class TestSupervisedTelemetry:
+    def test_run_emits_snapshots_and_run_end(self, tmp_path):
+        sink_path = tmp_path / "events.jsonl"
+        with TelemetrySink(sink_path) as sink:
+            supervisor = StreamSupervisor(
+                SequentialEngine(),
+                chunk_size=50,
+                telemetry=sink,
+                metrics_every=2,
+            )
+            supervisor.run(_tweets(300))
+        events = [
+            json.loads(line) for line in sink_path.read_text().splitlines()
+        ]
+        kinds = [e["event"] for e in events]
+        assert kinds[-1] == "run_end"
+        assert kinds.count("snapshot") >= 2
+        final = [e for e in events if e["event"] == "snapshot"][-1]
+        names = {c["name"] for c in final["metrics"]["counters"]}
+        assert "tweets_consumed_total" in names
+
+    def test_checkpoint_event_written_per_checkpoint(self, tmp_path):
+        sink_path = tmp_path / "events.jsonl"
+        with TelemetrySink(sink_path) as sink:
+            supervisor = StreamSupervisor(
+                SequentialEngine(),
+                checkpoint_dir=tmp_path / "ckpt",
+                checkpoint_every=2,
+                chunk_size=50,
+                telemetry=sink,
+            )
+            supervisor.run(_tweets(300))
+        events = [
+            json.loads(line) for line in sink_path.read_text().splitlines()
+        ]
+        checkpoints = [e for e in events if e["event"] == "checkpoint"]
+        assert len(checkpoints) == supervisor.n_checkpoints > 0

@@ -163,3 +163,54 @@ class TestSupervisedRun:
     def test_resume_requires_checkpoint_dir(self, dataset, capsys):
         assert main(["run", str(dataset), "--resume"]) == 2
         assert "requires --checkpoint-dir" in capsys.readouterr().err
+
+
+class TestTelemetry:
+    @pytest.fixture()
+    def dataset(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        main(["generate", str(path), "--tweets", "400", "--seed", "7"])
+        return path
+
+    @pytest.mark.parametrize("engine_args", [
+        [],
+        ["--engine", "microbatch", "--batch-size", "100"],
+        ["--batch-size", "100", "--checkpoint-every", "2"],
+    ], ids=["sequential", "microbatch", "supervised"])
+    def test_metrics_out_writes_jsonl_and_exposition(
+        self, dataset, tmp_path, capsys, engine_args
+    ):
+        events_path = tmp_path / "events.jsonl"
+        args = ["run", str(dataset), "--metrics-out", str(events_path)]
+        if "--checkpoint-every" in engine_args:
+            args += ["--checkpoint-dir", str(tmp_path / "ckpt")]
+        assert main(args + engine_args) == 0
+        assert "telemetry" in capsys.readouterr().out
+
+        events = [
+            json.loads(line)
+            for line in events_path.read_text().splitlines()
+        ]
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "run_start"
+        assert kinds[-1] == "run_end"
+        final = [e for e in events if e["event"] == "snapshot"][-1]
+        names = {c["name"] for c in final["metrics"]["counters"]}
+        assert "tweets_processed_total" in names
+        hist_names = {h["name"] for h in final["metrics"]["histograms"]}
+        assert "tweet_stage_seconds" in hist_names
+
+        exposition = (tmp_path / "events.jsonl.prom").read_text()
+        assert "# TYPE repro_tweets_processed_total counter" in exposition
+        assert 'quantile="0.95"' in exposition
+
+    def test_log_json_emits_parseable_lines(self, dataset, capsys):
+        assert main(["--log-json", "run", str(dataset)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert all(r["level"] == "info" for r in records)
+        assert any("accuracy" in r["message"] for r in records)
+
+    def test_log_level_error_silences_run_output(self, dataset, capsys):
+        assert main(["--log-level", "error", "run", str(dataset)]) == 0
+        assert capsys.readouterr().out == ""

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Lint: no bare ``print()`` calls in the library source.
+
+Library output goes through the ``repro`` logging tree
+(:mod:`repro.obs.logconfig`) or an explicit stream write — bare prints
+bypass log levels, the JSON formatter, and output capture. This walks
+the AST (so prints inside docstrings or comments don't false-positive)
+and exits non-zero listing any offending call sites.
+
+Usage: python tools/check_no_print.py [root ...]   (default: src/repro)
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+
+def find_print_calls(source: str) -> Iterator[Tuple[int, int]]:
+    """Yield (line, column) of every bare ``print(...)`` call."""
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            yield node.lineno, node.col_offset
+
+
+def check_tree(root: Path) -> List[str]:
+    """Offending ``path:line:col`` strings under ``root``."""
+    failures = []
+    for path in sorted(root.rglob("*.py")):
+        source = path.read_text(encoding="utf-8")
+        for line, col in find_print_calls(source):
+            failures.append(f"{path}:{line}:{col}")
+    return failures
+
+
+def main(argv: List[str]) -> int:
+    roots = [Path(a) for a in argv] or [Path("src/repro")]
+    failures = [f for root in roots for f in check_tree(root)]
+    if failures:
+        print("bare print() calls found (use repro.obs.logconfig loggers):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
