@@ -127,6 +127,32 @@ def build_parser() -> argparse.ArgumentParser:
                      help="quarantine malformed tweets instead of crashing, "
                      "but abort once their fraction exceeds RATE "
                      "(e.g. 0.05; enables supervised execution)")
+    run.add_argument("--queue-capacity", type=_positive_int, default=None,
+                     metavar="N",
+                     help="bound the ingest queue at N tweets and shed "
+                     "excess load by --shed-policy instead of buffering "
+                     "without limit (enables supervised execution)")
+    run.add_argument("--shed-policy", default="drop-oldest",
+                     choices=("drop-oldest", "drop-newest", "sample"),
+                     help="what to evict when the ingest queue is full "
+                     "(default drop-oldest; labeled tweets are never shed)")
+    run.add_argument("--batch-deadline", type=float, default=None,
+                     metavar="SECONDS",
+                     help="soft per-batch deadline; repeated misses shrink "
+                     "the batch size and then degrade the feature pipeline "
+                     "(FULL -> NO_POS -> TEXT_ONLY), recovering when load "
+                     "subsides (enables supervised execution)")
+    run.add_argument("--arrival-rate", type=float, default=None,
+                     metavar="HZ",
+                     help="replay the stream closed-loop at this mean "
+                     "arrival rate through the bounded ingest queue, so "
+                     "bursts above capacity genuinely build backlog "
+                     "(requires/implies --queue-capacity)")
+    run.add_argument("--burst-factor", type=float, default=1.0,
+                     metavar="X",
+                     help="with --arrival-rate: peak-to-mean rate ratio; "
+                     "1.0 keeps plain Poisson arrivals, >1 adds periodic "
+                     "bursts at X times the mean (default 1.0)")
     run.add_argument("--metrics-out", default=None, metavar="FILE",
                      help="export run telemetry: JSONL snapshot/event "
                      "stream to FILE plus a Prometheus text exposition "
@@ -202,9 +228,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         or args.checkpoint_dir is not None
         or args.resume
         or args.max_poison_rate is not None
+        or args.queue_capacity is not None
+        or args.batch_deadline is not None
+        or args.arrival_rate is not None
     )
     if args.resume and args.checkpoint_dir is None:
         logger.error("error: --resume requires --checkpoint-dir")
+        return 2
+    if args.arrival_rate is not None and args.arrival_rate <= 0:
+        logger.error("error: --arrival-rate must be positive")
+        return 2
+    if args.batch_deadline is not None and args.batch_deadline <= 0:
+        logger.error("error: --batch-deadline must be positive")
         return 2
     if supervised:
         return _run_supervised(args, config)
@@ -250,7 +285,9 @@ def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
     from repro.engine.microbatch import MicroBatchEngine
     from repro.engine.sequential import SequentialEngine
     from repro.reliability import (
+        BoundedIngestQueue,
         DeadLetterQueue,
+        OverloadController,
         RetryPolicy,
         StreamSupervisor,
     )
@@ -262,6 +299,11 @@ def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
     )
     dead_letters = DeadLetterQueue()
     sink = _open_telemetry(args)
+    overloaded = (
+        args.queue_capacity is not None
+        or args.batch_deadline is not None
+        or args.arrival_rate is not None
+    )
     if args.resume:
         supervisor = StreamSupervisor.resume(
             args.checkpoint_dir,
@@ -287,6 +329,30 @@ def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
             )
         else:
             engine = SequentialEngine(config, dead_letters=dead_letters)
+        ingest_queue = None
+        if overloaded:
+            # Closed-loop replay and the controller both need the
+            # bounded queue; default its capacity to a few batches.
+            capacity = (
+                args.queue_capacity
+                if args.queue_capacity is not None
+                else 4 * args.batch_size
+            )
+            ingest_queue = BoundedIngestQueue(
+                capacity=capacity,
+                policy=args.shed_policy,
+                metrics=engine.metrics,
+                telemetry=sink,
+            )
+            if args.batch_deadline is not None:
+                engine.controller = OverloadController(
+                    batch_deadline_s=args.batch_deadline,
+                    batch_size=args.batch_size,
+                    queue=ingest_queue,
+                    metrics=engine.metrics,
+                    telemetry=sink,
+                    engine_label=args.engine,
+                )
         supervisor = StreamSupervisor(
             engine,
             checkpoint_dir=args.checkpoint_dir,
@@ -295,6 +361,7 @@ def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
             max_poison_rate=args.max_poison_rate,
             telemetry=sink,
             metrics_every=args.metrics_every,
+            ingest_queue=ingest_queue,
         )
     engine = supervisor.engine
     if sink is not None:
@@ -305,9 +372,23 @@ def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
             resumed=args.resume,
         )
     try:
-        run = supervisor.run(
-            read_jsonl(args.input, metrics=supervisor.metrics)
-        )
+        stream = read_jsonl(args.input, metrics=supervisor.metrics)
+        if args.arrival_rate is not None:
+            from repro.data.firehose import ArrivalSchedule
+
+            if args.burst_factor > 1.0:
+                schedule = ArrivalSchedule(
+                    rate_hz=args.arrival_rate,
+                    shape="bursty",
+                    burst_factor=args.burst_factor,
+                )
+            else:
+                schedule = ArrivalSchedule(
+                    rate_hz=args.arrival_rate, shape="poisson"
+                )
+            run = supervisor.run_timed(schedule.assign(stream))
+        else:
+            run = supervisor.run(stream)
     finally:
         close = getattr(engine, "close", None)
         if close is not None:
@@ -334,6 +415,23 @@ def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
         for stage, count in sorted(health.dead_letters_by_stage.items()):
             logger.info("  %-18s %d", stage, count)
     logger.info("retries       : %d", health.n_retries)
+    queue = supervisor.ingest_queue
+    if queue is not None:
+        counters = queue.as_counters()
+        logger.info("overload      : %d/%d shed (%s, max depth %d/%d)",
+                    counters["n_shed"], counters["n_offered"],
+                    queue.policy, counters["max_depth"], queue.capacity)
+        if counters["n_over_capacity"]:
+            logger.info("  labeled tweets soft-admitted past the bound: %d "
+                        "(labeled traffic is never shed)",
+                        counters["n_over_capacity"])
+    controller = supervisor.controller
+    if controller is not None:
+        logger.info("degradation   : %d deadline misses, %d degrades, "
+                    "%d recovers, final tier %s (worst %s)",
+                    controller.n_deadline_misses, controller.n_degrades,
+                    controller.n_recovers, controller.tier.name,
+                    controller.max_tier_reached.name)
     if args.checkpoint_dir:
         logger.info("checkpoints   : %d written to %s",
                     health.n_checkpoints, args.checkpoint_dir)

@@ -7,11 +7,19 @@ content (hashtags, URLs, mentions, uppercase words) are computed on the
 raw token stream; word-level features use the preprocessed tokens when
 preprocessing is enabled, or the polluted raw word view when disabled
 (the p=OFF arm of Fig. 6).
+
+Degrade tiers: under overload the extractor can shed its most expensive
+stages (:class:`DegradeTier`). Skipped features are *imputed* with a
+fixed constant instead of removed, so the vector width, feature order,
+and accumulated normalizer statistics all stay valid across tier
+switches — the model keeps training and predicting on 17-wide vectors
+throughout a degradation episode.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+import enum
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from repro.core.adaptive_bow import AdaptiveBagOfWords, FixedBagOfWords
 from repro.core.preprocessing import preprocess_tokens, raw_word_tokens
@@ -47,6 +55,47 @@ FEATURE_NAMES: Tuple[str, ...] = (
 N_FEATURES = len(FEATURE_NAMES)
 
 BagOfWords = Union[AdaptiveBagOfWords, FixedBagOfWords]
+
+
+class DegradeTier(enum.IntEnum):
+    """Feature-pipeline cost tiers for overload degradation.
+
+    Ordered cheapest-last: higher tiers shed more per-tweet work. The
+    overload controller walks one step at a time in either direction.
+    """
+
+    #: All 17 features (the paper's configuration).
+    FULL = 0
+    #: Skip POS tagging — the costliest extraction stage. The three
+    #: syntactic counts are imputed with :data:`TIER_IMPUTED_VALUE`.
+    NO_POS = 1
+    #: Additionally skip sentiment scoring and deobfuscation, leaving
+    #: only tokenization-level text features, profile counters, swear
+    #: and bag-of-words matches.
+    TEXT_ONLY = 2
+
+
+#: Fixed value substituted for features a degraded tier skips. A
+#: constant (rather than e.g. a running mean) keeps degraded vectors
+#: deterministic and the normalizer's per-feature statistics valid.
+TIER_IMPUTED_VALUE = 0.0
+
+#: Feature names skipped (imputed) at each tier.
+TIER_SKIPPED_FEATURES: Dict[DegradeTier, FrozenSet[str]] = {
+    DegradeTier.FULL: frozenset(),
+    DegradeTier.NO_POS: frozenset(
+        {"cntAdjective", "cntAdverbs", "cntVerbs"}
+    ),
+    DegradeTier.TEXT_ONLY: frozenset(
+        {
+            "cntAdjective",
+            "cntAdverbs",
+            "cntVerbs",
+            "sentimentScorePos",
+            "sentimentScoreNeg",
+        }
+    ),
+}
 
 
 class LabelEncoder:
@@ -102,6 +151,8 @@ class FeatureExtractor:
             (the p toggle of Fig. 6).
         bag_of_words: adaptive or fixed BoW supplying the 17th feature;
             ``None`` falls back to a fixed seed-lexicon BoW.
+        tier: degrade tier (see :class:`DegradeTier`); mutable, so an
+            overload controller can switch tiers mid-stream.
     """
 
     def __init__(
@@ -110,12 +161,14 @@ class FeatureExtractor:
         preprocessing: bool = True,
         bag_of_words: Optional[BagOfWords] = None,
         deobfuscate: bool = False,
+        tier: DegradeTier = DegradeTier.FULL,
     ) -> None:
         self.encoder = encoder if encoder is not None else LabelEncoder(3)
         self.preprocessing = preprocessing
         self.bag_of_words: BagOfWords = (
             bag_of_words if bag_of_words is not None else FixedBagOfWords()
         )
+        self.tier = DegradeTier(tier)
         self.deobfuscate = deobfuscate
         self._deobfuscator = None
         if deobfuscate:
@@ -135,7 +188,10 @@ class FeatureExtractor:
         raw_tokens = tokenize(tweet.text)
         word_tokens = self._word_view(raw_tokens)
         lower_words = [t.lower for t in word_tokens]
-        if self._deobfuscator is not None:
+        if (
+            self._deobfuscator is not None
+            and self.tier < DegradeTier.TEXT_ONLY
+        ):
             # Normalize disguised profanity ("sh1t", "i.d.i.o.t") back
             # to canonical forms before lexicon/BoW matching.
             lower_words = [
@@ -167,22 +223,34 @@ class FeatureExtractor:
         lower_words: Sequence[str],
     ) -> Tuple[float, ...]:
         user = tweet.user
+        tier = self.tier
         n_hashtags = sum(
             1 for t in raw_tokens if t.type is TokenType.HASHTAG
         )
         n_urls = sum(1 for t in raw_tokens if t.type is TokenType.URL)
         n_upper = sum(1 for t in raw_tokens if t.is_uppercase_word)
-        tags = self._tagger.tag_tokens(word_tokens)
-        n_adjectives = sum(1 for tag in tags if tag is PosTag.ADJECTIVE)
-        n_adverbs = sum(1 for tag in tags if tag is PosTag.ADVERB)
-        n_verbs = sum(1 for tag in tags if tag is PosTag.VERB)
+        if tier >= DegradeTier.NO_POS:
+            pos_counts = (TIER_IMPUTED_VALUE,) * 3
+        else:
+            tags = self._tagger.tag_tokens(word_tokens)
+            pos_counts = (
+                float(sum(1 for tag in tags if tag is PosTag.ADJECTIVE)),
+                float(sum(1 for tag in tags if tag is PosTag.ADVERB)),
+                float(sum(1 for tag in tags if tag is PosTag.VERB)),
+            )
         words_per_sentence = self._words_per_sentence(tweet.text, len(word_tokens))
         mean_word_length = (
             sum(len(t.text) for t in word_tokens) / len(word_tokens)
             if word_tokens
             else 0.0
         )
-        sentiment = self._sentiment.score_tokens(raw_tokens)
+        if tier >= DegradeTier.TEXT_ONLY:
+            sentiment_scores = (TIER_IMPUTED_VALUE, TIER_IMPUTED_VALUE)
+        else:
+            sentiment = self._sentiment.score_tokens(raw_tokens)
+            sentiment_scores = (
+                float(sentiment.positive), float(sentiment.negative)
+            )
         n_swear = sum(1 for w in lower_words if w in SWEAR_WORDS)
         n_bow = self.bag_of_words.count_matches(lower_words)
         return (
@@ -194,13 +262,13 @@ class FeatureExtractor:
             float(n_hashtags),
             float(n_upper),
             float(n_urls),
-            float(n_adjectives),
-            float(n_adverbs),
-            float(n_verbs),
+            pos_counts[0],
+            pos_counts[1],
+            pos_counts[2],
             words_per_sentence,
             mean_word_length,
-            float(sentiment.positive),
-            float(sentiment.negative),
+            sentiment_scores[0],
+            sentiment_scores[1],
             float(n_swear),
             float(n_bow),
         )

@@ -29,7 +29,12 @@ from repro.core.adaptive_bow import AdaptiveBagOfWords, FixedBagOfWords
 from repro.core.alerting import Alert, AlertManager, AlertPolicy
 from repro.core.config import PipelineConfig, create_model
 from repro.core.evaluation import MetricsPoint, PrequentialEvaluator
-from repro.core.features import N_FEATURES, FeatureExtractor, LabelEncoder
+from repro.core.features import (
+    N_FEATURES,
+    DegradeTier,
+    FeatureExtractor,
+    LabelEncoder,
+)
 from repro.core.normalization import Normalizer, make_normalizer
 from repro.core.sampling import BoostedRandomSampler
 from repro.data.tweet import Tweet
@@ -169,6 +174,26 @@ class AggressionDetectionPipeline:
         )
         gauge("normalizer_clip_ratio", engine="sequential").set(
             self.normalizer.clip_ratio
+        )
+        gauge("degrade_level", engine="sequential").set(
+            int(self.extractor.tier)
+        )
+
+    @property
+    def degrade_tier(self) -> DegradeTier:
+        """The feature pipeline's current degrade tier."""
+        return self.extractor.tier
+
+    def set_degrade_tier(self, tier: DegradeTier) -> None:
+        """Switch the feature pipeline's cost tier (overload control).
+
+        Skipped features are imputed with a fixed constant, so the
+        vector width and normalizer statistics stay valid across
+        switches — see :class:`~repro.core.features.DegradeTier`.
+        """
+        self.extractor.tier = DegradeTier(tier)
+        self.metrics.gauge("degrade_level", engine="sequential").set(
+            int(self.extractor.tier)
         )
 
     # ------------------------------------------------------------------

@@ -28,7 +28,13 @@ from repro.engine.microbatch import (
     StageTimings,
 )
 from repro.engine.rdd import RDD, parallelize, round_robin_partitions
-from repro.engine.replay import LatencyReport, StreamReplayer
+from repro.engine.replay import (
+    LatencyReport,
+    OverloadReport,
+    StepClock,
+    StreamReplayer,
+    replay_closed_loop,
+)
 from repro.engine.runners import (
     PartitionError,
     ProcessPoolRunner,
@@ -51,7 +57,10 @@ __all__ = [
     "StageTimings",
     "RDD",
     "LatencyReport",
+    "OverloadReport",
+    "StepClock",
     "StreamReplayer",
+    "replay_closed_loop",
     "parallelize",
     "round_robin_partitions",
     "PartitionError",

@@ -71,7 +71,12 @@ from repro.core.adaptive_bow import AdaptiveBagOfWords, FixedBagOfWords
 from repro.core.alerting import AlertManager, AlertPolicy
 from repro.core.config import PipelineConfig, create_model
 from repro.core.evaluation import ConfusionMatrix
-from repro.core.features import N_FEATURES, FeatureExtractor, LabelEncoder
+from repro.core.features import (
+    N_FEATURES,
+    DegradeTier,
+    FeatureExtractor,
+    LabelEncoder,
+)
 from repro.core.normalization import Normalizer, make_normalizer
 from repro.core.sampling import BoostedRandomSampler
 from repro.data.tweet import Tweet
@@ -95,6 +100,7 @@ from repro.streamml.instance import ClassifiedInstance, Instance
 from repro.streamml.slr import StreamingLogisticRegression
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.reliability.overload import OverloadController
     from repro.reliability.supervisor import RetryPolicy
 
 #: Driver-side callback fired after each completed micro-batch.
@@ -149,6 +155,7 @@ class _PartitionTask:
         model: StreamClassifier,
         local_model: Optional[StreamClassifier],
         quarantine: bool = False,
+        tier: DegradeTier = DegradeTier.FULL,
     ) -> None:
         self.tweets = tweets
         self.n_classes = n_classes
@@ -160,6 +167,7 @@ class _PartitionTask:
         self.model = model
         self.local_model = local_model
         self.quarantine = quarantine
+        self.tier = tier
 
     def __call__(self) -> _PartitionOutput:
         # Partition-local observability: nothing here is shared with the
@@ -198,6 +206,7 @@ class _PartitionTask:
             preprocessing=self.preprocessing,
             bag_of_words=bag,
             deobfuscate=self.deobfuscate,
+            tier=self.tier,
         )
         # Broadcast statistics + this partition's own observations. The
         # deep copy keeps the driver's (possibly shared) normalizer
@@ -389,6 +398,8 @@ class MicroBatchResult:
     stage_seconds: StageTimings = field(default_factory=StageTimings)
     n_quarantined: int = 0
     n_retries: int = 0
+    #: Degrade tier the batch's feature extraction ran at (0 = FULL).
+    degrade_tier: int = 0
 
 
 @dataclass
@@ -408,9 +419,15 @@ class EngineResult:
 
     @property
     def throughput(self) -> float:
-        """Processed tweets per second of wall-clock time."""
+        """Processed tweets per second of wall-clock time.
+
+        Un-timed results (``elapsed_seconds <= 0``) return ``nan``
+        rather than a silent ``0.0``: a zero throughput reads as "the
+        engine did no work", which poisons bench summaries, whereas
+        ``nan`` is unmistakably "not measured".
+        """
         if self.elapsed_seconds <= 0:
-            return 0.0
+            return float("nan")
         return self.n_processed / self.elapsed_seconds
 
 
@@ -450,6 +467,11 @@ class MicroBatchEngine:
         on_batch: driver-side callback invoked with each completed
             :class:`MicroBatchResult` (after merges and metric folds) —
             the telemetry hook for periodic snapshot export.
+        controller: optional
+            :class:`~repro.reliability.overload.OverloadController`. The
+            engine reports each batch's elapsed time to it and adopts
+            the controller's adjusted ``batch_size`` and degrade tier
+            for the *next* batch.
     """
 
     def __init__(
@@ -464,6 +486,7 @@ class MicroBatchEngine:
         max_poison_rate: Optional[float] = None,
         metrics: Optional[MetricsRegistry] = None,
         on_batch: Optional["BatchCallback"] = None,
+        controller: Optional["OverloadController"] = None,
     ) -> None:
         if n_partitions < 1:
             raise ValueError("n_partitions must be >= 1")
@@ -527,6 +550,14 @@ class MicroBatchEngine:
         self.n_quarantined = 0
         self.n_retries = 0
         self.on_batch = on_batch
+        self.controller = controller
+        self._degrade_tier = DegradeTier.FULL
+        if controller is not None:
+            # The controller owns batch sizing from here on; start from
+            # its current view so resume-from-checkpoint keeps the
+            # degraded size rather than snapping back to the default.
+            self.batch_size = controller.batch_size
+            self._degrade_tier = controller.tier
         # Observability: one registry for the whole engine; driver
         # stages are measured by tracer spans, partition snapshots fold
         # in per batch, and StageTimings is a read-back view.
@@ -552,6 +583,21 @@ class MicroBatchEngine:
     def stage_seconds(self) -> StageTimings:
         """Cumulative driver stage timings (view over span histograms)."""
         return StageTimings.from_registry(self.metrics)
+
+    @property
+    def degrade_tier(self) -> DegradeTier:
+        """Tier the next batch's feature extraction will run at."""
+        if self.controller is not None:
+            return self.controller.tier
+        return self._degrade_tier
+
+    def set_degrade_tier(self, tier: DegradeTier) -> None:
+        """Manually pin the degrade tier (no-op override if a controller
+        is attached — the controller's tier always wins)."""
+        self._degrade_tier = DegradeTier(tier)
+        self.metrics.gauge("degrade_level", engine="microbatch").set(
+            int(self.degrade_tier)
+        )
 
     def _publish_gauges(self) -> None:
         """Refresh the point-in-time gauges (BoW size, normalizer state)."""
@@ -685,6 +731,7 @@ class MicroBatchEngine:
                 model=self.model,
                 local_model=self._local_model(),
                 quarantine=self.dead_letters is not None,
+                tier=self.degrade_tier,
             )
             for partition in round_robin_partitions(tweets, self.n_partitions)
         ]
@@ -733,6 +780,7 @@ class MicroBatchEngine:
                 stop signal, not a rollback.
         """
         start = time.perf_counter()
+        batch_tier = self.degrade_tier
         bow_words = frozenset(self.bag_of_words.words)
         # Everything below the execute stage mutates engine state;
         # keeping it first means a PartitionError leaves the engine
@@ -812,6 +860,17 @@ class MicroBatchEngine:
         self._publish_gauges()
         elapsed = time.perf_counter() - start
         self._batch_hist.observe(elapsed)
+        if self.controller is not None:
+            queue = self.controller.queue
+            self.controller.observe_batch(
+                elapsed,
+                queue_fraction=(
+                    queue.depth_fraction if queue is not None else None
+                ),
+            )
+            # Adopt the controller's (possibly resized) batch size for
+            # the next discretization round.
+            self.batch_size = self.controller.batch_size
         result = MicroBatchResult(
             batch_index=len(self.batches),
             n_processed=len(tweets) - n_poisoned,
@@ -823,6 +882,7 @@ class MicroBatchEngine:
             stage_seconds=timings,
             n_quarantined=n_poisoned,
             n_retries=retries_used,
+            degrade_tier=int(batch_tier),
         )
         self.batches.append(result)
         if self.breaker is not None:

@@ -18,13 +18,48 @@ configuration stops being real-time (utilization >= 1).
 
 from __future__ import annotations
 
+import math
 import time
-from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.data.tweet import Tweet
 from repro.obs.metrics import MetricsRegistry
+from repro.reliability.overload import BoundedIngestQueue, OverloadController
 from repro.streamml.stats import percentile
+
+
+class StepClock:
+    """Deterministic fake clock: advances a fixed step per reading.
+
+    Injected in place of ``time.perf_counter`` to make replay
+    measurements a pure function of call count — tests that assert on
+    service rates or ``find_max_stable_rate`` become reproducible on
+    any host. Each *pair* of readings (start, stop) around a processed
+    tweet yields exactly ``step_s`` of simulated service time.
+    """
+
+    def __init__(self, step_s: float = 0.001, start_s: float = 0.0) -> None:
+        if step_s <= 0:
+            raise ValueError("step_s must be positive")
+        self.step_s = step_s
+        self.now_s = start_s
+        self.n_reads = 0
+
+    def __call__(self) -> float:
+        self.n_reads += 1
+        self.now_s += self.step_s
+        return self.now_s
 
 
 @dataclass
@@ -43,9 +78,14 @@ class LatencyReport:
 
     @property
     def utilization(self) -> float:
-        """Offered load relative to capacity (>= 1 means unstable)."""
-        if self.service_rate <= 0:
-            return float("inf")
+        """Offered load relative to capacity (>= 1 means unstable).
+
+        ``nan`` when the service rate is unmeasured (zero or ``nan``):
+        a report with no timing information must not claim either
+        stability or overload.
+        """
+        if math.isnan(self.service_rate) or self.service_rate <= 0:
+            return float("nan")
         return self.offered_rate / self.service_rate
 
     @property
@@ -69,6 +109,10 @@ class StreamReplayer:
             The :class:`LatencyReport` itself always uses exact sorted
             percentiles over the full sample — the registry view is for
             export alongside the rest of the run's telemetry.
+        clock: timing source for measured service times (defaults to
+            ``time.perf_counter``). Inject a :class:`StepClock` to make
+            measured replays — and therefore
+            :meth:`find_max_stable_rate` — fully deterministic.
     """
 
     def __init__(
@@ -76,10 +120,12 @@ class StreamReplayer:
         process: Callable[[Tweet], object],
         service_time_s: Optional[float] = None,
         metrics: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         self.process = process
         self.service_time_s = service_time_s
         self.metrics = metrics
+        self.clock = clock
 
     def replay(
         self,
@@ -105,9 +151,9 @@ class StreamReplayer:
         for index, tweet in enumerate(tweets):
             arrival = index / arrival_rate
             if self.service_time_s is None:
-                started = time.perf_counter()
+                started = self.clock()
                 self.process(tweet)
-                service = time.perf_counter() - started
+                service = self.clock() - started
             else:
                 self.process(tweet)
                 service = self.service_time_s
@@ -133,7 +179,9 @@ class StreamReplayer:
         return LatencyReport(
             n_tweets=len(latencies),
             offered_rate=arrival_rate,
-            service_rate=1.0 / mean_service if mean_service > 0 else 0.0,
+            service_rate=(
+                1.0 / mean_service if mean_service > 0 else float("nan")
+            ),
             mean_latency_s=sum(latencies) / len(latencies),
             p50_latency_s=percentile(latencies, 50),
             p95_latency_s=percentile(latencies, 95),
@@ -162,3 +210,163 @@ class StreamReplayer:
             else:
                 break
         return best
+
+
+@dataclass
+class OverloadReport:
+    """Outcome of one closed-loop (queue-fed) replay.
+
+    The accounting invariant every replay must satisfy:
+    ``n_offered == n_processed + n_shed`` (validation-quarantined
+    tweets, if any, are the caller's to add — this layer sees only
+    clean traffic).
+    """
+
+    n_offered: int
+    n_processed: int
+    n_shed: int
+    n_batches: int
+    max_queue_depth: int
+    max_backlog_fraction: float
+    n_deadline_misses: int
+    final_tier: int
+    max_tier_reached: int
+    makespan_s: float
+    queue_counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def shed_fraction(self) -> float:
+        """Share of offered traffic the queue shed."""
+        if self.n_offered == 0:
+            return 0.0
+        return self.n_shed / self.n_offered
+
+    @property
+    def mean_rate_hz(self) -> float:
+        """Processed tweets per simulated second (``nan`` if untimed)."""
+        if self.makespan_s <= 0:
+            return float("nan")
+        return self.n_processed / self.makespan_s
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe summary (CI smoke output, bench records)."""
+        return {
+            "n_offered": self.n_offered,
+            "n_processed": self.n_processed,
+            "n_shed": self.n_shed,
+            "shed_fraction": self.shed_fraction,
+            "n_batches": self.n_batches,
+            "max_queue_depth": self.max_queue_depth,
+            "max_backlog_fraction": self.max_backlog_fraction,
+            "n_deadline_misses": self.n_deadline_misses,
+            "final_tier": self.final_tier,
+            "max_tier_reached": self.max_tier_reached,
+            "makespan_s": self.makespan_s,
+            "queue_counters": dict(self.queue_counters),
+        }
+
+
+def replay_closed_loop(
+    arrivals: Iterable[Tuple[Tweet, float]],
+    queue: BoundedIngestQueue,
+    process_batch: Callable[[List[Tweet]], object],
+    controller: Optional[OverloadController] = None,
+    batch_size: int = 500,
+    service_time_s: Optional[Union[float, Dict[int, float]]] = None,
+    clock: Callable[[], float] = time.perf_counter,
+) -> OverloadReport:
+    """Replay timestamped arrivals through a bounded queue, closed-loop.
+
+    A single simulated server drains the queue in batches while
+    arrivals accumulate: each ``(tweet, arrival_s)`` is offered at its
+    timestamp, and whenever the server is free before the next arrival
+    it drains up to the current batch size and "works" for the batch's
+    duration — measured via ``clock`` around ``process_batch``, or
+    modeled as ``len(batch) * service_time_s`` (a float, or a dict from
+    degrade-tier level to per-tweet seconds). Backlog therefore builds
+    exactly when the offered rate exceeds the service rate, which is
+    what exercises shedding and the overload controller.
+
+    With a ``controller``, each batch's (simulated) duration feeds
+    :meth:`~repro.reliability.overload.OverloadController.observe_batch`
+    and the next drain uses the controller's adjusted batch size; the
+    feature-tier decision is the *caller's* to apply inside
+    ``process_batch`` (engines attach the controller themselves — this
+    standalone loop is for benches and smoke tests).
+
+    Returns an :class:`OverloadReport`; ``queue`` is left drained.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    n_batches = 0
+    n_processed = 0
+    n_misses_before = (
+        controller.n_deadline_misses if controller is not None else 0
+    )
+    max_backlog_fraction = 0.0
+    server_free_s = 0.0
+
+    def current_batch_size() -> int:
+        return controller.batch_size if controller is not None else batch_size
+
+    def service_batch(start_s: float) -> float:
+        """Drain + process one batch; returns the new server-free time."""
+        nonlocal n_batches, n_processed
+        # Pressure is judged on the backlog the server *faced*, not the
+        # post-drain remainder — sampling after the drain would hide a
+        # queue that refills between batches.
+        fraction_before = queue.depth_fraction
+        batch = queue.drain(current_batch_size())
+        if not batch:
+            return start_s
+        if service_time_s is None:
+            t0 = clock()
+            process_batch(batch)
+            duration = clock() - t0
+        else:
+            process_batch(batch)
+            if isinstance(service_time_s, dict):
+                tier = int(controller.tier) if controller is not None else 0
+                per_tweet = service_time_s[tier]
+            else:
+                per_tweet = service_time_s
+            duration = len(batch) * per_tweet
+        n_batches += 1
+        n_processed += len(batch)
+        if controller is not None:
+            controller.observe_batch(
+                duration, queue_fraction=fraction_before
+            )
+        return start_s + duration
+
+    for tweet, arrival_s in arrivals:
+        # Let the server catch up on backlog it had time for.
+        while len(queue):
+            start_s = max(server_free_s, queue.peek_arrival() or 0.0)
+            if start_s >= arrival_s:
+                break
+            server_free_s = service_batch(start_s)
+        queue.offer(tweet, arrival_s=arrival_s)
+        max_backlog_fraction = max(max_backlog_fraction, queue.depth_fraction)
+    while len(queue):
+        start_s = max(server_free_s, queue.peek_arrival() or 0.0)
+        server_free_s = service_batch(start_s)
+    return OverloadReport(
+        n_offered=queue.n_offered,
+        n_processed=n_processed,
+        n_shed=queue.n_shed,
+        n_batches=n_batches,
+        max_queue_depth=queue.max_depth,
+        max_backlog_fraction=max_backlog_fraction,
+        n_deadline_misses=(
+            controller.n_deadline_misses - n_misses_before
+            if controller is not None
+            else 0
+        ),
+        final_tier=int(controller.tier) if controller is not None else 0,
+        max_tier_reached=(
+            int(controller.max_tier_reached) if controller is not None else 0
+        ),
+        makespan_s=server_free_s,
+        queue_counters=queue.as_counters(),
+    )

@@ -18,7 +18,7 @@ micro-batch engine reports, so the two are directly comparable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, Optional
 
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import AggressionDetectionPipeline, PipelineResult
@@ -26,6 +26,9 @@ from repro.data.tweet import Tweet
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer, stage_seconds_by_stage
 from repro.reliability.deadletter import DeadLetterQueue
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.reliability.overload import OverloadController
 
 
 @dataclass
@@ -40,9 +43,14 @@ class SequentialRunResult:
 
     @property
     def throughput(self) -> float:
-        """Tweets processed per second."""
+        """Tweets processed per second.
+
+        ``nan`` for un-timed results (``elapsed_seconds <= 0``) — a
+        silent ``0.0`` would poison bench summaries that average or
+        compare throughputs.
+        """
         if self.elapsed_seconds <= 0:
-            return 0.0
+            return float("nan")
         return self.pipeline_result.n_processed / self.elapsed_seconds
 
     @property
@@ -66,6 +74,7 @@ class SequentialEngine:
         dead_letters: Optional[DeadLetterQueue] = None,
         max_poison_rate: Optional[float] = None,
         metrics: Optional[MetricsRegistry] = None,
+        controller: Optional["OverloadController"] = None,
     ) -> None:
         self.pipeline = AggressionDetectionPipeline(
             config,
@@ -78,7 +87,13 @@ class SequentialEngine:
         self._m_ingested = self.metrics.counter(
             "tweets_ingested_total", engine="sequential"
         )
+        self._batch_hist = self.metrics.histogram(
+            "batch_seconds", engine="sequential"
+        )
         self._elapsed = 0.0
+        self.controller = controller
+        if controller is not None:
+            self.pipeline.set_degrade_tier(controller.tier)
 
     def replace_pipeline(self, pipeline: AggressionDetectionPipeline) -> None:
         """Swap in a (restored) pipeline and rebind the shared registry.
@@ -93,6 +108,11 @@ class SequentialEngine:
         self._m_ingested = self.metrics.counter(
             "tweets_ingested_total", engine="sequential"
         )
+        self._batch_hist = self.metrics.histogram(
+            "batch_seconds", engine="sequential"
+        )
+        if self.controller is not None:
+            self.pipeline.set_degrade_tier(self.controller.tier)
 
     def _stage_totals(self) -> Dict[str, float]:
         return stage_seconds_by_stage(
@@ -114,6 +134,20 @@ class SequentialEngine:
         self._m_ingested.inc(count)
         assert span.duration is not None
         self._elapsed += span.duration
+        # Each chunk doubles as this engine's "batch" for overload
+        # purposes: it feeds the same batch_seconds family the
+        # micro-batch engine uses, so OverloadController.poll() works
+        # against either engine unchanged.
+        self._batch_hist.observe(span.duration)
+        if self.controller is not None:
+            queue = self.controller.queue
+            self.controller.observe_batch(
+                span.duration,
+                queue_fraction=(
+                    queue.depth_fraction if queue is not None else None
+                ),
+            )
+            self.pipeline.set_degrade_tier(self.controller.tier)
         return count
 
     def result(self) -> SequentialRunResult:

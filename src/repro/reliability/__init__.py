@@ -14,7 +14,12 @@ package supplies the equivalent reliability layer for our engines:
   checkpoints and exact checkpoint-resume;
 * :mod:`repro.reliability.faults` — deterministic fault injection
   (:class:`FaultInjector`, :func:`corrupting_stream`) so every
-  guarantee above is provable by the chaos test suite.
+  guarantee above is provable by the chaos test suite;
+* :mod:`repro.reliability.overload` — overload robustness: the
+  bounded ingest queue with explicit load shedding
+  (:class:`BoundedIngestQueue`) and the adaptive degradation
+  controller (:class:`OverloadController`) that trades feature
+  richness for bounded latency under firehose bursts.
 
 Submodules are resolved lazily (PEP 562): :mod:`repro.core.pipeline`
 imports the dead-letter layer while the supervisor imports the engines,
@@ -40,6 +45,12 @@ _EXPORTS = {
     "corrupt_tweet": "repro.reliability.faults",
     "corrupting_stream": "repro.reliability.faults",
     "corruption_mask": "repro.reliability.faults",
+    "BoundedIngestQueue": "repro.reliability.overload",
+    "DegradeTier": "repro.reliability.overload",
+    "OverloadController": "repro.reliability.overload",
+    "QueueEntry": "repro.reliability.overload",
+    "SHED_POLICIES": "repro.reliability.overload",
+    "register_shed_policy": "repro.reliability.overload",
     "RetryPolicy": "repro.reliability.supervisor",
     "StreamSupervisor": "repro.reliability.supervisor",
     "SupervisedRun": "repro.reliability.supervisor",

@@ -37,7 +37,16 @@ import time
 from dataclasses import dataclass, field
 from itertools import islice
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.core.checkpoint import (
     _bow_from_dict,
@@ -73,6 +82,10 @@ from repro.reliability.deadletter import (
     StreamHealth,
     validate_tweet,
 )
+from repro.reliability.overload import (
+    BoundedIngestQueue,
+    OverloadController,
+)
 from repro.streamml.serialize import (
     SerializationError,
     model_from_dict,
@@ -80,10 +93,12 @@ from repro.streamml.serialize import (
 )
 
 #: Version 2 adds the ``metrics`` registry snapshot to the payload;
-#: version-1 checkpoints are still readable (metrics resume as rebuilt
-#: approximations instead of exact restores).
-SUPERVISOR_CHECKPOINT_VERSION = 2
-_READABLE_CHECKPOINT_VERSIONS = (1, 2)
+#: version 3 adds the optional ``overload`` section (bounded ingest
+#: queue backlog + controller state + simulated-clock cursor) so a run
+#: can crash mid-overload and resume exactly. Versions 1 and 2 are
+#: still readable (older sections resume as approximations / absent).
+SUPERVISOR_CHECKPOINT_VERSION = 3
+_READABLE_CHECKPOINT_VERSIONS = (1, 2, 3)
 CHECKPOINT_FILENAME = "checkpoint.json"
 
 logger = get_logger("supervisor")
@@ -149,6 +164,7 @@ def _batch_result_to_dict(batch: MicroBatchResult) -> Dict[str, Any]:
         "stage_seconds": batch.stage_seconds.as_dict(),
         "n_quarantined": batch.n_quarantined,
         "n_retries": batch.n_retries,
+        "degrade_tier": batch.degrade_tier,
     }
 
 
@@ -164,6 +180,7 @@ def _batch_result_from_dict(payload: Dict[str, Any]) -> MicroBatchResult:
         stage_seconds=_timings_from_dict(payload["stage_seconds"]),
         n_quarantined=int(payload["n_quarantined"]),
         n_retries=int(payload["n_retries"]),
+        degrade_tier=int(payload.get("degrade_tier", 0)),
     )
 
 
@@ -331,6 +348,15 @@ class StreamSupervisor:
             belongs to the caller.
         metrics_every: emit a snapshot event every N chunks (defaults
             to ``checkpoint_every``; only meaningful with ``telemetry``).
+        ingest_queue: optional
+            :class:`~repro.reliability.overload.BoundedIngestQueue`.
+            When set, :meth:`run` routes every validated tweet through
+            the queue before batch assembly — the queue's shedding
+            policy, not an unbounded buffer, decides what survives a
+            burst — and :meth:`run_timed` becomes available for
+            closed-loop (arrival-timestamped) replay. Queue and
+            controller state ride in the checkpoint (v3), so a crash
+            mid-overload resumes exactly.
     """
 
     def __init__(
@@ -344,6 +370,7 @@ class StreamSupervisor:
         validate: bool = True,
         telemetry: Optional[TelemetrySink] = None,
         metrics_every: Optional[int] = None,
+        ingest_queue: Optional[BoundedIngestQueue] = None,
     ) -> None:
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
@@ -376,6 +403,11 @@ class StreamSupervisor:
         self.metrics_every = (
             metrics_every if metrics_every is not None else checkpoint_every
         )
+        self.ingest_queue = ingest_queue
+        self._server_free_s = 0.0  # simulated-clock cursor (run_timed)
+        # Holds the controller while run_timed's model mode detaches it
+        # from the engine, so checkpoints still capture its state.
+        self._detached_controller: Optional[OverloadController] = None
         self._cursor = 0  # tweets drawn from the stream, incl. quarantined
         self._chunks_done = 0
         self._n_poisoned = 0  # quarantined at ingest validation
@@ -396,6 +428,13 @@ class StreamSupervisor:
             engine=self._engine_kind,
             stage="ingest-validate",
         )
+
+    @property
+    def controller(self) -> Optional[OverloadController]:
+        """The engine's overload controller, if one is attached."""
+        if self._detached_controller is not None:
+            return self._detached_controller
+        return getattr(self.engine, "controller", None)
 
     # -- checkpointing --------------------------------------------------
 
@@ -427,6 +466,19 @@ class StreamSupervisor:
             # registry continues from precisely this point.
             "metrics": self.metrics.snapshot().as_dict(exact=True),
         }
+        controller = self.controller
+        if self.ingest_queue is not None or controller is not None:
+            payload["overload"] = {
+                "queue": (
+                    self.ingest_queue.to_dict()
+                    if self.ingest_queue is not None
+                    else None
+                ),
+                "controller": (
+                    controller.to_dict() if controller is not None else None
+                ),
+                "server_free_s": self._server_free_s,
+            }
         size = atomic_write_json(path, payload)
         self.n_checkpoints += 1
         self.last_checkpoint_chunk = self._chunks_done
@@ -500,6 +552,31 @@ class StreamSupervisor:
             # Replace the seeded approximations with the exact snapshot
             # (in place — the engine's bound metric objects stay live).
             engine.metrics.restore(MetricsSnapshot.from_dict(metrics_payload))
+        # Overload state (v3): rebuild queue backlog + controller
+        # mid-episode and re-attach them, so the resumed run sheds,
+        # degrades and recovers exactly as the crashed one would have.
+        overload_payload = payload.get("overload")
+        ingest_queue: Optional[BoundedIngestQueue] = None
+        if overload_payload is not None:
+            if overload_payload.get("queue") is not None:
+                ingest_queue = BoundedIngestQueue.from_dict(
+                    overload_payload["queue"],
+                    metrics=engine.metrics,
+                    telemetry=telemetry,
+                )
+            if overload_payload.get("controller") is not None:
+                controller = OverloadController.from_dict(
+                    overload_payload["controller"],
+                    queue=ingest_queue,
+                    metrics=engine.metrics,
+                    telemetry=telemetry,
+                )
+                engine.controller = controller
+                if isinstance(engine, MicroBatchEngine):
+                    engine.batch_size = controller.batch_size
+                    engine._degrade_tier = controller.tier
+                else:
+                    engine.pipeline.set_degrade_tier(controller.tier)
         supervisor = cls(
             engine,
             checkpoint_dir=checkpoint_dir,
@@ -510,7 +587,12 @@ class StreamSupervisor:
             validate=validate,
             telemetry=telemetry,
             metrics_every=metrics_every,
+            ingest_queue=ingest_queue,
         )
+        if overload_payload is not None:
+            supervisor._server_free_s = float(
+                overload_payload.get("server_free_s", 0.0)
+            )
         logger.info(
             "resumed from checkpoint: cursor=%d chunks_done=%d",
             int(payload["cursor"]), int(payload["chunks_done"]),
@@ -526,6 +608,18 @@ class StreamSupervisor:
 
     # -- driving --------------------------------------------------------
 
+    def _current_chunk_size(self) -> int:
+        """Chunk size for the next engine call.
+
+        With an overload controller attached, its (possibly shrunk)
+        batch size governs how much backlog each drain hands the
+        engine; otherwise the static ``chunk_size`` does.
+        """
+        controller = self.controller
+        if controller is not None:
+            return controller.batch_size
+        return self.chunk_size
+
     def run(self, tweets: Iterable[Tweet]) -> SupervisedRun:
         """Supervise the engine over the stream (resuming if mid-way).
 
@@ -534,33 +628,186 @@ class StreamSupervisor:
         ``cursor`` tweets of the stream are skipped as already
         consumed. A final checkpoint is written on successful
         completion, so resuming a finished run is a no-op.
+
+        With an ``ingest_queue``, every validated tweet is offered to
+        the queue and chunks are drained from it, so the queue's
+        shedding policy (not an unbounded list) decides what survives;
+        shed tweets are counted consumed but never reach the engine.
         """
         iterator = iter(tweets)
         if self._cursor:
             for _ in islice(iterator, self._cursor):
                 pass
-        chunk: List[Tweet] = []
-        for tweet in iterator:
-            self._cursor += 1
-            self._m_consumed.inc()
-            if self.validate and not self._admit(tweet):
-                continue
-            chunk.append(tweet)
-            if len(chunk) >= self.chunk_size:
+        queue = self.ingest_queue
+        if queue is None:
+            chunk: List[Tweet] = []
+            for tweet in iterator:
+                self._cursor += 1
+                self._m_consumed.inc()
+                if self.validate and not self._admit(tweet):
+                    continue
+                chunk.append(tweet)
+                if len(chunk) >= self._current_chunk_size():
+                    self._process_chunk(chunk)
+                    chunk = []
+            if chunk:
                 self._process_chunk(chunk)
-                chunk = []
-        if chunk:
-            self._process_chunk(chunk)
+        else:
+            for tweet in iterator:
+                self._cursor += 1
+                self._m_consumed.inc()
+                if self.validate and not self._admit(tweet):
+                    continue
+                queue.offer(tweet)
+                while len(queue) >= self._current_chunk_size():
+                    self._process_chunk(
+                        queue.drain(self._current_chunk_size())
+                    )
+            while len(queue):
+                self._process_chunk(queue.drain(self._current_chunk_size()))
         self.write_checkpoint()
-        health = self.health()
-        if self.telemetry is not None:
-            self.telemetry.snapshot(self.metrics, reason="final")
-            self.telemetry.event("run_end", health=health.as_dict())
-        return SupervisedRun(
-            result=self.engine.result(),
-            health=health,
-            dead_letters=self.dead_letters,
-        )
+        return self._finish()
+
+    def run_timed(
+        self,
+        arrivals: Iterable[Tuple[Tweet, float]],
+        service_time_s: Optional[
+            Union[float, Dict[int, float]]
+        ] = None,
+    ) -> SupervisedRun:
+        """Closed-loop replay: arrivals carry timestamps, backlog builds.
+
+        Each ``(tweet, arrival_s)`` pair is offered to the ingest queue
+        at its (simulated) arrival time; whenever the simulated server
+        is free and backlog is waiting, a chunk is drained and
+        processed. Because the engine only consumes as fast as its
+        (measured or modeled) service rate, a burst above capacity
+        genuinely accumulates backlog, triggers shedding and drives the
+        overload controller — the dynamics an open-loop ``run`` can
+        never produce.
+
+        Args:
+            arrivals: timestamped stream, non-decreasing ``arrival_s``
+                (e.g. :meth:`~repro.data.firehose.FirehoseWorkload.
+                timed_stream`).
+            service_time_s: per-tweet service-time model. ``None``
+                advances the simulated clock by each batch's *measured*
+                wall-clock time (realistic mode). A float — or a dict
+                mapping :class:`~repro.core.features.DegradeTier` level
+                to float — makes batch durations a pure function of
+                (size, tier): fully deterministic, reproducible across
+                resume, and independent of host speed (test mode). In
+                model mode the supervisor drives the controller with
+                the *modeled* durations (the engine's controller hookup
+                is bypassed so wall-clock noise never leaks in).
+
+        Requires an ``ingest_queue``. Cursor semantics match
+        :meth:`run`: resumed runs skip the already-offered prefix, and
+        the pending backlog at checkpoint time is restored from the
+        checkpoint itself.
+        """
+        queue = self.ingest_queue
+        if queue is None:
+            raise ValueError("run_timed requires an ingest_queue")
+        controller = self.controller
+        modeled = service_time_s is not None
+        # In model mode the supervisor owns the control loop: detach
+        # the controller from the engine so measured wall time never
+        # feeds it, and re-apply its decisions (tier, batch size) by
+        # hand after each simulated batch.
+        if modeled and controller is not None:
+            self._detached_controller = controller
+            self.engine.controller = None
+            if isinstance(self.engine, MicroBatchEngine):
+                self.engine._degrade_tier = controller.tier
+                self.engine.batch_size = controller.batch_size
+            else:
+                self.engine.pipeline.set_degrade_tier(controller.tier)
+        try:
+            iterator = iter(arrivals)
+            if self._cursor:
+                for _ in islice(iterator, self._cursor):
+                    pass
+            for tweet, arrival_s in iterator:
+                self._catch_up(arrival_s, service_time_s, controller)
+                self._cursor += 1
+                self._m_consumed.inc()
+                if self.validate and not self._admit(tweet):
+                    continue
+                queue.offer(tweet, arrival_s=arrival_s)
+            # Stream exhausted: drain the remaining backlog.
+            while len(queue):
+                self._timed_chunk(service_time_s, controller)
+            self.write_checkpoint()
+            return self._finish()
+        finally:
+            if modeled and controller is not None:
+                self.engine.controller = controller
+                self._detached_controller = None
+
+    def _catch_up(
+        self,
+        now_s: float,
+        service_time_s: Optional[Union[float, Dict[int, float]]],
+        controller: Optional[OverloadController],
+    ) -> None:
+        """Process backlog the simulated server had time for before ``now_s``."""
+        queue = self.ingest_queue
+        assert queue is not None
+        while len(queue):
+            start_s = max(self._server_free_s, queue.peek_arrival() or 0.0)
+            if start_s >= now_s:
+                break
+            self._timed_chunk(service_time_s, controller, start_s=start_s)
+
+    def _timed_chunk(
+        self,
+        service_time_s: Optional[Union[float, Dict[int, float]]],
+        controller: Optional[OverloadController],
+        start_s: Optional[float] = None,
+    ) -> None:
+        """Drain one chunk, process it, advance the simulated clock."""
+        queue = self.ingest_queue
+        assert queue is not None
+        if start_s is None:
+            start_s = max(
+                self._server_free_s, queue.peek_arrival() or 0.0
+            )
+        # Judge pressure on the backlog the server faced, not the
+        # post-drain remainder.
+        fraction_before = queue.depth_fraction
+        chunk = queue.drain(self._current_chunk_size())
+        if not chunk:
+            return
+        if isinstance(self.engine, MicroBatchEngine):
+            result = self.engine.process_batch(chunk)
+            measured = result.elapsed_seconds
+        else:
+            t_start = time.perf_counter()
+            self.engine.process_many(chunk)
+            measured = time.perf_counter() - t_start
+        if service_time_s is None:
+            duration = measured
+        else:
+            tier_level = int(controller.tier) if controller is not None else 0
+            if isinstance(service_time_s, dict):
+                per_tweet = service_time_s[tier_level]
+            else:
+                per_tweet = service_time_s
+            duration = len(chunk) * per_tweet
+            if controller is not None:
+                # Model mode: the supervisor feeds the controller the
+                # modeled duration and applies its decisions.
+                controller.observe_batch(
+                    duration, queue_fraction=fraction_before
+                )
+                if isinstance(self.engine, MicroBatchEngine):
+                    self.engine.batch_size = controller.batch_size
+                    self.engine._degrade_tier = controller.tier
+                else:
+                    self.engine.pipeline.set_degrade_tier(controller.tier)
+        self._server_free_s = start_s + duration
+        self._after_chunk()
 
     def _admit(self, tweet: Tweet) -> bool:
         """Ingest validation; quarantines and returns False on poison."""
@@ -614,6 +861,15 @@ class StreamSupervisor:
             self.engine.process_batch(chunk)
         else:
             self.engine.process_many(chunk)
+        self._after_chunk()
+
+    def _after_chunk(self) -> None:
+        """Per-chunk cadence: telemetry snapshots and checkpoints.
+
+        Runs *after* all per-chunk state (engine, controller, simulated
+        clock) is final, so any checkpoint written here captures a
+        consistent cut a resumed run can continue from exactly.
+        """
         self._chunks_done += 1
         if (
             self.telemetry is not None
@@ -627,6 +883,18 @@ class StreamSupervisor:
             and self._chunks_done % self.checkpoint_every == 0
         ):
             self.write_checkpoint()
+
+    def _finish(self) -> SupervisedRun:
+        """Final health/telemetry/result assembly shared by both runs."""
+        health = self.health()
+        if self.telemetry is not None:
+            self.telemetry.snapshot(self.metrics, reason="final")
+            self.telemetry.event("run_end", health=health.as_dict())
+        return SupervisedRun(
+            result=self.engine.result(),
+            health=health,
+            dead_letters=self.dead_letters,
+        )
 
     # -- reporting ------------------------------------------------------
 

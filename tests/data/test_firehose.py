@@ -6,7 +6,7 @@ import itertools
 
 import pytest
 
-from repro.data.firehose import FirehoseWorkload
+from repro.data.firehose import ArrivalSchedule, FirehoseWorkload
 
 
 class TestFirehoseWorkload:
@@ -62,3 +62,78 @@ class TestFirehoseWorkload:
         assert result.n_labeled == 700
         assert result.n_unlabeled == 700
         assert result.n_alerts > 0
+
+
+class TestArrivalSchedule:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ArrivalSchedule(rate_hz=0.0)
+        with pytest.raises(ValueError):
+            ArrivalSchedule(rate_hz=100.0, shape="sawtooth")
+        with pytest.raises(ValueError):
+            ArrivalSchedule(rate_hz=100.0, burst_factor=1.0)
+        with pytest.raises(ValueError):
+            ArrivalSchedule(rate_hz=100.0, period_s=0.0)
+        with pytest.raises(ValueError):
+            ArrivalSchedule(rate_hz=100.0, burst_duty=1.0)
+        # duty * factor must leave a positive off-burst rate.
+        with pytest.raises(ValueError):
+            ArrivalSchedule(
+                rate_hz=100.0,
+                shape="bursty",
+                burst_factor=4.0,
+                burst_duty=0.25,
+            )
+
+    def test_uniform_is_an_exact_metronome(self):
+        schedule = ArrivalSchedule(rate_hz=50.0, shape="uniform")
+        times = list(itertools.islice(schedule.times(), 10))
+        assert times == pytest.approx([(i + 1) / 50.0 for i in range(10)])
+
+    @pytest.mark.parametrize("shape", ["uniform", "poisson", "bursty"])
+    def test_deterministic_given_seed(self, shape):
+        def sample():
+            schedule = ArrivalSchedule(rate_hz=200.0, shape=shape, seed=7)
+            return list(itertools.islice(schedule.times(), 500))
+
+        assert sample() == sample()
+
+    @pytest.mark.parametrize("shape", ["uniform", "poisson", "bursty"])
+    def test_times_non_decreasing(self, shape):
+        schedule = ArrivalSchedule(rate_hz=500.0, shape=shape, seed=3)
+        times = list(itertools.islice(schedule.times(), 2000))
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    @pytest.mark.parametrize("shape", ["poisson", "bursty"])
+    def test_mean_rate_tracks_target(self, shape):
+        # Bursty modulation redistributes arrivals within each period
+        # but must leave the long-run mean at rate_hz.
+        schedule = ArrivalSchedule(rate_hz=100.0, shape=shape, seed=11)
+        times = list(itertools.islice(schedule.times(), 8000))
+        observed = len(times) / times[-1]
+        assert observed == pytest.approx(100.0, rel=0.05)
+
+    def test_bursty_peaks_above_mean_inside_burst_window(self):
+        schedule = ArrivalSchedule(
+            rate_hz=100.0,
+            shape="bursty",
+            burst_factor=4.0,
+            period_s=10.0,
+            burst_duty=0.2,
+            seed=11,
+        )
+        times = list(itertools.islice(schedule.times(), 20000))
+        in_burst = sum(1 for t in times if (t % 10.0) < 2.0)
+        # 20% of the time carries burst_factor * duty = 80% of traffic.
+        assert in_burst / len(times) == pytest.approx(0.8, abs=0.05)
+
+    def test_timed_stream_pairs_every_tweet(self):
+        workload = FirehoseWorkload(n_unlabeled=80, n_labeled=20, seed=5)
+        schedule = ArrivalSchedule(rate_hz=100.0, seed=2)
+        pairs = list(workload.timed_stream(schedule))
+        assert len(pairs) == 100
+        arrivals = [arrival for _, arrival in pairs]
+        assert all(b >= a for a, b in zip(arrivals, arrivals[1:]))
+        assert {t.tweet_id for t, _ in pairs} == {
+            t.tweet_id for t in workload.stream()
+        }

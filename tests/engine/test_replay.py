@@ -2,11 +2,19 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import AggressionDetectionPipeline
-from repro.engine.replay import StreamReplayer
+from repro.data.firehose import ArrivalSchedule
+from repro.engine.replay import (
+    StepClock,
+    StreamReplayer,
+    replay_closed_loop,
+)
+from repro.reliability.overload import BoundedIngestQueue, OverloadController
 
 
 def _noop(tweet):
@@ -72,3 +80,118 @@ class TestRealPipelineReplay:
         report = replayer.replay(small_stream[:300], arrival_rate=50.0)
         assert report.service_rate > 100  # this pipeline does >100 tweets/s
         assert report.n_tweets == 300
+
+
+class TestStepClock:
+    def test_advances_fixed_step_per_read(self):
+        clock = StepClock(step_s=0.5)
+        assert clock() == pytest.approx(0.5)
+        assert clock() == pytest.approx(1.0)
+        assert clock.n_reads == 2
+
+    def test_rejects_nonpositive_step(self):
+        with pytest.raises(ValueError):
+            StepClock(step_s=0.0)
+
+    def test_measured_service_equals_step(self, small_stream):
+        # A (start, stop) pair around each tweet yields exactly step_s.
+        replayer = StreamReplayer(_noop, clock=StepClock(step_s=0.002))
+        report = replayer.replay(small_stream[:50], arrival_rate=10.0)
+        assert report.service_rate == pytest.approx(500.0)
+
+
+class TestUnmeasuredReports:
+    def test_zero_service_time_gives_nan_not_zero(self, small_stream):
+        # An un-timed replay must not claim to be real-time (or not):
+        # utilization is nan, so is_real_time is False, never a lie.
+        replayer = StreamReplayer(_noop, service_time_s=0.0)
+        report = replayer.replay(small_stream[:20], arrival_rate=100.0)
+        assert math.isnan(report.service_rate)
+        assert math.isnan(report.utilization)
+        assert not report.is_real_time
+
+
+class TestDeterministicReplay:
+    def test_step_clock_replay_is_reproducible(self, small_stream):
+        def run():
+            replayer = StreamReplayer(_noop, clock=StepClock(step_s=0.001))
+            return replayer.replay(small_stream[:200], arrival_rate=500.0)
+
+        assert run() == run()
+
+    def test_find_max_stable_rate_regression(self, small_stream):
+        # step 1ms -> service rate exactly 1000/s on any host: rates
+        # below capacity meet a 10ms budget, rates above diverge.
+        replayer = StreamReplayer(_noop, clock=StepClock(step_s=0.001))
+        best = replayer.find_max_stable_rate(
+            small_stream[:400],
+            rates=[500.0, 900.0, 990.0, 1100.0],
+            latency_budget_s=0.01,
+        )
+        assert best == 990.0
+
+
+class TestClosedLoopReplay:
+    def _unlabeled(self, n):
+        from repro.data.loader import strip_labels
+        from repro.data.synthetic import AbusiveDatasetGenerator
+
+        generator = AbusiveDatasetGenerator(n_tweets=n, seed=11)
+        return list(strip_labels(generator.generate()))
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            replay_closed_loop([], BoundedIngestQueue(), _noop, batch_size=0)
+
+    def test_overload_sheds_but_stays_bounded_and_accounted(self):
+        tweets = self._unlabeled(3000)
+        schedule = ArrivalSchedule(rate_hz=2000.0, shape="uniform")
+        queue = BoundedIngestQueue(capacity=200)
+        report = replay_closed_loop(
+            schedule.assign(tweets),
+            queue,
+            lambda batch: None,
+            batch_size=100,
+            service_time_s=0.001,  # server capacity 1000/s: 2x overload
+        )
+        assert report.n_offered == 3000
+        assert report.n_offered == report.n_processed + report.n_shed
+        assert report.n_shed > 0
+        assert report.max_queue_depth <= 200
+        assert 0.0 < report.shed_fraction < 1.0
+        assert report.mean_rate_hz == pytest.approx(1000.0, rel=0.1)
+        assert report.as_dict()["queue_counters"]["n_shed"] == report.n_shed
+
+    def test_controller_degrades_under_burst_and_recovers(self):
+        # Mean 1000/s against a 1250/s full-tier server, with 3x bursts:
+        # each burst drives the tiers down, each quiet phase restores
+        # them — ending back at FULL.
+        tweets = self._unlabeled(6000)
+        schedule = ArrivalSchedule(
+            rate_hz=1000.0,
+            shape="bursty",
+            burst_factor=3.0,
+            period_s=2.0,
+            burst_duty=0.3,
+            seed=5,
+        )
+        queue = BoundedIngestQueue(capacity=600)
+        controller = OverloadController(
+            batch_deadline_s=0.12,
+            batch_size=200,
+            min_batch_size=100,
+            queue=queue,
+        )
+        report = replay_closed_loop(
+            schedule.assign(tweets),
+            queue,
+            lambda batch: None,
+            controller=controller,
+            service_time_s={0: 0.0008, 1: 0.0005, 2: 0.0003},
+        )
+        assert report.n_offered == report.n_processed + report.n_shed
+        assert controller.n_degrades > 0
+        assert controller.n_recovers > 0
+        assert report.max_tier_reached == 2
+        assert report.final_tier == 0  # recovered by the end
+        assert report.n_deadline_misses > 0

@@ -45,6 +45,30 @@ class TestDeadLetterQueue:
         assert queue.n_dropped == 3
         assert [r.tweet_id for r in queue.records] == ["t3", "t4"]
 
+    def test_capacity_drops_increment_metric(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        queue = DeadLetterQueue(capacity=2, metrics=registry)
+        for i in range(5):
+            queue.add_failure(f"t{i}", "validate", ValueError(str(i)))
+        assert registry.counter_value("deadletter_dropped_total") == 3
+        assert queue.n_dropped == 3
+
+    def test_capacity_drop_warns_exactly_once(self):
+        # Spy on the module logger directly: CLI tests may have set
+        # propagate=False on the repro tree, which blinds caplog.
+        from unittest import mock
+
+        from repro.reliability import deadletter
+
+        queue = DeadLetterQueue(capacity=1)
+        with mock.patch.object(deadletter.logger, "warning") as warning:
+            for i in range(4):
+                queue.add_failure(f"t{i}", "validate", ValueError(str(i)))
+        assert warning.call_count == 1
+        assert "dead-letter queue full" in warning.call_args[0][0]
+
     def test_by_stage_histogram(self):
         queue = DeadLetterQueue()
         queue.add_failure("a", "validate", ValueError())
@@ -79,6 +103,46 @@ class TestCircuitBreaker:
             CircuitBreaker(max_failure_rate=1.5)
         with pytest.raises(ValueError):
             CircuitBreaker(min_events=0)
+
+    def test_total_failure_below_min_events_stays_closed(self):
+        # Even a 100% failure rate is not actionable evidence until the
+        # min_events window fills.
+        breaker = CircuitBreaker(max_failure_rate=0.05, min_events=10)
+        breaker.record_batch(n_ok=0, n_failed=9)
+        assert breaker.failure_rate == 1.0
+        assert not breaker.is_open
+        breaker.check()  # no raise
+        breaker.record(True)  # 10th event crosses the window
+        assert breaker.is_open
+
+    def test_rate_exactly_at_threshold_stays_closed(self):
+        # The trip condition is strictly greater-than: a stream running
+        # exactly at the configured budget is healthy.
+        breaker = CircuitBreaker(max_failure_rate=0.05, min_events=100)
+        breaker.record_batch(n_ok=95, n_failed=5)
+        assert breaker.failure_rate == pytest.approx(0.05)
+        assert not breaker.is_open
+        breaker.record(True)  # one more failure tips it over
+        assert breaker.is_open
+
+    def test_empty_record_batch_is_noop(self):
+        breaker = CircuitBreaker(max_failure_rate=0.0, min_events=1)
+        breaker.record_batch(n_ok=0, n_failed=0)
+        assert breaker.n_events == 0
+        assert breaker.failure_rate == 0.0
+        assert not breaker.is_open
+
+    def test_record_batch_matches_single_records(self):
+        batched = CircuitBreaker(max_failure_rate=0.1, min_events=5)
+        singles = CircuitBreaker(max_failure_rate=0.1, min_events=5)
+        batched.record_batch(n_ok=7, n_failed=3)
+        for failed in [False] * 7 + [True] * 3:
+            singles.record(failed)
+        assert (batched.n_ok, batched.n_failed) == (
+            singles.n_ok,
+            singles.n_failed,
+        )
+        assert batched.is_open == singles.is_open
 
 
 class TestValidateTweet:
@@ -115,6 +179,7 @@ class TestStreamHealth:
             n_processed=9,
             n_quarantined=1,
             n_retries=2,
+            n_shed=4,
             n_checkpoints=3,
             last_checkpoint_batch=6,
             breaker_open=False,
@@ -122,5 +187,6 @@ class TestStreamHealth:
         )
         payload = health.as_dict()
         assert payload["n_quarantined"] == 1
+        assert payload["n_shed"] == 4
         assert payload["dead_letters_by_stage"] == {"validate": 1}
         assert not math.isnan(payload["poison_rate"])
