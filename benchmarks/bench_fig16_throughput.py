@@ -130,6 +130,10 @@ def test_fig16_real_engine_throughput(benchmark):
         summary={
             "n_tweets": len(tweets),
             "n_workers": n_workers,
+            "n_cpus": os.cpu_count() or 1,
+            "speedup_processes_vs_sequential": (
+                process_mb.throughput / sequential.throughput
+            ),
             "throughput_tweets_per_s": {
                 "sequential": sequential.throughput,
                 "microbatch_serial": serial_mb.throughput,

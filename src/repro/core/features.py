@@ -25,10 +25,11 @@ from repro.core.adaptive_bow import AdaptiveBagOfWords, FixedBagOfWords
 from repro.core.preprocessing import preprocess_tokens, raw_word_tokens
 from repro.data.tweet import Tweet
 from repro.streamml.instance import Instance
+from repro.text.analysis import TextAnalysis, analyze
 from repro.text.lexicons import SWEAR_WORDS
-from repro.text.pos import PosTag, PosTagger
+from repro.text.pos import PosTagger
 from repro.text.sentiment import SentimentAnalyzer
-from repro.text.tokenizer import Token, TokenType, split_sentences, tokenize
+from repro.text.tokenizer import Token, tokenize
 
 #: Feature order. The first 16 are the paper's features (Fig. 5); the
 #: 17th is the (adaptive or fixed) bag-of-words match count.
@@ -185,13 +186,19 @@ class FeatureExtractor:
         also updates the adaptive BoW's rolling statistics (training
         path of Fig. 1).
         """
+        tier = self.tier
         raw_tokens = tokenize(tweet.text)
         word_tokens = self._word_view(raw_tokens)
-        lower_words = [t.lower for t in word_tokens]
-        if (
-            self._deobfuscator is not None
-            and self.tier < DegradeTier.TEXT_ONLY
-        ):
+        analysis = analyze(
+            tweet.text,
+            raw_tokens,
+            word_tokens,
+            want_pos=tier < DegradeTier.NO_POS,
+            want_sentiment=tier < DegradeTier.TEXT_ONLY,
+            sentiment=self._sentiment,
+        )
+        lower_words = analysis.lower_words
+        if self._deobfuscator is not None and tier < DegradeTier.TEXT_ONLY:
             # Normalize disguised profanity ("sh1t", "i.d.i.o.t") back
             # to canonical forms before lexicon/BoW matching.
             lower_words = [
@@ -202,7 +209,7 @@ class FeatureExtractor:
             self.bag_of_words.update(
                 lower_words, is_aggressive=self.encoder.is_aggressive(label)
             )
-        x = self._feature_vector(tweet, raw_tokens, word_tokens, lower_words)
+        x = self._feature_vector(tweet, analysis, lower_words)
         return Instance(
             x=x,
             y=label,
@@ -218,36 +225,22 @@ class FeatureExtractor:
     def _feature_vector(
         self,
         tweet: Tweet,
-        raw_tokens: Sequence[Token],
-        word_tokens: Sequence[Token],
+        analysis: TextAnalysis,
         lower_words: Sequence[str],
     ) -> Tuple[float, ...]:
         user = tweet.user
-        tier = self.tier
-        n_hashtags = sum(
-            1 for t in raw_tokens if t.type is TokenType.HASHTAG
-        )
-        n_urls = sum(1 for t in raw_tokens if t.type is TokenType.URL)
-        n_upper = sum(1 for t in raw_tokens if t.is_uppercase_word)
-        if tier >= DegradeTier.NO_POS:
+        if analysis.n_adjectives is None:
             pos_counts = (TIER_IMPUTED_VALUE,) * 3
         else:
-            tags = self._tagger.tag_tokens(word_tokens)
             pos_counts = (
-                float(sum(1 for tag in tags if tag is PosTag.ADJECTIVE)),
-                float(sum(1 for tag in tags if tag is PosTag.ADVERB)),
-                float(sum(1 for tag in tags if tag is PosTag.VERB)),
+                float(analysis.n_adjectives),
+                float(analysis.n_adverbs),
+                float(analysis.n_verbs),
             )
-        words_per_sentence = self._words_per_sentence(tweet.text, len(word_tokens))
-        mean_word_length = (
-            sum(len(t.text) for t in word_tokens) / len(word_tokens)
-            if word_tokens
-            else 0.0
-        )
-        if tier >= DegradeTier.TEXT_ONLY:
+        sentiment = analysis.sentiment
+        if sentiment is None:
             sentiment_scores = (TIER_IMPUTED_VALUE, TIER_IMPUTED_VALUE)
         else:
-            sentiment = self._sentiment.score_tokens(raw_tokens)
             sentiment_scores = (
                 float(sentiment.positive), float(sentiment.negative)
             )
@@ -259,26 +252,19 @@ class FeatureExtractor:
             float(user.listed_count),
             float(user.followers_count),
             float(user.friends_count),
-            float(n_hashtags),
-            float(n_upper),
-            float(n_urls),
+            float(analysis.n_hashtags),
+            float(analysis.n_uppercase),
+            float(analysis.n_urls),
             pos_counts[0],
             pos_counts[1],
             pos_counts[2],
-            words_per_sentence,
-            mean_word_length,
+            analysis.words_per_sentence,
+            analysis.mean_word_length,
             sentiment_scores[0],
             sentiment_scores[1],
             float(n_swear),
             float(n_bow),
         )
-
-    @staticmethod
-    def _words_per_sentence(text: str, n_words: int) -> float:
-        sentences = split_sentences(text)
-        if not sentences:
-            return float(n_words)
-        return n_words / len(sentences)
 
     def feature_index(self, name: str) -> int:
         """Index of a feature by name."""

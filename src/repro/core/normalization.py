@@ -21,6 +21,7 @@ the small per-partition statistics into the global normalizer with
 from __future__ import annotations
 
 import abc
+import math
 from typing import List, Sequence, Tuple
 
 from repro.streamml.instance import Instance
@@ -73,6 +74,32 @@ class Normalizer(abc.ABC):
     def transform_instance(self, instance: Instance) -> Instance:
         """Observe and transform an instance, preserving its metadata."""
         return instance.with_features(self.observe_and_transform(instance.x))
+
+    # -- batch kernels -------------------------------------------------
+    # The *_many defaults are the semantic contract: overrides must be
+    # bit-identical to running the scalar path row by row (same
+    # statistics, same clip counts, same outputs). They exist to strip
+    # per-row method dispatch from the per-batch loops, never to change
+    # the math — the property suite compares both paths element-wise.
+
+    def observe_many(self, xs: Sequence[Sequence[float]]) -> None:
+        """Fold a batch of raw feature vectors into the statistics."""
+        for x in xs:
+            self.observe(x)
+
+    def transform_many(
+        self, xs: Sequence[Sequence[float]]
+    ) -> List[Tuple[float, ...]]:
+        """Scale a batch of rows with the current statistics."""
+        return [self.transform(x) for x in xs]
+
+    def observe_and_transform_many(
+        self, xs: Sequence[Sequence[float]]
+    ) -> List[Tuple[float, ...]]:
+        """Self-inclusive batch scaling: row i is transformed with
+        statistics that already include rows 0..i (matching the scalar
+        observe-then-transform stream order)."""
+        return [self.observe_and_transform(x) for x in xs]
 
     def _merge_counts(self, other: "Normalizer") -> None:
         self.observed += other.observed
@@ -130,6 +157,91 @@ class MinMaxNormalizer(Normalizer):
             mine.merge(theirs)
             for mine, theirs in zip(self._trackers, other._trackers)
         ]
+
+    def observe_many(self, xs: Sequence[Sequence[float]]) -> None:
+        trackers = self._trackers
+        for x in xs:
+            self._check(x)
+            self.observed += 1
+            for tracker, value in zip(trackers, x):
+                tracker.count += 1
+                if value < tracker.min:
+                    tracker.min = value
+                if value > tracker.max:
+                    tracker.max = value
+
+    def transform_many(
+        self, xs: Sequence[Sequence[float]]
+    ) -> List[Tuple[float, ...]]:
+        # No observation in between, so the per-feature bounds are
+        # batch constants: hoist them once instead of re-deriving the
+        # range per row.
+        bounds = [
+            (tracker.min, tracker.range)
+            if tracker.count > 0 and tracker.range > 0
+            else None
+            for tracker in self._trackers
+        ]
+        out: List[Tuple[float, ...]] = []
+        n_clipped = 0
+        for x in xs:
+            self._check(x)
+            self.n_transformed += len(x)
+            row = []
+            for bound, value in zip(bounds, x):
+                if bound is None:
+                    row.append(0.0)
+                else:
+                    scaled = (value - bound[0]) / bound[1]
+                    if scaled < 0.0:
+                        n_clipped += 1
+                        scaled = 0.0
+                    elif scaled > 1.0:
+                        n_clipped += 1
+                        scaled = 1.0
+                    row.append(scaled)
+            out.append(tuple(row))
+        self.n_clipped += n_clipped
+        return out
+
+    def observe_and_transform_many(
+        self, xs: Sequence[Sequence[float]]
+    ) -> List[Tuple[float, ...]]:
+        # Self-inclusive: each row updates the trackers before it is
+        # scaled, exactly like the scalar stream order — but observe and
+        # transform share one walk per row (feature f's bounds depend
+        # only on feature f's tracker, so fusing the walks is exact).
+        trackers = self._trackers
+        out: List[Tuple[float, ...]] = []
+        n_clipped = 0
+        for x in xs:
+            self._check(x)
+            self.observed += 1
+            self.n_transformed += len(x)
+            row = []
+            for tracker, value in zip(trackers, x):
+                tracker.count += 1
+                lo = tracker.min
+                hi = tracker.max
+                if value < lo:
+                    tracker.min = lo = value
+                if value > hi:
+                    tracker.max = hi = value
+                span = hi - lo
+                if span <= 0:
+                    row.append(0.0)
+                else:
+                    scaled = (value - lo) / span
+                    if scaled < 0.0:
+                        n_clipped += 1
+                        scaled = 0.0
+                    elif scaled > 1.0:
+                        n_clipped += 1
+                        scaled = 1.0
+                    row.append(scaled)
+            out.append(tuple(row))
+        self.n_clipped += n_clipped
+        return out
 
 
 class MinMaxNoOutliersNormalizer(Normalizer):
@@ -215,6 +327,87 @@ class MinMaxNoOutliersNormalizer(Normalizer):
             self.n_features, self.lower_quantile, self.upper_quantile
         )
 
+    def observe_many(self, xs: Sequence[Sequence[float]]) -> None:
+        lowers = self._lower
+        uppers = self._upper
+        for x in xs:
+            self._check(x)
+            self.observed += 1
+            for lower, upper, value in zip(lowers, uppers, x):
+                lower.update(value)
+                upper.update(value)
+
+    def transform_many(
+        self, xs: Sequence[Sequence[float]]
+    ) -> List[Tuple[float, ...]]:
+        # Pure transform: the quantile estimates are batch constants.
+        bounds = []
+        for lower, upper in zip(self._lower, self._upper):
+            lo = lower.value
+            hi = upper.value
+            if lo is None or hi is None or hi - lo <= 0:
+                bounds.append(None)
+            else:
+                bounds.append((lo, hi - lo))
+        out: List[Tuple[float, ...]] = []
+        n_clipped = 0
+        for x in xs:
+            self._check(x)
+            self.n_transformed += len(x)
+            row = []
+            for bound, value in zip(bounds, x):
+                if bound is None:
+                    row.append(0.0)
+                else:
+                    scaled = (value - bound[0]) / bound[1]
+                    if scaled < 0.0:
+                        n_clipped += 1
+                        scaled = 0.0
+                    elif scaled > 1.0:
+                        n_clipped += 1
+                        scaled = 1.0
+                    row.append(scaled)
+            out.append(tuple(row))
+        self.n_clipped += n_clipped
+        return out
+
+    def observe_and_transform_many(
+        self, xs: Sequence[Sequence[float]]
+    ) -> List[Tuple[float, ...]]:
+        # Self-inclusive: the sketches advance row by row, so the bounds
+        # cannot be hoisted — but each row fuses its observe and
+        # transform walks (feature-local statistics make that exact) and
+        # reads the post-warmup quantile estimate without property
+        # dispatch.
+        lowers = self._lower
+        uppers = self._upper
+        out: List[Tuple[float, ...]] = []
+        n_clipped = 0
+        for x in xs:
+            self._check(x)
+            self.observed += 1
+            self.n_transformed += len(x)
+            row = []
+            for lower, upper, value in zip(lowers, uppers, x):
+                lower.update(value)
+                upper.update(value)
+                lo = lower._q[2] if len(lower._initial) >= 5 else lower.value
+                hi = upper._q[2] if len(upper._initial) >= 5 else upper.value
+                if lo is None or hi is None or hi - lo <= 0:
+                    row.append(0.0)
+                    continue
+                scaled = (value - lo) / (hi - lo)
+                if scaled < 0.0:
+                    n_clipped += 1
+                    scaled = 0.0
+                elif scaled > 1.0:
+                    n_clipped += 1
+                    scaled = 1.0
+                row.append(scaled)
+            out.append(tuple(row))
+        self.n_clipped += n_clipped
+        return out
+
 
 class ZScoreNormalizer(Normalizer):
     """Standardize each feature to zero mean and unit std."""
@@ -250,6 +443,65 @@ class ZScoreNormalizer(Normalizer):
             mine.merge(theirs)
             for mine, theirs in zip(self._stats, other._stats)
         ]
+
+    def observe_many(self, xs: Sequence[Sequence[float]]) -> None:
+        stats_list = self._stats
+        for x in xs:
+            self._check(x)
+            self.observed += 1
+            for stats, value in zip(stats_list, x):
+                stats.update(value)
+
+    def transform_many(
+        self, xs: Sequence[Sequence[float]]
+    ) -> List[Tuple[float, ...]]:
+        # Pure transform: mean/std are batch constants per feature.
+        moments = []
+        for stats in self._stats:
+            std = stats.std
+            if stats.count < 2 or std <= 0:
+                moments.append(None)
+            else:
+                moments.append((stats.mean, std))
+        out: List[Tuple[float, ...]] = []
+        for x in xs:
+            self._check(x)
+            out.append(
+                tuple(
+                    0.0 if moment is None
+                    else (value - moment[0]) / moment[1]
+                    for moment, value in zip(moments, x)
+                )
+            )
+        return out
+
+    def observe_and_transform_many(
+        self, xs: Sequence[Sequence[float]]
+    ) -> List[Tuple[float, ...]]:
+        stats_list = self._stats
+        sqrt = math.sqrt
+        out: List[Tuple[float, ...]] = []
+        for x in xs:
+            self._check(x)
+            self.observed += 1
+            row = []
+            for stats, value in zip(stats_list, x):
+                stats.update(value)
+                count = stats.count
+                # Inline stats.std (same arithmetic as the property).
+                if count <= 1:
+                    row.append(0.0)
+                    continue
+                variance = stats._m2 / count
+                if variance < 0.0:
+                    variance = 0.0
+                std = sqrt(variance)
+                if count < 2 or std <= 0:
+                    row.append(0.0)
+                else:
+                    row.append((value - stats.mean) / std)
+            out.append(tuple(row))
+        return out
 
 
 class IdentityNormalizer(Normalizer):

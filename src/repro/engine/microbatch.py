@@ -26,6 +26,18 @@ left is draining the batch's *unlabeled* instances into alerting and
 sampling, which hold driver-side state (per-user alert history, the
 boosted reservoir) and receive the drain as one batched call each.
 
+Broadcast cost is O(1) per batch, not O(partitions): the batch-start
+state (model, normalizer statistics, BoW lexicon delta) rides in one
+:class:`~repro.engine.runners.StateBroadcast` shared by every partition
+task. Under a process runner it is pickled once per batch and decoded
+once per worker (workers cache the last version); under serial/thread
+runners the partitions read the live objects directly, which is why
+partition code treats the broadcast strictly as read-only — local
+normalizer clones come from ``fresh()`` + ``merge()`` (an exact copy:
+merging into an empty normalizer reproduces every statistic), and each
+partition builds its own trainable local model from the broadcast
+worker-side.
+
 Every stage is timed on the driver (:class:`StageTimings`); the
 per-batch and per-run timings are surfaced on :class:`MicroBatchResult`
 and :class:`EngineResult` so scale-out regressions are visible in the
@@ -50,7 +62,6 @@ stops the run when the stream is too dirty to trust.
 
 from __future__ import annotations
 
-import copy
 import random
 import time
 import traceback as traceback_module
@@ -85,7 +96,9 @@ from repro.engine.runners import (
     PartitionError,
     Runner,
     SerialRunner,
+    StateBroadcast,
     make_runner,
+    new_broadcast_key,
 )
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.obs.tracing import Tracer, stage_seconds_by_stage
@@ -96,8 +109,9 @@ from repro.reliability.deadletter import (
     validate_tweet,
 )
 from repro.streamml.base import StreamClassifier
-from repro.streamml.instance import ClassifiedInstance, Instance
+from repro.streamml.instance import ClassifiedInstance, Instance, InstanceBlock
 from repro.streamml.slr import StreamingLogisticRegression
+from repro.text.lexicons import SWEAR_WORDS
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.reliability.overload import OverloadController
@@ -140,36 +154,62 @@ class _PartitionOutput:
     metrics: Optional[MetricsSnapshot] = None
 
 
+def _make_local_model(model: StreamClassifier) -> StreamClassifier:
+    """Partition-local trainable copy of the broadcast model (op #3).
+
+    Built *worker-side* from the broadcast model, so the driver never
+    serializes per-task local models: HT/ARF/Oza ensembles get a
+    statistics-accumulating structure copy, SLR a weight copy with the
+    example counter reset (the driver's merge weighs locals by examples
+    seen this batch), everything else a plain clone.
+    """
+    if hasattr(model, "structure_copy"):
+        return model.structure_copy()
+    if isinstance(model, StreamingLogisticRegression):
+        local = model.clone()
+        local.merge(model)  # copy current weights
+        local.instances_seen = 0
+        return local
+    return model.clone()
+
+
 class _PartitionTask:
-    """Picklable per-partition work unit (ops #1-#5 of Fig. 2)."""
+    """Picklable per-partition work unit (ops #1-#5 of Fig. 2).
+
+    Carries only this partition's tweet slice plus a handful of scalar
+    flags; the heavyweight batch-start state — model, normalizer
+    statistics, BoW lexicon delta — rides in the shared
+    :class:`~repro.engine.runners.StateBroadcast` (pickled once per
+    batch, decoded once per worker, read live under serial/thread
+    runners). Everything resolved from the broadcast is treated as
+    read-only: sibling partitions share it.
+    """
 
     def __init__(
         self,
         tweets: List[Tweet],
+        broadcast: StateBroadcast,
         n_classes: int,
         preprocessing: bool,
         deobfuscate: bool,
-        bow_words: frozenset,
         adaptive_bow: bool,
-        normalizer: Normalizer,
-        model: StreamClassifier,
-        local_model: Optional[StreamClassifier],
         quarantine: bool = False,
         tier: DegradeTier = DegradeTier.FULL,
     ) -> None:
         self.tweets = tweets
+        self.broadcast = broadcast
         self.n_classes = n_classes
         self.preprocessing = preprocessing
         self.deobfuscate = deobfuscate
-        self.bow_words = bow_words
         self.adaptive_bow = adaptive_bow
-        self.normalizer = normalizer
-        self.model = model
-        self.local_model = local_model
         self.quarantine = quarantine
         self.tier = tier
 
     def __call__(self) -> _PartitionOutput:
+        model: StreamClassifier
+        normalizer: Normalizer
+        model, normalizer, bow_added, bow_removed = self.broadcast.value()
+        bow_words = (SWEAR_WORDS - bow_removed) | bow_added
         # Partition-local observability: nothing here is shared with the
         # driver or sibling partitions; the snapshot rides back on the
         # output, exactly like the partition-local normalizer.
@@ -196,11 +236,11 @@ class _PartitionTask:
         bow_delta: Optional[AdaptiveBagOfWords] = None
         if self.adaptive_bow:
             bow_delta = AdaptiveBagOfWords(
-                seed_words=self.bow_words, update_interval=10 ** 9
+                seed_words=bow_words, update_interval=10 ** 9
             )
             bag = bow_delta
         else:
-            bag = FixedBagOfWords(seed_words=self.bow_words)
+            bag = FixedBagOfWords(seed_words=bow_words)
         extractor = FeatureExtractor(
             encoder=encoder,
             preprocessing=self.preprocessing,
@@ -208,100 +248,166 @@ class _PartitionTask:
             deobfuscate=self.deobfuscate,
             tier=self.tier,
         )
-        # Broadcast statistics + this partition's own observations. The
-        # deep copy keeps the driver's (possibly shared) normalizer
-        # untouched under the serial and thread runners.
-        seen = copy.deepcopy(self.normalizer)
+        # Broadcast statistics + this partition's own observations.
+        # fresh() + merge() clones the broadcast exactly (merging into an
+        # empty normalizer reproduces every statistic and counter) while
+        # keeping the driver's live normalizer untouched under the
+        # serial and thread runners — no deep copy through the shared
+        # object graph.
+        seen = normalizer.fresh()
+        seen.merge(normalizer)
         base_transformed = seen.n_transformed
         base_clipped = seen.n_clipped
-        local_normalizer = self.normalizer.fresh()
+        local_normalizer = normalizer.fresh()
+        local_model = _make_local_model(model)
         stats = ConfusionMatrix(self.n_classes)
         labeled: List[Instance] = []
         unlabeled: List[Tuple[ClassifiedInstance, Optional[str]]] = []
         poisoned: List[Tuple[Optional[str], str, str, str]] = []
         n_labeled = 0
         n_unlabeled = 0
-        for tweet in self.tweets:
-            stage = "validate"
-            t_start = time.perf_counter()
-            try:
-                if self.quarantine:
+        if self.quarantine:
+            # Per-tweet loop: quarantine needs tweet-granular try/except
+            # attribution, so each stage runs (and is timed) row by row.
+            for tweet in self.tweets:
+                stage = "validate"
+                t_start = time.perf_counter()
+                try:
                     validate_tweet(tweet)
-                stage = "extract"
-                instance = extractor.extract(tweet)  # op #1 (extract)
-                t_extract = time.perf_counter()
-                stage = "normalize"
-                normalized = instance.with_features(
-                    seen.observe_and_transform(instance.x)
-                )  # op #1 (normalize: broadcast + partition-local statistics)
-                t_normalize = time.perf_counter()
-                stage = "predict"
-                proba = self.model.predict_proba_one(normalized.x)  # op #4
-                t_predict = time.perf_counter()
-            except Exception as exc:
-                if not self.quarantine:
-                    raise
-                registry.counter(
-                    "tweets_quarantined_total",
-                    engine="microbatch",
-                    stage=stage,
-                ).inc()
-                poisoned.append(
-                    (
-                        getattr(tweet, "tweet_id", None),
-                        stage,
-                        f"{type(exc).__name__}: {exc}",
-                        "".join(
-                            traceback_module.format_exception(
-                                type(exc), exc, exc.__traceback__
-                            )
-                        ),
+                    stage = "extract"
+                    instance = extractor.extract(tweet)  # op #1 (extract)
+                    t_extract = time.perf_counter()
+                    stage = "normalize"
+                    normalized = instance.with_features(
+                        seen.observe_and_transform(instance.x)
+                    )  # op #1 (normalize: broadcast + local statistics)
+                    t_normalize = time.perf_counter()
+                    stage = "predict"
+                    proba = model.predict_proba_one(normalized.x)  # op #4
+                    t_predict = time.perf_counter()
+                except Exception as exc:
+                    registry.counter(
+                        "tweets_quarantined_total",
+                        engine="microbatch",
+                        stage=stage,
+                    ).inc()
+                    poisoned.append(
+                        (
+                            getattr(tweet, "tweet_id", None),
+                            stage,
+                            f"{type(exc).__name__}: {exc}",
+                            "".join(
+                                traceback_module.format_exception(
+                                    type(exc), exc, exc.__traceback__
+                                )
+                            ),
+                        )
                     )
-                )
-                continue
-            stage_hists["extract"].observe(t_extract - t_start)
-            stage_hists["normalize"].observe(t_normalize - t_extract)
-            stage_hists["predict"].observe(t_predict - t_normalize)
-            m_processed.inc()
-            local_normalizer.observe(instance.x)
-            predicted = max(range(len(proba)), key=proba.__getitem__)
-            if normalized.is_labeled:
-                n_labeled += 1
-                m_labeled.inc()
-                assert normalized.y is not None
-                stats.add(normalized.y, predicted)  # op #5
-                labeled.append(normalized)  # op #2 (filter)
-            else:
-                n_unlabeled += 1
-                m_unlabeled.inc()
-                unlabeled.append(
-                    (
-                        ClassifiedInstance(
-                            instance=normalized,
-                            predicted=predicted,
-                            proba=proba,
-                        ),
-                        tweet.user.user_id,
+                    continue
+                stage_hists["extract"].observe(t_extract - t_start)
+                stage_hists["normalize"].observe(t_normalize - t_extract)
+                stage_hists["predict"].observe(t_predict - t_normalize)
+                m_processed.inc()
+                local_normalizer.observe(instance.x)
+                predicted = max(range(len(proba)), key=proba.__getitem__)
+                if normalized.is_labeled:
+                    n_labeled += 1
+                    m_labeled.inc()
+                    assert normalized.y is not None
+                    stats.add(normalized.y, predicted)  # op #5
+                    labeled.append(normalized)  # op #2 (filter)
+                else:
+                    n_unlabeled += 1
+                    m_unlabeled.inc()
+                    unlabeled.append(
+                        (
+                            ClassifiedInstance(
+                                instance=normalized,
+                                predicted=predicted,
+                                proba=proba,
+                            ),
+                            tweet.user.user_id,
+                        )
                     )
-                )
-        if self.local_model is not None:
-            t_learn = time.perf_counter()
-            for instance in labeled:  # op #3, local part
-                self.local_model.learn_one(instance)
-            if labeled:
-                registry.histogram(
-                    "tweet_stage_seconds",
-                    sketch_every=TWEET_SKETCH_EVERY,
-                    engine="microbatch",
-                    stage="learn",
-                ).observe(time.perf_counter() - t_learn)
+        else:
+            # Batched fast path, result-identical to the loop above (the
+            # *_many kernels are bit-exact by contract, `seen` and the
+            # local normalizer are independent, and predictions use the
+            # read-only broadcast model, so de-interleaving the stages
+            # changes no state any row can see). Exceptions propagate
+            # and fail the partition, exactly like the old per-tweet
+            # raise.
+            perf_counter = time.perf_counter
+            extract = extractor.extract
+            hist_extract = stage_hists["extract"]
+            instances: List[Instance] = []
+            append_instance = instances.append
+            for tweet in self.tweets:
+                t_start = perf_counter()
+                append_instance(extract(tweet))  # op #1 (extract)
+                hist_extract.observe(perf_counter() - t_start)
+            block = InstanceBlock(instances)
+            t_start = perf_counter()
+            normalized_block = block.with_xs(
+                seen.observe_and_transform_many(block.xs)
+            )  # op #1 (normalize: broadcast + local statistics)
+            local_normalizer.observe_many(block.xs)
+            t_normalize = perf_counter()
+            probas = model.predict_proba_many(normalized_block.xs)  # op #4
+            t_predict = perf_counter()
+            n = len(block)
+            if n:
+                # The kernels ran once for the whole partition; book the
+                # amortized per-tweet cost so the histogram still counts
+                # one observation per tweet (sum stays the true total).
+                per_normalize = (t_normalize - t_start) / n
+                per_predict = (t_predict - t_normalize) / n
+                hist_normalize = stage_hists["normalize"]
+                hist_predict = stage_hists["predict"]
+                for _ in range(n):
+                    hist_normalize.observe(per_normalize)
+                    hist_predict.observe(per_predict)
+            m_processed.inc(n)
+            for normalized, proba, tweet in zip(
+                normalized_block, probas, self.tweets
+            ):
+                predicted = max(range(len(proba)), key=proba.__getitem__)
+                if normalized.y is not None:
+                    n_labeled += 1
+                    stats.add(normalized.y, predicted)  # op #5
+                    labeled.append(normalized)  # op #2 (filter)
+                else:
+                    n_unlabeled += 1
+                    unlabeled.append(
+                        (
+                            ClassifiedInstance(
+                                instance=normalized,
+                                predicted=predicted,
+                                proba=proba,
+                            ),
+                            tweet.user.user_id,
+                        )
+                    )
+            if n_labeled:
+                m_labeled.inc(n_labeled)
+            if n_unlabeled:
+                m_unlabeled.inc(n_unlabeled)
+        t_learn = time.perf_counter()
+        local_model.learn_many(labeled)  # op #3, local part
+        if labeled:
+            registry.histogram(
+                "tweet_stage_seconds",
+                sketch_every=TWEET_SKETCH_EVERY,
+                engine="microbatch",
+                stage="learn",
+            ).observe(time.perf_counter() - t_learn)
         # The broadcast copy did this partition's transforms; hand the
         # clip deltas back on the fresh normalizer so the driver's
         # merge() accumulates them globally.
         local_normalizer.n_transformed = seen.n_transformed - base_transformed
         local_normalizer.n_clipped = seen.n_clipped - base_clipped
         return _PartitionOutput(
-            local_model=self.local_model,
+            local_model=local_model,
             bow_delta=bow_delta,
             local_stats=stats,
             local_normalizer=local_normalizer,
@@ -530,6 +636,10 @@ class MicroBatchEngine:
             N_FEATURES,
         )
         self.model: StreamClassifier = create_model(self.config)
+        # Resident-state broadcasting: one versioned snapshot per batch,
+        # pickled at most once and cached worker-side (runners module).
+        self._broadcast_key = new_broadcast_key("microbatch")
+        self._state_version = 0
         self.cumulative = ConfusionMatrix(self.config.n_classes)
         self.alert_manager = AlertManager(
             AlertPolicy(
@@ -644,18 +754,6 @@ class MicroBatchEngine:
     # Model-parallel adapters (op #3: local train + global merge)
     # ------------------------------------------------------------------
 
-    def _local_model(self) -> StreamClassifier:
-        model = self.model
-        if hasattr(model, "structure_copy"):
-            # HT/ARF/Oza ensembles: statistics-accumulating copies.
-            return model.structure_copy()
-        if isinstance(model, StreamingLogisticRegression):
-            local = model.clone()
-            local.merge(model)  # copy current weights
-            local.instances_seen = 0
-            return local
-        return model.clone()
-
     def _combine_models(self, locals_: Sequence[StreamClassifier]) -> None:
         model = self.model
         trained = [m for m in locals_ if m.instances_seen > 0]
@@ -709,27 +807,49 @@ class MicroBatchEngine:
     # Batch processing
     # ------------------------------------------------------------------
 
+    def _broadcast_state(self) -> StateBroadcast:
+        """Snapshot the batch-start state for the partition broadcast.
+
+        The payload is ``(model, normalizer, bow added, bow removed)``:
+        the BoW lexicon travels as a compact delta against the fixed
+        swear-word seed rather than the full word set. A new version per
+        batch keeps worker caches coherent — engine state mutates
+        between batches (merges, BoW maintenance) but never within one,
+        so retry attempts share the same broadcast (and its one-time
+        pickle).
+        """
+        words = frozenset(self.bag_of_words.words)
+        self._state_version += 1
+        return StateBroadcast(
+            key=self._broadcast_key,
+            version=self._state_version,
+            value=(
+                self.model,
+                self.normalizer,
+                words - SWEAR_WORDS,
+                SWEAR_WORDS - words,
+            ),
+        )
+
     def _build_tasks(
-        self, tweets: Sequence[Tweet], bow_words: frozenset
+        self, tweets: Sequence[Tweet], broadcast: StateBroadcast
     ) -> List[_PartitionTask]:
         """Fresh partition tasks for one batch attempt.
 
-        Rebuilt from scratch on every retry attempt: serial and thread
-        runners share task objects with the driver, so a half-executed
-        attempt may have trained its local models — reusing them would
-        double-count instances.
+        Rebuilt from scratch on every retry attempt (they are cheap:
+        a tweet slice plus flags — the heavy state stays on the shared
+        broadcast); local models are created inside the task call, so a
+        half-executed attempt can never leak trained state into the
+        next one.
         """
         return [
             _PartitionTask(
                 tweets=partition,
+                broadcast=broadcast,
                 n_classes=self.config.n_classes,
                 preprocessing=self.config.preprocessing,
                 deobfuscate=self.config.deobfuscate,
-                bow_words=bow_words,
                 adaptive_bow=self.config.adaptive_bow,
-                normalizer=self.normalizer,
-                model=self.model,
-                local_model=self._local_model(),
                 quarantine=self.dead_letters is not None,
                 tier=self.degrade_tier,
             )
@@ -737,7 +857,7 @@ class MicroBatchEngine:
         ]
 
     def _execute_with_retry(
-        self, tweets: Sequence[Tweet], bow_words: frozenset
+        self, tweets: Sequence[Tweet], broadcast: StateBroadcast
     ) -> Tuple[List[_PartitionOutput], int]:
         """Run the partition stage, retrying transient failures.
 
@@ -748,7 +868,7 @@ class MicroBatchEngine:
         policy = self.retry_policy
         attempt = 0
         while True:
-            tasks = self._build_tasks(tweets, bow_words)
+            tasks = self._build_tasks(tweets, broadcast)
             try:
                 return self.runner.run(tasks), attempt
             except PartitionError as exc:
@@ -781,7 +901,7 @@ class MicroBatchEngine:
         """
         start = time.perf_counter()
         batch_tier = self.degrade_tier
-        bow_words = frozenset(self.bag_of_words.words)
+        broadcast = self._broadcast_state()
         # Everything below the execute stage mutates engine state;
         # keeping it first means a PartitionError leaves the engine
         # exactly as it was before the batch. Each driver stage runs
@@ -790,7 +910,7 @@ class MicroBatchEngine:
         # spans' raw durations, so both views see the same numbers.
         with self._tracer.span("partition_execute") as span_execute:
             outputs, retries_used = self._execute_with_retry(
-                tweets, bow_words
+                tweets, broadcast
             )
 
         with self._tracer.span("model_merge") as span_model:

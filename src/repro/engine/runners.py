@@ -20,14 +20,27 @@ Ownership: a runner created by the caller is closed by the caller
 (use the context-manager form or ``close()``); the micro-batch engine
 closes only runners it created itself — see
 :class:`repro.engine.microbatch.MicroBatchEngine`.
+
+Resident worker state: tasks that share heavyweight read-only driver
+state (models, normalizer statistics, lexicons) wrap it in a
+:class:`StateBroadcast` instead of carrying it per task. The broadcast
+serializes its payload once per version — no matter how many tasks
+reference it — and worker processes keep the last decoded payload in a
+module-level cache keyed by ``(key, version)``, so one batch's
+partitions (and any retry attempts against the same state) deserialize
+the driver state once per worker instead of once per task.
 """
 
 from __future__ import annotations
 
 import abc
+import itertools
+import os
+import pickle
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 R = TypeVar("R")
 
@@ -90,6 +103,94 @@ class PartitionError(RuntimeError):
     def __str__(self) -> str:
         kind = "transient" if self.transient else "fatal"
         return f"partition {self.partition_index} failed ({kind}): {self.message}"
+
+
+#: Worker-resident broadcast cache: key -> (version, decoded payload).
+#: One entry per broadcast key (each new version replaces the previous
+#: one), so memory stays bounded by the number of live broadcasters.
+_BROADCAST_CACHE: Dict[str, Tuple[int, object]] = {}
+_BROADCAST_LOCK = threading.Lock()
+_BROADCAST_IDS = itertools.count()
+
+
+def new_broadcast_key(prefix: str = "broadcast") -> str:
+    """A process-unique key for a sequence of :class:`StateBroadcast`.
+
+    Combines the driver's PID with a process-wide counter, so two
+    broadcasters in the same driver (or drivers sharing a worker pool)
+    can never alias each other's cache entries.
+    """
+    return f"{prefix}-{os.getpid()}-{next(_BROADCAST_IDS)}"
+
+
+def clear_broadcast_cache() -> None:
+    """Drop all worker-resident broadcast state (test isolation hook)."""
+    with _BROADCAST_LOCK:
+        _BROADCAST_CACHE.clear()
+
+
+class StateBroadcast:
+    """Versioned, read-only driver state shared by many partition tasks.
+
+    The driver wraps one batch's heavyweight state (model, normalizer
+    statistics, lexicon deltas, ...) in a broadcast and hands the *same*
+    broadcast object to every partition task. Three properties make
+    this cheap:
+
+    * **Serial/thread runners** never pickle the task, so
+      :meth:`value` returns the live payload object directly — tasks
+      must treat it as read-only (they already must, since sibling
+      partitions share it).
+    * **Pickling is once per version.** The payload is encoded lazily
+      on the first task pickle and the bytes are reused for every
+      subsequent task (and every retry attempt against the same state).
+    * **Decoding is once per worker per version.** Worker processes
+      cache the decoded payload keyed by ``(key, version)``; a worker
+      running several partitions of the same batch deserializes the
+      driver state once.
+
+    The payload must not be ``None`` (that value flags "not yet
+    decoded" on the worker side).
+    """
+
+    __slots__ = ("key", "version", "_value", "_encoded")
+
+    def __init__(self, key: str, version: int, value: object) -> None:
+        if value is None:
+            raise ValueError("broadcast payload must not be None")
+        self.key = key
+        self.version = version
+        self._value: Optional[object] = value
+        self._encoded: Optional[bytes] = None
+
+    def value(self) -> object:
+        """The broadcast payload (live on the driver, cached on workers)."""
+        value = self._value
+        if value is not None:
+            return value
+        with _BROADCAST_LOCK:
+            cached = _BROADCAST_CACHE.get(self.key)
+            if cached is not None and cached[0] == self.version:
+                value = cached[1]
+            else:
+                assert self._encoded is not None
+                value = pickle.loads(self._encoded)
+                _BROADCAST_CACHE[self.key] = (self.version, value)
+        self._value = value
+        return value
+
+    def __getstate__(self) -> Tuple[str, int, bytes]:
+        encoded = self._encoded
+        if encoded is None:
+            # Driver side, first task being pickled: encode the payload
+            # once and reuse the bytes for every sibling task.
+            encoded = pickle.dumps(self._value, protocol=pickle.HIGHEST_PROTOCOL)
+            self._encoded = encoded
+        return (self.key, self.version, encoded)
+
+    def __setstate__(self, state: Tuple[str, int, bytes]) -> None:
+        self.key, self.version, self._encoded = state
+        self._value = None
 
 
 class Runner(abc.ABC):

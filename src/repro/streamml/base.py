@@ -59,9 +59,28 @@ class StreamClassifier(abc.ABC):
         """Fold a model trained on a disjoint data partition into this one."""
 
     def learn_many(self, instances: Sequence[Instance]) -> None:
-        """Convenience: sequentially learn a batch of instances."""
+        """Learn a batch of instances in row order.
+
+        The default is the scalar loop, which is the semantic contract:
+        an override MUST be bit-identical to calling :meth:`learn_one`
+        row by row (same weights, same state, same float-op order) —
+        the batch kernels exist for constant-factor speed only, never
+        for different math. See docs/extending.md for how a classifier
+        opts into a vectorized implementation.
+        """
         for instance in instances:
             self.learn_one(instance)
+
+    def predict_proba_many(
+        self, xs: Sequence[Sequence[float]]
+    ) -> List[Tuple[float, ...]]:
+        """Predict a batch of rows; one probability tuple per row.
+
+        Same contract as :meth:`learn_many`: overrides must match the
+        scalar :meth:`predict_proba_one` bit-exactly per row.
+        """
+        predict = self.predict_proba_one
+        return [predict(x) for x in xs]
 
     def _check_labeled(self, instance: Instance) -> int:
         """Validate an instance for training and return its label."""

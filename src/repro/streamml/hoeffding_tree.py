@@ -30,7 +30,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.streamml.base import StreamClassifier
 from repro.streamml.instance import Instance
-from repro.streamml.naive_bayes import GaussianClassObserver, gaussian_pdf
+from repro.streamml.naive_bayes import (
+    _MIN_STD,
+    _SQRT_2PI,
+    GaussianClassObserver,
+)
 from repro.streamml.stats import RunningMinMax
 
 INFO_GAIN = "infogain"
@@ -159,21 +163,38 @@ class _LeafNode(_Node):
     def naive_bayes_votes(self, x: Sequence[float]) -> List[float]:
         total = self.total_weight
         n_classes = len(self.class_counts)
-        if total <= 0 or not self.observers or len(x) != len(self.observers):
+        observers = self.observers
+        if total <= 0 or not observers or len(x) != len(observers):
             return self.majority_votes()
+        # Hottest model function: called on every predict *and* every
+        # learn (adaptive-counter bookkeeping). The per-feature Gaussian
+        # density is inlined from stats.std/gaussian_pdf with identical
+        # arithmetic order, trading method/property dispatch for locals.
+        log = math.log
+        exp = math.exp
+        sqrt = math.sqrt
         log_scores: List[float] = []
         for label in range(n_classes):
-            prior = (self.class_counts[label] + 1.0) / (total + n_classes)
-            score = math.log(prior)
-            for observer, value in zip(self.observers, x):
+            score = log((self.class_counts[label] + 1.0) / (total + n_classes))
+            for observer, value in zip(observers, x):
                 stats = observer.per_class[label]
-                if stats.count > 0:
-                    score += math.log(
-                        max(gaussian_pdf(value, stats.mean, stats.std), 1e-300)
-                    )
+                count = stats.count
+                if count > 0:
+                    if count <= 1:
+                        std = _MIN_STD
+                    else:
+                        variance = stats._m2 / count
+                        if variance < 0.0:
+                            variance = 0.0
+                        std = sqrt(variance)
+                        if std < _MIN_STD:
+                            std = _MIN_STD
+                    z = (value - stats.mean) / std
+                    pdf = exp(-0.5 * z * z) / (std * _SQRT_2PI)
+                    score += log(pdf if pdf > 1e-300 else 1e-300)
             log_scores.append(score)
         max_score = max(log_scores)
-        return [math.exp(s - max_score) for s in log_scores]
+        return [exp(s - max_score) for s in log_scores]
 
 
 class HoeffdingTree(StreamClassifier):

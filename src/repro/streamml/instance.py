@@ -4,12 +4,18 @@ An :class:`Instance` is the unit of work after feature extraction: a dense
 numeric feature vector, an optional integer class label (``None`` for the
 unlabeled stream), a sample weight (used by online bagging), and the
 timestamp of the originating tweet.
+
+:class:`InstanceBlock` is the columnar companion: parallel arrays of
+x-rows, labels, and weights for one batch, feeding the ``*_many`` batch
+kernels (``Normalizer.observe_many``, ``StreamClassifier.learn_many``)
+without materializing per-row objects until a caller asks for them.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -48,33 +54,22 @@ class Instance:
 
     def with_label(self, y: int) -> "Instance":
         """Return a copy of this instance carrying label ``y``."""
-        return Instance(
-            x=self.x,
-            y=y,
-            weight=self.weight,
-            timestamp=self.timestamp,
-            tweet_id=self.tweet_id,
-        )
+        return dataclasses.replace(self, y=y)
 
     def with_weight(self, weight: float) -> "Instance":
         """Return a copy of this instance with sample weight ``weight``."""
-        return Instance(
-            x=self.x,
-            y=self.y,
-            weight=weight,
-            timestamp=self.timestamp,
-            tweet_id=self.tweet_id,
-        )
+        return dataclasses.replace(self, weight=weight)
 
     def with_features(self, x: Sequence[float]) -> "Instance":
-        """Return a copy of this instance with a replaced feature vector."""
-        return Instance(
-            x=tuple(float(v) for v in x),
-            y=self.y,
-            weight=self.weight,
-            timestamp=self.timestamp,
-            tweet_id=self.tweet_id,
-        )
+        """Return a copy of this instance with a replaced feature vector.
+
+        An ``x`` that is already a tuple (the normalizers return tuples
+        of floats) is adopted as-is — re-tupling every vector was
+        measurable allocation churn in the per-tweet loop.
+        """
+        if not isinstance(x, tuple):
+            x = tuple(float(v) for v in x)
+        return dataclasses.replace(self, x=x)
 
 
 @dataclass
@@ -102,3 +97,61 @@ class ClassifiedInstance:
         if not self.proba:
             return 0.0
         return self.proba[self.predicted]
+
+
+class InstanceBlock:
+    """Columnar batch of instances: parallel arrays of rows/labels/weights.
+
+    The batch kernels (``Normalizer.observe_many``/``transform_many``,
+    ``StreamClassifier.learn_many``/``predict_proba_many``) consume the
+    ``xs`` column directly, so a whole micro-batch partition flows
+    through normalization and prediction without touching per-row
+    attribute access. Row order is preserved everywhere; the batch paths
+    are required (and property-tested) to be bit-identical to calling
+    the scalar path row by row.
+    """
+
+    __slots__ = ("xs", "ys", "weights", "instances")
+
+    def __init__(self, instances: Sequence[Instance]) -> None:
+        self.instances: List[Instance] = list(instances)
+        self.xs: List[Tuple[float, ...]] = [i.x for i in self.instances]
+        self.ys: List[Optional[int]] = [i.y for i in self.instances]
+        self.weights: List[float] = [i.weight for i in self.instances]
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def __iter__(self) -> Iterator[Instance]:
+        return iter(self.instances)
+
+    def __getitem__(self, index: int) -> Instance:
+        return self.instances[index]
+
+    @property
+    def labeled_indices(self) -> List[int]:
+        """Positions of the labeled rows, in row order."""
+        return [i for i, y in enumerate(self.ys) if y is not None]
+
+    def labeled(self) -> "InstanceBlock":
+        """A new block holding only the labeled rows (row order kept)."""
+        return InstanceBlock(
+            [inst for inst in self.instances if inst.y is not None]
+        )
+
+    def with_xs(self, xs: Sequence[Tuple[float, ...]]) -> "InstanceBlock":
+        """A new block with replaced feature rows (e.g. normalized).
+
+        Metadata (labels, weights, timestamps, tweet ids) is carried
+        over row by row via :meth:`Instance.with_features`.
+        """
+        if len(xs) != len(self.instances):
+            raise ValueError(
+                f"expected {len(self.instances)} rows, got {len(xs)}"
+            )
+        return InstanceBlock(
+            [
+                instance.with_features(row)
+                for instance, row in zip(self.instances, xs)
+            ]
+        )

@@ -110,6 +110,89 @@ class StreamingLogisticRegression(StreamClassifier):
             return tuple(1.0 / self.n_classes for _ in range(self.n_classes))
         return tuple(self._softmax(self._scores(x)))
 
+    def learn_many(self, instances: Sequence[Instance]) -> None:
+        """Batch SGD kernel: bit-identical to the scalar loop.
+
+        SGD is inherently sequential (each update reads the weights the
+        previous one wrote), so this cannot reorder the math — it runs
+        the exact per-instance update with the hyperparameters, weight
+        rows, and math functions hoisted out of the loop. Every float
+        operation happens in the same order as ``learn_one``.
+        """
+        if not instances:
+            return
+        n_classes = self.n_classes
+        learning_rate = self.learning_rate
+        decay = self.decay
+        regularization = self.regularization
+        l2 = self.regularizer == REGULARIZER_L2
+        l1 = self.regularizer == REGULARIZER_L1
+        bias = self._bias
+        exp = math.exp
+        for instance in instances:
+            label = self._check_labeled(instance)
+            self._ensure_weights(instance.n_features)
+            all_weights = self._weights
+            self.instances_seen += 1
+            step = learning_rate
+            if decay > 0:
+                step = learning_rate / (1.0 + decay * self.instances_seen)
+            step *= instance.weight
+            x = instance.x
+            # Inline _scores + _softmax (same op order).
+            scores = []
+            for cls in range(n_classes):
+                score = bias[cls]
+                for w, value in zip(all_weights[cls], x):
+                    score += w * value
+                scores.append(score)
+            max_score = max(scores)
+            exps = [exp(s - max_score) for s in scores]
+            total = sum(exps)
+            for cls in range(n_classes):
+                error = exps[cls] / total - (1.0 if cls == label else 0.0)
+                weights = all_weights[cls]
+                for feature, value in enumerate(x):
+                    gradient = error * value
+                    if l2:
+                        gradient += regularization * weights[feature]
+                    elif l1:
+                        gradient += regularization * _sign(weights[feature])
+                    weights[feature] -= step * gradient
+                bias[cls] -= step * error
+
+    def predict_proba_many(
+        self, xs: Sequence[Sequence[float]]
+    ) -> List[Tuple[float, ...]]:
+        """Batch prediction kernel: bit-identical per row to the scalar
+        path, with the weight matrix and softmax hoisted out of the
+        per-row dispatch."""
+        all_weights = self._weights
+        n_classes = self.n_classes
+        if not all_weights:
+            uniform = tuple(1.0 / n_classes for _ in range(n_classes))
+            return [uniform for _ in xs]
+        n_features = len(all_weights[0])
+        bias = self._bias
+        exp = math.exp
+        uniform = tuple(1.0 / n_classes for _ in range(n_classes))
+        out: List[Tuple[float, ...]] = []
+        for x in xs:
+            if len(x) != n_features:
+                out.append(uniform)
+                continue
+            scores = []
+            for cls in range(n_classes):
+                score = bias[cls]
+                for w, value in zip(all_weights[cls], x):
+                    score += w * value
+                scores.append(score)
+            max_score = max(scores)
+            exps = [exp(s - max_score) for s in scores]
+            total = sum(exps)
+            out.append(tuple(e / total for e in exps))
+        return out
+
     def clone(self) -> "StreamingLogisticRegression":
         return StreamingLogisticRegression(
             n_classes=self.n_classes,

@@ -1,0 +1,157 @@
+"""One-pass text analysis for the feature-extraction hot path.
+
+The feature extractor needs roughly a dozen facts about one tweet's
+text: hashtag/URL/all-caps counts, POS category counts, sentence and
+word statistics, sentiment strengths, and the lowercased word list for
+lexicon/BoW matching. Computed independently those facts cost six or
+seven separate walks over the token list (plus repeated ``str.lower``
+calls inside each); :func:`analyze` computes all of them in exactly two
+walks — one over the raw tokens, one over the word view — plus one
+regex pass for sentence counting.
+
+Everything here is required to be *result-identical* to the unfused
+helpers (``PosTagger.tag_tokens``, ``SentimentAnalyzer.score_tokens``,
+``split_sentences``, and the per-feature generator expressions the
+extractor previously used); the core test suite pins the equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.text.pos import PosTag, PosTagger, tag_lower_word
+from repro.text.sentiment import SentimentAnalyzer, SentimentScore
+from repro.text.tokenizer import Token, TokenType, count_sentences
+
+_ADJECTIVE = PosTag.ADJECTIVE
+_ADVERB = PosTag.ADVERB
+_VERB = PosTag.VERB
+
+#: Shared stateless helpers for callers that do not bring their own.
+_DEFAULT_SENTIMENT = SentimentAnalyzer()
+
+
+@dataclass
+class TextAnalysis:
+    """Everything the feature extractor needs from one tweet's text."""
+
+    #: Counts over the raw token stream (before preprocessing).
+    n_hashtags: int
+    n_urls: int
+    n_uppercase: int
+    #: Lowercased surface forms of the word view, in order.
+    lower_words: List[str]
+    n_words: int
+    total_word_chars: int
+    n_sentences: int
+    #: Adjective/adverb/verb counts over the word view; ``None`` when
+    #: POS tagging was skipped (degraded tier).
+    n_adjectives: Optional[int]
+    n_adverbs: Optional[int]
+    n_verbs: Optional[int]
+    #: ``None`` when sentiment scoring was skipped (degraded tier).
+    sentiment: Optional[SentimentScore]
+
+    @property
+    def mean_word_length(self) -> float:
+        """Average word length over the word view (0 when empty)."""
+        if self.n_words == 0:
+            return 0.0
+        return self.total_word_chars / self.n_words
+
+    @property
+    def words_per_sentence(self) -> float:
+        """Words per sentence; the whole text counts as one sentence
+        when no terminator is present."""
+        if self.n_sentences == 0:
+            return float(self.n_words)
+        return self.n_words / self.n_sentences
+
+
+def analyze(
+    text: str,
+    raw_tokens: Sequence[Token],
+    word_tokens: Sequence[Token],
+    want_pos: bool = True,
+    want_sentiment: bool = True,
+    tagger: Optional[PosTagger] = None,
+    sentiment: Optional[SentimentAnalyzer] = None,
+) -> TextAnalysis:
+    """Fused single-pass analysis of one tweet's text.
+
+    ``raw_tokens`` must be ``tokenize(text)`` and ``word_tokens`` the
+    extractor's word view of it (preprocessed or raw-word); they are
+    passed in rather than recomputed because the caller needs both
+    anyway. ``want_pos``/``want_sentiment`` gate the two sheddable
+    stages (degrade tiers): a skipped stage reports ``None``.
+
+    The ``tagger`` argument is accepted for symmetry but unused — word
+    tagging always goes through the memoized module-level cascade,
+    which every :class:`PosTagger` instance also delegates to.
+    """
+    # Walk 1: raw tokens — removed-content counts, the shouting count,
+    # the exclamation flag, and the word subsequence sentiment scores.
+    n_hashtags = 0
+    n_urls = 0
+    n_uppercase = 0
+    has_exclamation = False
+    raw_words: List[Token] = []
+    for token in raw_tokens:
+        token_type = token.type
+        if token_type is TokenType.WORD:
+            raw_words.append(token)
+            if token.is_uppercase_word:
+                n_uppercase += 1
+        else:
+            if token_type is TokenType.HASHTAG:
+                n_hashtags += 1
+            elif token_type is TokenType.URL:
+                n_urls += 1
+            if "!" in token.text:
+                has_exclamation = True
+
+    score: Optional[SentimentScore] = None
+    if want_sentiment:
+        scorer = sentiment if sentiment is not None else _DEFAULT_SENTIMENT
+        score = scorer.score_words(raw_words, has_exclamation)
+
+    # Walk 2: the word view — lowercased forms, length statistics, and
+    # (unless shed) the three syntactic counts via the memoized tagger.
+    lower_words: List[str] = []
+    append_lower = lower_words.append
+    total_word_chars = 0
+    n_adjectives: Optional[int] = None
+    n_adverbs: Optional[int] = None
+    n_verbs: Optional[int] = None
+    if want_pos:
+        n_adjectives = n_adverbs = n_verbs = 0
+        for token in word_tokens:
+            append_lower(token.lower)
+            total_word_chars += len(token.text)
+            if token.type is TokenType.WORD:
+                tag = tag_lower_word(token.lower)
+                if tag is _ADJECTIVE:
+                    n_adjectives += 1
+                elif tag is _ADVERB:
+                    n_adverbs += 1
+                elif tag is _VERB:
+                    n_verbs += 1
+    else:
+        for token in word_tokens:
+            append_lower(token.lower)
+            total_word_chars += len(token.text)
+
+    return TextAnalysis(
+        n_hashtags=n_hashtags,
+        n_urls=n_urls,
+        n_uppercase=n_uppercase,
+        lower_words=lower_words,
+        n_words=len(word_tokens),
+        total_word_chars=total_word_chars,
+        n_sentences=count_sentences(text),
+        n_adjectives=n_adjectives,
+        n_adverbs=n_adverbs,
+        n_verbs=n_verbs,
+        sentiment=score,
+    )

@@ -17,6 +17,7 @@ closely enough for the feature distributions in Fig. 4c.
 from __future__ import annotations
 
 import enum
+from functools import lru_cache
 from typing import List, Sequence
 
 from repro.text import lexicons
@@ -47,6 +48,54 @@ _VERB_SUFFIXES = ("ize", "ise", "ate", "ify", "en")
 _VERB_INFLECTIONS = ("ing", "ed")
 
 
+@lru_cache(maxsize=65536)
+def tag_lower_word(lower: str) -> PosTag:
+    """Tag one already-lowercased word (memoized).
+
+    Tweet vocabularies are heavily repetitive, so the lexicon + suffix
+    cascade runs once per distinct word instead of once per occurrence.
+    The cascade is pure (module-level lexicons only), which is what
+    makes the module-wide cache safe; :class:`PosTagger` delegates here.
+    """
+    if lower in lexicons.PRONOUNS:
+        return PosTag.PRONOUN
+    if lower in lexicons.DETERMINERS:
+        return PosTag.DETERMINER
+    if lower in lexicons.PREPOSITIONS:
+        return PosTag.PREPOSITION
+    if lower in lexicons.CONJUNCTIONS:
+        return PosTag.CONJUNCTION
+    if lower in lexicons.ADVERBS:
+        return PosTag.ADVERB
+    if lower in lexicons.ADJECTIVES:
+        return PosTag.ADJECTIVE
+    if lower in lexicons.VERBS:
+        return PosTag.VERB
+    return _tag_by_suffix(lower)
+
+
+def _tag_by_suffix(lower: str) -> PosTag:
+    if len(lower) <= 2:
+        return PosTag.OTHER
+    for suffix in _ADVERB_SUFFIXES:
+        if lower.endswith(suffix) and len(lower) > len(suffix) + 2:
+            return PosTag.ADVERB
+    for suffix in _ADJECTIVE_SUFFIXES:
+        if lower.endswith(suffix) and len(lower) > len(suffix) + 2:
+            return PosTag.ADJECTIVE
+    for suffix in _VERB_SUFFIXES:
+        if lower.endswith(suffix) and len(lower) > len(suffix) + 1:
+            return PosTag.VERB
+    for suffix in _VERB_INFLECTIONS:
+        if lower.endswith(suffix) and len(lower) > len(suffix) + 2:
+            # "-ed"/"-ing" forms whose stem looks verbal.
+            stem = lower[: -len(suffix)]
+            if stem in lexicons.VERBS or stem + "e" in lexicons.VERBS:
+                return PosTag.VERB
+            return PosTag.VERB
+    return PosTag.NOUN
+
+
 class PosTagger:
     """Tags word tokens with coarse POS categories."""
 
@@ -60,44 +109,11 @@ class PosTagger:
         self._conjunctions = lexicons.CONJUNCTIONS
 
     def tag_word(self, word: str) -> PosTag:
-        """Tag a single lowercase word."""
-        lower = word.lower()
-        if lower in self._pronouns:
-            return PosTag.PRONOUN
-        if lower in self._determiners:
-            return PosTag.DETERMINER
-        if lower in self._prepositions:
-            return PosTag.PREPOSITION
-        if lower in self._conjunctions:
-            return PosTag.CONJUNCTION
-        if lower in self._adverbs:
-            return PosTag.ADVERB
-        if lower in self._adjectives:
-            return PosTag.ADJECTIVE
-        if lower in self._verbs:
-            return PosTag.VERB
-        return self._tag_by_suffix(lower)
+        """Tag a single word (case-insensitive)."""
+        return tag_lower_word(word.lower())
 
     def _tag_by_suffix(self, lower: str) -> PosTag:
-        if len(lower) <= 2:
-            return PosTag.OTHER
-        for suffix in _ADVERB_SUFFIXES:
-            if lower.endswith(suffix) and len(lower) > len(suffix) + 2:
-                return PosTag.ADVERB
-        for suffix in _ADJECTIVE_SUFFIXES:
-            if lower.endswith(suffix) and len(lower) > len(suffix) + 2:
-                return PosTag.ADJECTIVE
-        for suffix in _VERB_SUFFIXES:
-            if lower.endswith(suffix) and len(lower) > len(suffix) + 1:
-                return PosTag.VERB
-        for suffix in _VERB_INFLECTIONS:
-            if lower.endswith(suffix) and len(lower) > len(suffix) + 2:
-                # "-ed"/"-ing" forms whose stem looks verbal.
-                stem = lower[: -len(suffix)]
-                if stem in self._verbs or stem + "e" in self._verbs:
-                    return PosTag.VERB
-                return PosTag.VERB
-        return PosTag.NOUN
+        return _tag_by_suffix(lower)
 
     def tag_tokens(self, tokens: Sequence[Token]) -> List[PosTag]:
         """Tag a token sequence; non-word tokens get NUMBER/OTHER."""
@@ -106,7 +122,7 @@ class PosTagger:
             if token.type is TokenType.NUMBER:
                 tags.append(PosTag.NUMBER)
             elif token.is_word:
-                tags.append(self.tag_word(token.text))
+                tags.append(tag_lower_word(token.lower))
             else:
                 tags.append(PosTag.OTHER)
         return tags

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional, Sequence
 
 from repro.text.lexicons import booster_words, negation_words, sentiment_lexicon
@@ -53,6 +54,25 @@ def _squeeze_repeats(word: str) -> str:
     return _REPEATED_LETTERS.sub(r"\1", word)
 
 
+@lru_cache(maxsize=65536)
+def word_strength_lower(lower: str) -> int:
+    """Base strength of an already-lowercased word (memoized).
+
+    The lexicon lookup plus repeated-letter squeeze runs once per
+    distinct word; the module-level sentiment lexicons are themselves
+    cached singletons, so the result is pure.
+    """
+    lexicon = sentiment_lexicon()
+    if lower in lexicon:
+        return lexicon[lower]
+    squeezed = _squeeze_repeats(lower)
+    if squeezed != lower and squeezed in lexicon:
+        # Letter repetition signals emphasis: one level stronger.
+        base = lexicon[squeezed]
+        return _clamp(base + (1 if base > 0 else -1))
+    return 0
+
+
 class SentimentAnalyzer:
     """Scores short texts on the SentiStrength [-5, 5] dual scale."""
 
@@ -63,15 +83,7 @@ class SentimentAnalyzer:
 
     def word_strength(self, word: str) -> int:
         """Base strength of a word (0 if not in the lexicon)."""
-        lower = word.lower()
-        if lower in self._lexicon:
-            return self._lexicon[lower]
-        squeezed = _squeeze_repeats(lower)
-        if squeezed != lower and squeezed in self._lexicon:
-            # Letter repetition signals emphasis: one level stronger.
-            base = self._lexicon[squeezed]
-            return _clamp(base + (1 if base > 0 else -1))
-        return 0
+        return word_strength_lower(word.lower())
 
     def score_tokens(self, tokens: Sequence[Token]) -> SentimentScore:
         """Score a tokenized text."""
@@ -79,17 +91,30 @@ class SentimentAnalyzer:
         has_exclamation = any(
             "!" in t.text for t in tokens if not t.is_word
         )
+        return self.score_words(words, has_exclamation)
+
+    def score_words(
+        self, words: Sequence[Token], has_exclamation: bool
+    ) -> SentimentScore:
+        """Score a pre-filtered word-token sequence.
+
+        The fused text analyzer extracts the word list and exclamation
+        flag in its single token walk and scores through this entry
+        point; :meth:`score_tokens` derives both itself. Results are
+        identical either way.
+        """
         max_positive = 1
         min_negative = -1
         for index, token in enumerate(words):
-            strength = self.word_strength(token.text)
+            strength = word_strength_lower(token.lower)
             if strength == 0:
                 continue
             strength = self._apply_modifiers(words, index, token, strength)
             if strength > 0:
-                max_positive = max(max_positive, min(strength, 5))
-            elif strength < 0:
-                min_negative = min(min_negative, max(strength, -5))
+                if strength > max_positive:
+                    max_positive = min(strength, 5)
+            elif strength < min_negative:
+                min_negative = max(strength, -5)
         if has_exclamation:
             if max_positive > -min_negative and max_positive < 5:
                 max_positive += 1

@@ -12,6 +12,7 @@ from __future__ import annotations
 import enum
 import re
 from dataclasses import dataclass
+from functools import cached_property
 from typing import List
 
 
@@ -39,11 +40,16 @@ class Token:
     def is_word(self) -> bool:
         return self.type is TokenType.WORD
 
-    @property
+    # ``lower``/``is_uppercase_word`` are asked for several times per
+    # token along the feature path (preprocessing, POS, sentiment, BoW),
+    # so both memoize on first access. Tokens are frozen, making the
+    # cache safe; equality/hash still compare only (text, type).
+
+    @cached_property
     def lower(self) -> str:
         return self.text.lower()
 
-    @property
+    @cached_property
     def is_uppercase_word(self) -> bool:
         """All-caps word of length >= 2 (the 'shouting' signal)."""
         return (
@@ -112,3 +118,16 @@ def split_sentences(text: str) -> List[str]:
     """
     parts = _SENTENCE_TERMINATORS.split(text)
     return [part.strip() for part in parts if part.strip()]
+
+
+def count_sentences(text: str) -> int:
+    """Number of sentences :func:`split_sentences` would return.
+
+    Feature extraction only needs the count, so this skips building the
+    stripped fragment list.
+    """
+    return sum(
+        1
+        for part in _SENTENCE_TERMINATORS.split(text)
+        if part and not part.isspace()
+    )

@@ -1,0 +1,238 @@
+"""Property tests: batch kernels must be bit-identical to scalar paths.
+
+The ``*_many`` kernels (``Normalizer.observe_many`` /
+``transform_many`` / ``observe_and_transform_many``,
+``StreamClassifier.learn_many`` / ``predict_proba_many``) exist purely
+to strip per-row dispatch out of the micro-batch partition loops. Their
+contract is that running a batch through a kernel leaves the object in
+*exactly* the state the scalar path would — same statistics, same clip
+counters, same model weights, same outputs, compared with ``==`` — so
+the fused partition path and the original per-tweet loop are
+interchangeable. The fused one-pass feature extraction carries the same
+contract across every degrade tier.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptive_bow import FixedBagOfWords
+from repro.core.features import DegradeTier, FeatureExtractor, LabelEncoder
+from repro.core.normalization import KINDS, make_normalizer
+from repro.data.synthetic import AbusiveDatasetGenerator
+from repro.streamml.arf import AdaptiveRandomForest
+from repro.streamml.hoeffding_tree import HoeffdingTree
+from repro.streamml.instance import Instance, InstanceBlock
+from repro.streamml.slr import StreamingLogisticRegression
+
+N_FEATURES = 5
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+rows = st.lists(
+    st.lists(finite, min_size=N_FEATURES, max_size=N_FEATURES),
+    min_size=0,
+    max_size=30,
+)
+
+labels = st.lists(
+    st.one_of(st.none(), st.integers(min_value=0, max_value=2)),
+    min_size=0,
+    max_size=30,
+)
+
+
+def _instances(xs, ys):
+    return [
+        Instance(x=tuple(x), y=y)
+        for x, y in zip(xs, ys + [None] * (len(xs) - len(ys)))
+    ]
+
+
+def _normalizer_state(normalizer):
+    """Comparable full state: counters plus a probe transform."""
+    probe = tuple(float(i) for i in range(N_FEATURES))
+    clone = copy.deepcopy(normalizer)
+    return (
+        normalizer.observed,
+        normalizer.n_transformed,
+        normalizer.n_clipped,
+        clone.transform(probe),
+    )
+
+
+NORMALIZER_KINDS = tuple(KINDS) + ("none",)
+
+
+class TestNormalizerKernels:
+    @pytest.mark.parametrize("kind", NORMALIZER_KINDS)
+    @given(xs=rows)
+    @settings(max_examples=40, deadline=None)
+    def test_observe_many_matches_scalar(self, kind, xs):
+        scalar = make_normalizer(kind, N_FEATURES)
+        batch = make_normalizer(kind, N_FEATURES)
+        for x in xs:
+            scalar.observe(x)
+        batch.observe_many(xs)
+        assert _normalizer_state(scalar) == _normalizer_state(batch)
+
+    @pytest.mark.parametrize("kind", NORMALIZER_KINDS)
+    @given(warm=rows, xs=rows)
+    @settings(max_examples=40, deadline=None)
+    def test_transform_many_matches_scalar(self, kind, warm, xs):
+        scalar = make_normalizer(kind, N_FEATURES)
+        scalar.observe_many(warm)
+        batch = copy.deepcopy(scalar)
+        expected = [scalar.transform(x) for x in xs]
+        assert batch.transform_many(xs) == expected
+        assert _normalizer_state(scalar) == _normalizer_state(batch)
+
+    @pytest.mark.parametrize("kind", NORMALIZER_KINDS)
+    @given(warm=rows, xs=rows)
+    @settings(max_examples=40, deadline=None)
+    def test_observe_and_transform_many_matches_scalar(self, kind, warm, xs):
+        scalar = make_normalizer(kind, N_FEATURES)
+        scalar.observe_many(warm)
+        batch = copy.deepcopy(scalar)
+        expected = [scalar.observe_and_transform(x) for x in xs]
+        assert batch.observe_and_transform_many(xs) == expected
+        assert _normalizer_state(scalar) == _normalizer_state(batch)
+
+
+def _model_for(name, n_classes=3):
+    if name == "slr":
+        return StreamingLogisticRegression(
+            n_classes=n_classes, regularizer="l2"
+        )
+    if name == "ht":
+        return HoeffdingTree(n_classes=n_classes, grace_period=5)
+    return AdaptiveRandomForest(n_classes=n_classes, ensemble_size=3, seed=11)
+
+
+class TestModelKernels:
+    """learn_many/predict_proba_many ≡ scalar loops for SLR, HT, ARF."""
+
+    @pytest.mark.parametrize("name", ["slr", "ht", "arf"])
+    @given(xs=rows, ys=labels)
+    @settings(max_examples=20, deadline=None)
+    def test_learn_many_matches_learn_one(self, name, xs, ys):
+        instances = [
+            inst.with_label(inst.y if inst.y is not None else 0)
+            for inst in _instances(xs, ys)
+        ]
+        scalar = _model_for(name)
+        batch = _model_for(name)
+        for inst in instances:
+            scalar.learn_one(inst)
+        batch.learn_many(instances)
+        assert pickle.dumps(scalar) == pickle.dumps(batch)
+
+    @pytest.mark.parametrize("name", ["slr", "ht", "arf"])
+    @given(xs=rows, ys=labels)
+    @settings(max_examples=20, deadline=None)
+    def test_predict_proba_many_matches_scalar(self, name, xs, ys):
+        model = _model_for(name)
+        train = [
+            inst.with_label(inst.y if inst.y is not None else 0)
+            for inst in _instances(xs, ys)
+        ]
+        model.learn_many(train)
+        probe = [tuple(x) for x in xs]
+        expected = [model.predict_proba_one(x) for x in probe]
+        assert model.predict_proba_many(probe) == expected
+
+    @given(xs=rows, ys=labels)
+    @settings(max_examples=20, deadline=None)
+    def test_slr_learn_many_all_regularizers(self, xs, ys):
+        instances = [
+            inst.with_label(inst.y if inst.y is not None else 1)
+            for inst in _instances(xs, ys)
+        ]
+        for reg in ("zero", "l1", "l2"):
+            scalar = StreamingLogisticRegression(
+                n_classes=3, regularizer=reg, decay=0.002
+            )
+            batch = StreamingLogisticRegression(
+                n_classes=3, regularizer=reg, decay=0.002
+            )
+            for inst in instances:
+                scalar.learn_one(inst)
+            batch.learn_many(instances)
+            assert scalar.weights == batch.weights
+            assert scalar.bias == batch.bias
+            assert scalar.instances_seen == batch.instances_seen
+
+
+class TestInstanceBlock:
+    @given(xs=rows, ys=labels)
+    @settings(max_examples=30, deadline=None)
+    def test_columns_parallel_to_instances(self, xs, ys):
+        instances = _instances(xs, ys)
+        block = InstanceBlock(instances)
+        assert len(block) == len(instances)
+        assert block.xs == [inst.x for inst in instances]
+        assert block.ys == [inst.y for inst in instances]
+        assert [b for b in block] == instances
+        assert block.labeled().instances == [
+            inst for inst in instances if inst.y is not None
+        ]
+
+    @given(xs=rows, ys=labels)
+    @settings(max_examples=30, deadline=None)
+    def test_with_xs_preserves_metadata(self, xs, ys):
+        block = InstanceBlock(_instances(xs, ys))
+        replaced = block.with_xs([tuple(0.0 for _ in x) for x in block.xs])
+        assert replaced.ys == block.ys
+        assert all(all(v == 0.0 for v in x) for x in replaced.xs)
+        with pytest.raises(ValueError):
+            block.with_xs(block.xs + [(0.0,) * N_FEATURES])
+
+
+class TestFusedExtractionAcrossTiers:
+    """The fused one-pass analyzer must impute exactly the tier-skipped
+    features and agree with the FULL tier on everything else."""
+
+    @pytest.fixture(scope="class")
+    def stream(self):
+        return AbusiveDatasetGenerator(n_tweets=120, seed=31).generate_list()
+
+    @pytest.mark.parametrize(
+        "tier", [DegradeTier.FULL, DegradeTier.NO_POS, DegradeTier.TEXT_ONLY]
+    )
+    @pytest.mark.parametrize("preprocessing", [True, False])
+    def test_tiers_differ_only_in_imputed_features(
+        self, stream, tier, preprocessing
+    ):
+        from repro.core.features import (
+            FEATURE_NAMES,
+            TIER_IMPUTED_VALUE,
+            TIER_SKIPPED_FEATURES,
+        )
+
+        full = FeatureExtractor(
+            LabelEncoder(3),
+            preprocessing=preprocessing,
+            bag_of_words=FixedBagOfWords(),
+        )
+        tiered = FeatureExtractor(
+            LabelEncoder(3),
+            preprocessing=preprocessing,
+            bag_of_words=FixedBagOfWords(),
+            tier=tier,
+        )
+        skipped = TIER_SKIPPED_FEATURES[tier]
+        for tweet in stream:
+            a = full.extract(tweet, update_bow=False)
+            b = tiered.extract(tweet, update_bow=False)
+            for name, va, vb in zip(FEATURE_NAMES, a.x, b.x):
+                if name in skipped:
+                    assert vb == TIER_IMPUTED_VALUE
+                else:
+                    assert va == vb

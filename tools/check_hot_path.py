@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Lint: keep per-tweet hot paths free of known slow patterns.
+
+The feature-extraction and text-analysis layers run once per tweet, so
+two patterns that are harmless elsewhere are throughput bugs there:
+
+* ``re.compile(...)`` inside a function body — recompiles (or at best
+  re-hits the tiny ``re`` internal cache for) the pattern on every
+  call. Compile at module import time instead.
+* ``copy.deepcopy(...)`` / ``deepcopy(...)`` anywhere in the hot
+  modules — deep copies of models or normalizer state cost more than
+  the work they wrap. Use ``fresh()`` + ``merge()``,
+  ``structure_copy()``, or ``clone()`` instead (all bit-exact; see
+  DESIGN.md §9).
+
+Walks the AST so occurrences in docstrings and comments don't
+false-positive, and exits non-zero listing any offending call sites.
+
+Usage: python tools/check_hot_path.py [root ...]
+       (default: src/repro/core src/repro/text)
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+DEFAULT_ROOTS = ("src/repro/core", "src/repro/text")
+
+
+def _is_attr_call(node: ast.Call, module: str, name: str) -> bool:
+    return (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr == name
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == module
+    )
+
+
+def find_hot_path_offenses(source: str) -> Iterator[Tuple[int, int, str]]:
+    """Yield (line, column, message) for every offending call."""
+    tree = ast.parse(source)
+    # re.compile is only an offense inside a function body; module-level
+    # compiles are exactly the fix this lint wants.
+    function_nodes = [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    in_function = set()
+    for fn in function_nodes:
+        for node in ast.walk(fn):
+            in_function.add(id(node))
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if _is_attr_call(node, "re", "compile") and id(node) in in_function:
+            yield (
+                node.lineno,
+                node.col_offset,
+                "re.compile in function body (compile at module level)",
+            )
+        elif _is_attr_call(node, "copy", "deepcopy") or (
+            isinstance(node.func, ast.Name) and node.func.id == "deepcopy"
+        ):
+            yield (
+                node.lineno,
+                node.col_offset,
+                "deepcopy on a hot path (use fresh()+merge()/"
+                "structure_copy()/clone())",
+            )
+
+
+def check_tree(root: Path) -> List[str]:
+    """Offending ``path:line:col: message`` strings under ``root``."""
+    failures = []
+    for path in sorted(root.rglob("*.py")):
+        source = path.read_text(encoding="utf-8")
+        for line, col, message in find_hot_path_offenses(source):
+            failures.append(f"{path}:{line}:{col}: {message}")
+    return failures
+
+
+def main(argv: List[str]) -> int:
+    roots = [Path(a) for a in argv] or [Path(r) for r in DEFAULT_ROOTS]
+    failures = [f for root in roots for f in check_tree(root)]
+    if failures:
+        print("hot-path offenses found:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
