@@ -52,6 +52,12 @@ def test_fig16_throughput(benchmark):
         ],
         summary={
             "workloads": list(WORKLOADS),
+            "n_workers": {
+                spec.name: spec.total_cores for spec in PAPER_SPECS
+            },
+            "n_partitions": {
+                spec.name: spec.total_cores for spec in PAPER_SPECS
+            },
             "throughput_tweets_per_s": {
                 spec.name: grid[spec.name] for spec in PAPER_SPECS
             },
@@ -75,45 +81,79 @@ def test_fig16_throughput(benchmark):
     assert machines == 3
 
 
+def _env_int(name: str) -> "int | None":
+    raw = os.environ.get(name, "").strip()
+    return int(raw) if raw else None
+
+
+def _worker_sweep(n_workers: int) -> "list[int]":
+    """1, 2, 4, ... doubling up to (and always including) n_workers."""
+    counts = {n_workers}
+    w = 1
+    while w < n_workers:
+        counts.add(w)
+        w *= 2
+    return sorted(counts)
+
+
 def test_fig16_real_engine_throughput(benchmark):
     """Real engine runs (not the cost model): throughput + stage timings.
 
     Compares the single-thread sequential baseline against the
-    micro-batch engine on the serial and multi-process runners, and
-    reports the driver's per-stage timing breakdown — the evidence that
-    per-batch driver work is merging O(partitions) aggregates, not
-    looping over O(tweets) records.
+    micro-batch engine on the serial and multi-process runners — the
+    latter swept across 1..N workers, with and without the numpy
+    ``fast_math`` kernels — and reports the driver's per-stage timing
+    breakdown: the evidence that per-batch driver work is merging
+    O(partitions) aggregates, not looping over O(tweets) records.
+
+    Worker/partition counts scale with the visible cores; override with
+    ``FIG16_WORKERS`` / ``FIG16_PARTITIONS``.
     """
     tweets = bench_util.abusive_stream()
     config = PipelineConfig(n_classes=3)
-    n_workers = min(4, os.cpu_count() or 1)
+    fast_config = PipelineConfig(n_classes=3, fast_math=True)
+    n_cpus = os.cpu_count() or 1
+    n_workers = _env_int("FIG16_WORKERS") or n_cpus
+    n_partitions = _env_int("FIG16_PARTITIONS") or max(4, n_workers)
+    sweep_counts = _worker_sweep(n_workers)
+
+    def run_microbatch(cfg, runner=None, workers=None):
+        with MicroBatchEngine(
+            cfg,
+            n_partitions=n_partitions,
+            batch_size=2000,
+            runner=runner,
+            n_workers=workers,
+        ) as engine:
+            return engine.run(tweets)
 
     def run_all():
         sequential = SequentialEngine(config).run(tweets)
-        with MicroBatchEngine(
-            config, n_partitions=4, batch_size=2000
-        ) as engine:
-            serial_mb = engine.run(tweets)
-        with MicroBatchEngine(
-            config,
-            n_partitions=4,
-            batch_size=2000,
-            runner="processes",
-            n_workers=n_workers,
-        ) as engine:
-            process_mb = engine.run(tweets)
-        return sequential, serial_mb, process_mb
+        serial_mb = run_microbatch(config)
+        scalar_mb = run_microbatch(config, "processes", n_workers)
+        sweep = {
+            w: run_microbatch(fast_config, "processes", w)
+            for w in sweep_counts
+        }
+        return sequential, serial_mb, scalar_mb, sweep
 
-    sequential, serial_mb, process_mb = benchmark.pedantic(
+    sequential, serial_mb, scalar_mb, sweep = benchmark.pedantic(
         run_all, rounds=1, iterations=1
     )
+    process_mb = sweep[n_workers]
     stage_cols = list(serial_mb.stage_seconds.as_dict())
+
+    def stage_row(label, result):
+        return [label, round(result.throughput)] + [
+            result.stage_seconds.as_dict()[s] for s in stage_cols
+        ]
+
     rows = [
         ["sequential", round(sequential.throughput)] + ["-"] * len(stage_cols),
-        ["microbatch/serial", round(serial_mb.throughput)]
-        + [serial_mb.stage_seconds.as_dict()[s] for s in stage_cols],
-        [f"microbatch/{n_workers}proc", round(process_mb.throughput)]
-        + [process_mb.stage_seconds.as_dict()[s] for s in stage_cols],
+        stage_row("microbatch/serial", serial_mb),
+        stage_row(f"microbatch/{n_workers}proc", scalar_mb),
+    ] + [
+        stage_row(f"microbatch/{w}proc+fast", sweep[w]) for w in sweep_counts
     ]
     bench_util.report(
         "fig16_real_engine_throughput",
@@ -121,8 +161,11 @@ def test_fig16_real_engine_throughput(benchmark):
         ["engine", "tweets/s"] + stage_cols,
         rows,
         notes=[
-            f"{len(tweets)} tweets, 4 partitions x 2000-tweet batches, "
-            f"{n_workers} worker processes ({os.cpu_count()} cores visible)",
+            f"{len(tweets)} tweets, {n_partitions} partitions x 2000-tweet "
+            f"batches, up to {n_workers} worker processes "
+            f"({n_cpus} cores visible)",
+            "fast rows use the numpy fast_math kernels; "
+            "scalar rows are the bit-exact default",
             f"driver-side merge/drain per engine: serial "
             f"{serial_mb.stage_seconds.driver_seconds:.3f} s, multi-process "
             f"{process_mb.stage_seconds.driver_seconds:.3f} s",
@@ -130,13 +173,22 @@ def test_fig16_real_engine_throughput(benchmark):
         summary={
             "n_tweets": len(tweets),
             "n_workers": n_workers,
-            "n_cpus": os.cpu_count() or 1,
+            "n_partitions": n_partitions,
+            "n_cpus": n_cpus,
+            "fast_math": True,
             "speedup_processes_vs_sequential": (
                 process_mb.throughput / sequential.throughput
             ),
+            "speedup_scalar_processes_vs_sequential": (
+                scalar_mb.throughput / sequential.throughput
+            ),
+            "worker_sweep_tweets_per_s": {
+                str(w): sweep[w].throughput for w in sweep_counts
+            },
             "throughput_tweets_per_s": {
                 "sequential": sequential.throughput,
                 "microbatch_serial": serial_mb.throughput,
+                "microbatch_processes_scalar": scalar_mb.throughput,
                 "microbatch_processes": process_mb.throughput,
             },
             "sequential_stage_seconds": sequential.stage_seconds,
@@ -146,14 +198,14 @@ def test_fig16_real_engine_throughput(benchmark):
             ),
         },
     )
-    for result in (serial_mb, process_mb):
+    for result in (serial_mb, scalar_mb, *sweep.values()):
         stages = result.stage_seconds
         assert result.n_processed == len(tweets)
         assert stages.partition_execute > 0
         assert all(v >= 0 for v in stages.as_dict().values())
         # Driver per-batch work is O(partitions), not O(tweets).
         assert stages.driver_seconds < 0.5 * stages.partition_execute
-    if (os.cpu_count() or 1) >= 2:
+    if n_cpus >= 2:
         # With real cores available, multi-process partition execution
         # must at least keep up with the single-thread baseline.
         assert process_mb.throughput >= sequential.throughput

@@ -113,6 +113,7 @@ def normalizer_to_dict(normalizer: Normalizer) -> Dict[str, Any]:
         "observed": normalizer.observed,
         "transformed": normalizer.n_transformed,
         "clipped": normalizer.n_clipped,
+        "fast_math": normalizer.fast_math,
     }
     if isinstance(normalizer, MinMaxNoOutliersNormalizer):
         return dict(
@@ -168,6 +169,8 @@ def normalizer_from_dict(payload: Dict[str, Any]) -> Normalizer:
     # Pre-observability checkpoints lack the clip counters; default to 0.
     normalizer.n_transformed = int(payload.get("transformed", 0))
     normalizer.n_clipped = int(payload.get("clipped", 0))
+    # Pre-fast-math checkpoints default to the bit-exact scalar kernels.
+    normalizer.fast_math = bool(payload.get("fast_math", False))
     return normalizer
 
 
@@ -417,6 +420,7 @@ def config_to_dict(config: PipelineConfig) -> Dict[str, Any]:
         "sample_capacity": config.sample_capacity,
         "sample_boost": config.sample_boost,
         "seed": config.seed,
+        "fast_math": config.fast_math,
     }
 
 

@@ -16,21 +16,81 @@ micro-batch engine hands each partition a ``fresh()`` empty normalizer,
 the partition observes its own raw vectors locally, and the driver folds
 the small per-partition statistics into the global normalizer with
 ``merge()`` — O(partitions) driver work instead of O(tweets).
+
+Each normalizer carries two batch-kernel implementations. The default
+scalar ``*_many`` kernels are bit-identical to the per-row path (the
+property suite compares with ``==``). With ``fast_math=True`` the
+kernels switch to numpy columnar implementations that reassociate
+floating-point reductions — results agree with the scalar path within a
+documented per-kernel tolerance (DESIGN.md §9), not bitwise. The flag
+travels through ``fresh()`` so partition-local normalizers inherit it.
+The no-outliers variant vectorizes only ``transform_many``: its P²
+sketch updates are sequentially dependent across rows and measured
+faster scalar at this pipeline's feature widths (see the batch-kernels
+note on :class:`MinMaxNoOutliersNormalizer`).
 """
 
 from __future__ import annotations
 
 import abc
 import math
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.streamml.instance import Instance
 from repro.streamml.stats import P2Quantile, RunningMinMax, RunningStats
+
+try:  # numpy backs the optional fast-math kernels only
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the package
+    _np = None  # type: ignore[assignment]
 
 MINMAX = "minmax"
 MINMAX_NO_OUTLIERS = "minmax_no_outliers"
 ZSCORE = "zscore"
 KINDS = (MINMAX, MINMAX_NO_OUTLIERS, ZSCORE)
+
+
+def _as_matrix(xs: Sequence[Sequence[float]], n_features: int):
+    """Batch rows as a float64 matrix, or ``None`` to use the scalar path.
+
+    ``None`` (numpy missing, empty batch, ragged rows, or width
+    mismatch) sends the caller down the scalar kernel, which raises the
+    usual per-row errors — the fast path never changes error behaviour.
+    """
+    if _np is None or len(xs) == 0:
+        return None
+    if isinstance(xs, _np.ndarray):
+        matrix = xs
+    else:
+        try:
+            matrix = _np.asarray(xs, dtype=_np.float64)
+        except (TypeError, ValueError):
+            return None
+    if matrix.ndim != 2 or matrix.shape[1] != n_features:
+        return None
+    return matrix
+
+
+def _scale_clip(X, los, spans, valid):
+    """Min-max scale ``X`` into [0, 1] wherever ``valid``; 0 elsewhere.
+
+    ``los``/``spans``/``valid`` broadcast against ``X`` — per-column
+    vectors for batch-constant bounds, full matrices for the
+    self-inclusive prefix-bounds kernels. Returns ``(scaled matrix,
+    clipped count)`` with the clip count matching the scalar kernels
+    (one per out-of-range value in a valid cell).
+    """
+    with _np.errstate(divide="ignore", invalid="ignore"):
+        scaled = (X - los) / spans
+    mask = _np.broadcast_to(valid, scaled.shape)
+    n_clipped = int((((scaled < 0.0) | (scaled > 1.0)) & mask).sum())
+    with _np.errstate(invalid="ignore"):
+        _np.clip(scaled, 0.0, 1.0, out=scaled)
+    return _np.where(mask, scaled, 0.0), n_clipped
+
+
+def _rows_as_tuples(matrix) -> List[Tuple[float, ...]]:
+    return [tuple(row) for row in matrix.tolist()]
 
 
 class Normalizer(abc.ABC):
@@ -46,6 +106,11 @@ class Normalizer(abc.ABC):
         #: Transformed values that fell outside the scaling bounds and
         #: were clamped (min-max variants only; 0 for z-score/identity).
         self.n_clipped = 0
+        #: When True the ``*_many`` kernels use the numpy columnar
+        #: implementations (tolerance contract) instead of the bit-exact
+        #: scalar ones. Set via ``make_normalizer(..., fast_math=True)``
+        #: and inherited by :meth:`fresh`.
+        self.fast_math = False
 
     @property
     def clip_ratio(self) -> float:
@@ -116,7 +181,9 @@ class Normalizer(abc.ABC):
         Partition tasks use this to accumulate partition-local statistics
         that the driver later folds back via :meth:`merge`.
         """
-        return type(self)(self.n_features)
+        out = type(self)(self.n_features)
+        out.fast_math = self.fast_math
+        return out
 
 
 class MinMaxNormalizer(Normalizer):
@@ -159,6 +226,20 @@ class MinMaxNormalizer(Normalizer):
         ]
 
     def observe_many(self, xs: Sequence[Sequence[float]]) -> None:
+        if self.fast_math:
+            X = _as_matrix(xs, self.n_features)
+            if X is not None:
+                n = len(X)
+                self.observed += n
+                col_min = X.min(axis=0).tolist()
+                col_max = X.max(axis=0).tolist()
+                for tracker, lo, hi in zip(self._trackers, col_min, col_max):
+                    tracker.count += n
+                    if lo < tracker.min:
+                        tracker.min = lo
+                    if hi > tracker.max:
+                        tracker.max = hi
+                return
         trackers = self._trackers
         for x in xs:
             self._check(x)
@@ -173,6 +254,19 @@ class MinMaxNormalizer(Normalizer):
     def transform_many(
         self, xs: Sequence[Sequence[float]]
     ) -> List[Tuple[float, ...]]:
+        if self.fast_math:
+            X = _as_matrix(xs, self.n_features)
+            if X is not None:
+                trackers = self._trackers
+                los = _np.array([t.min for t in trackers])
+                spans = _np.array(
+                    [t.range if t.count else 0.0 for t in trackers]
+                )
+                valid = spans > 0
+                self.n_transformed += X.size
+                rows, clipped = _scale_clip(X, los, spans, valid)
+                self.n_clipped += clipped
+                return _rows_as_tuples(rows)
         # No observation in between, so the per-feature bounds are
         # batch constants: hoist them once instead of re-deriving the
         # range per row.
@@ -207,6 +301,35 @@ class MinMaxNormalizer(Normalizer):
     def observe_and_transform_many(
         self, xs: Sequence[Sequence[float]]
     ) -> List[Tuple[float, ...]]:
+        if self.fast_math:
+            X = _as_matrix(xs, self.n_features)
+            if X is not None:
+                # Self-inclusive prefix bounds: row i is scaled with the
+                # running min/max over the prior state plus rows 0..i —
+                # the same values the scalar stream order sees, computed
+                # as one accumulate per direction.
+                n = len(X)
+                trackers = self._trackers
+                prior_min = _np.array([t.min for t in trackers])
+                prior_max = _np.array([t.max for t in trackers])
+                los = _np.minimum.accumulate(
+                    _np.minimum(X, prior_min), axis=0
+                )
+                his = _np.maximum.accumulate(
+                    _np.maximum(X, prior_max), axis=0
+                )
+                spans = his - los
+                self.observed += n
+                self.n_transformed += X.size
+                rows, clipped = _scale_clip(X, los, spans, spans > 0)
+                self.n_clipped += clipped
+                final_min = los[-1].tolist()
+                final_max = his[-1].tolist()
+                for tracker, lo, hi in zip(trackers, final_min, final_max):
+                    tracker.count += n
+                    tracker.min = lo
+                    tracker.max = hi
+                return _rows_as_tuples(rows)
         # Self-inclusive: each row updates the trackers before it is
         # scaled, exactly like the scalar stream order — but observe and
         # transform share one walk per row (feature f's bounds depend
@@ -323,11 +446,26 @@ class MinMaxNoOutliersNormalizer(Normalizer):
         ]
 
     def fresh(self) -> "MinMaxNoOutliersNormalizer":
-        return MinMaxNoOutliersNormalizer(
+        out = MinMaxNoOutliersNormalizer(
             self.n_features, self.lower_quantile, self.upper_quantile
         )
+        out.fast_math = self.fast_math
+        return out
+
+    # -- batch kernels -------------------------------------------------
+    # No numpy fast path for the observing kernels, deliberately: the
+    # P² marker update has a sequential dependence across rows (each
+    # row reads the markers the previous one wrote), so the only
+    # vectorization axis is across the 2F sketch lanes. A marker-major
+    # columnar implementation was built and measured — at this
+    # pipeline's feature widths (~2x17 lanes) the fixed per-row cost of
+    # ~30 numpy ops loses ~1.6x to the scalar update, whose early exits
+    # make real (spiky, mostly-in-range) feature streams cheap. Only
+    # transform_many vectorizes, where the bounds are batch constants.
 
     def observe_many(self, xs: Sequence[Sequence[float]]) -> None:
+        if _np is not None and isinstance(xs, _np.ndarray):
+            xs = xs.tolist()
         lowers = self._lower
         uppers = self._upper
         for x in xs:
@@ -340,6 +478,28 @@ class MinMaxNoOutliersNormalizer(Normalizer):
     def transform_many(
         self, xs: Sequence[Sequence[float]]
     ) -> List[Tuple[float, ...]]:
+        if self.fast_math:
+            X = _as_matrix(xs, self.n_features)
+            if X is not None:
+                nan = float("nan")
+                los = _np.array(
+                    [
+                        v if (v := lower.value) is not None else nan
+                        for lower in self._lower
+                    ]
+                )
+                his = _np.array(
+                    [
+                        v if (v := upper.value) is not None else nan
+                        for upper in self._upper
+                    ]
+                )
+                spans = his - los
+                valid = spans > 0  # NaN compares False: unseen -> 0.0
+                self.n_transformed += X.size
+                rows, clipped = _scale_clip(X, los, spans, valid)
+                self.n_clipped += clipped
+                return _rows_as_tuples(rows)
         # Pure transform: the quantile estimates are batch constants.
         bounds = []
         for lower, upper in zip(self._lower, self._upper):
@@ -374,6 +534,12 @@ class MinMaxNoOutliersNormalizer(Normalizer):
     def observe_and_transform_many(
         self, xs: Sequence[Sequence[float]]
     ) -> List[Tuple[float, ...]]:
+        if _np is not None and isinstance(xs, _np.ndarray):
+            # The self-inclusive bounds advance with the sketches row
+            # by row (see the batch-kernels note above: P² does not
+            # vectorize profitably here), so an ndarray batch just
+            # converts back to plain floats for the scalar kernel.
+            xs = xs.tolist()
         # Self-inclusive: the sketches advance row by row, so the bounds
         # cannot be hoisted — but each row fuses its observe and
         # transform walks (feature-local statistics make that exact) and
@@ -445,6 +611,33 @@ class ZScoreNormalizer(Normalizer):
         ]
 
     def observe_many(self, xs: Sequence[Sequence[float]]) -> None:
+        if self.fast_math:
+            X = _as_matrix(xs, self.n_features)
+            if X is not None:
+                # Column moments in one pass, folded into each feature's
+                # RunningStats with the Chan et al. parallel-variance
+                # merge — same formula the partition merge already uses.
+                n = len(X)
+                self.observed += n
+                means = X.mean(axis=0)
+                # A constant column's mean can round away from the
+                # constant ((3a)/3 != a), leaving a tiny positive M2
+                # where Welford yields an exact zero — and a ~1e-11 std
+                # turns the std==0 transform guard into a divide that
+                # emits ±1e15. Snap those columns to exact moments.
+                means = _np.where((X == X[:1]).all(axis=0), X[0], means)
+                m2s = ((X - means) ** 2).sum(axis=0)
+                for stats, b_mean, b_m2 in zip(
+                    self._stats, means.tolist(), m2s.tolist()
+                ):
+                    total = stats.count + n
+                    delta = b_mean - stats.mean
+                    stats.mean += delta * (n / total)
+                    stats._m2 += (
+                        b_m2 + delta * delta * stats.count * n / total
+                    )
+                    stats.count = total
+                return
         stats_list = self._stats
         for x in xs:
             self._check(x)
@@ -455,6 +648,19 @@ class ZScoreNormalizer(Normalizer):
     def transform_many(
         self, xs: Sequence[Sequence[float]]
     ) -> List[Tuple[float, ...]]:
+        if self.fast_math:
+            X = _as_matrix(xs, self.n_features)
+            if X is not None:
+                stats_list = self._stats
+                counts = _np.array([s.count for s in stats_list])
+                means = _np.array([s.mean for s in stats_list])
+                stds = _np.array([s.std for s in stats_list])
+                valid = (counts >= 2) & (stds > 0)
+                with _np.errstate(divide="ignore", invalid="ignore"):
+                    Z = (X - means) / stds
+                return _rows_as_tuples(
+                    _np.where(_np.broadcast_to(valid, Z.shape), Z, 0.0)
+                )
         # Pure transform: mean/std are batch constants per feature.
         moments = []
         for stats in self._stats:
@@ -478,6 +684,48 @@ class ZScoreNormalizer(Normalizer):
     def observe_and_transform_many(
         self, xs: Sequence[Sequence[float]]
     ) -> List[Tuple[float, ...]]:
+        if self.fast_math:
+            X = _as_matrix(xs, self.n_features)
+            if X is not None:
+                # Self-inclusive prefix moments: row i is standardized
+                # with the mean/std over the prior statistics plus rows
+                # 0..i. Computed via cumulative sums (m2 = sumsq -
+                # count*mean²) rather than per-row Welford — subject to
+                # cancellation, hence the looser documented tolerance
+                # for this kernel.
+                n = len(X)
+                stats_list = self._stats
+                c0 = _np.array([s.count for s in stats_list])
+                mu0 = _np.array([s.mean for s in stats_list])
+                m20 = _np.array([s._m2 for s in stats_list])
+                counts = c0 + _np.arange(1, n + 1)[:, None]
+                means = (c0 * mu0 + _np.cumsum(X, axis=0)) / counts
+                sumsq = (m20 + c0 * mu0 * mu0) + _np.cumsum(X * X, axis=0)
+                m2 = sumsq - counts * means * means
+                # Columns whose every value (batch and prior) equals one
+                # constant must keep an exact zero M2: the cumsum
+                # cancellation otherwise leaves rounding noise that the
+                # std==0 guard can't catch (see observe_many).
+                degenerate = (X == X[:1]).all(axis=0) & (
+                    (c0 == 0) | ((m20 == 0.0) & (mu0 == X[0]))
+                )
+                means = _np.where(degenerate, X[0], means)
+                m2 = _np.where(degenerate, 0.0, m2)
+                stds = _np.sqrt(_np.maximum(m2 / counts, 0.0))
+                valid = (counts >= 2) & (stds > 0)
+                with _np.errstate(divide="ignore", invalid="ignore"):
+                    Z = (X - means) / stds
+                self.observed += n
+                for stats, mean, final_m2, count in zip(
+                    stats_list,
+                    means[-1].tolist(),
+                    m2[-1].tolist(),
+                    counts[-1].tolist(),
+                ):
+                    stats.count = count
+                    stats.mean = mean
+                    stats._m2 = max(final_m2, 0.0)
+                return _rows_as_tuples(_np.where(valid, Z, 0.0))
         stats_list = self._stats
         sqrt = math.sqrt
         out: List[Tuple[float, ...]] = []
@@ -518,20 +766,57 @@ class IdentityNormalizer(Normalizer):
     def merge(self, other: Normalizer) -> None:
         self._merge_counts(other)
 
+    def observe_many(self, xs: Sequence[Sequence[float]]) -> None:
+        if self.fast_math and _as_matrix(xs, self.n_features) is not None:
+            self.observed += len(xs)
+            return
+        super().observe_many(xs)
 
-def make_normalizer(kind: str, n_features: int) -> Normalizer:
+    def transform_many(
+        self, xs: Sequence[Sequence[float]]
+    ) -> List[Tuple[float, ...]]:
+        if self.fast_math:
+            X = _as_matrix(xs, self.n_features)
+            if X is not None:
+                return _rows_as_tuples(X)
+        return super().transform_many(xs)
+
+    def observe_and_transform_many(
+        self, xs: Sequence[Sequence[float]]
+    ) -> List[Tuple[float, ...]]:
+        if self.fast_math:
+            X = _as_matrix(xs, self.n_features)
+            if X is not None:
+                self.observed += len(X)
+                return _rows_as_tuples(X)
+        return super().observe_and_transform_many(xs)
+
+
+def make_normalizer(
+    kind: str, n_features: int, fast_math: bool = False
+) -> Normalizer:
     """Factory over the paper's three normalization forms (+identity).
 
     Args:
         kind: "minmax", "minmax_no_outliers", "zscore", or "none".
         n_features: feature-vector width.
+        fast_math: use the numpy columnar batch kernels (tolerance
+            contract) instead of the bit-exact scalar ones.
     """
+    if fast_math and _np is None:
+        raise RuntimeError("fast_math=True requires numpy")
+    normalizer: Optional[Normalizer] = None
     if kind == MINMAX:
-        return MinMaxNormalizer(n_features)
-    if kind == MINMAX_NO_OUTLIERS:
-        return MinMaxNoOutliersNormalizer(n_features)
-    if kind == ZSCORE:
-        return ZScoreNormalizer(n_features)
-    if kind in ("none", "identity"):
-        return IdentityNormalizer(n_features)
-    raise ValueError(f"unknown normalizer kind {kind!r}; expected one of {KINDS}")
+        normalizer = MinMaxNormalizer(n_features)
+    elif kind == MINMAX_NO_OUTLIERS:
+        normalizer = MinMaxNoOutliersNormalizer(n_features)
+    elif kind == ZSCORE:
+        normalizer = ZScoreNormalizer(n_features)
+    elif kind in ("none", "identity"):
+        normalizer = IdentityNormalizer(n_features)
+    if normalizer is None:
+        raise ValueError(
+            f"unknown normalizer kind {kind!r}; expected one of {KINDS}"
+        )
+    normalizer.fast_math = fast_math
+    return normalizer

@@ -228,10 +228,15 @@ class SimulatedCluster:
         return compute + cm.batch_overhead_s(spec.n_nodes)
 
     def throughput(self, n_tweets: int) -> float:
-        """Tweets per second over a run of ``n_tweets``."""
+        """Tweets per second over a run of ``n_tweets``.
+
+        A non-positive execution time means the rate was never measured,
+        so the result is ``nan`` — not ``0.0``, which would read as "the
+        cluster processed nothing" and silently poison averages.
+        """
         time_s = self.execution_time_s(n_tweets)
         if time_s <= 0:
-            return 0.0
+            return float("nan")
         return n_tweets / time_s
 
     def simulate(self, n_tweets: int) -> SimulationResult:
@@ -246,7 +251,7 @@ class SimulatedCluster:
             spec_name=self.spec.name,
             n_tweets=n_tweets,
             execution_time_s=time_s,
-            throughput=n_tweets / time_s if time_s > 0 else 0.0,
+            throughput=n_tweets / time_s if time_s > 0 else float("nan"),
             n_batches=n_batches,
         )
 

@@ -347,13 +347,29 @@ class _PartitionTask:
                 append_instance(extract(tweet))  # op #1 (extract)
                 hist_extract.observe(perf_counter() - t_start)
             block = InstanceBlock(instances)
+            # Under fast_math, hand the kernels the block's cached
+            # float64 matrix so the two normalizer calls share one
+            # rows->matrix conversion; otherwise (or for ragged rows)
+            # the scalar kernels take the tuple columns as before.
+            xs_in = (
+                block.matrix() if getattr(seen, "fast_math", False) else None
+            )
+            if xs_in is None:
+                xs_in = block.xs
             t_start = perf_counter()
             normalized_block = block.with_xs(
-                seen.observe_and_transform_many(block.xs)
+                seen.observe_and_transform_many(xs_in)
             )  # op #1 (normalize: broadcast + local statistics)
-            local_normalizer.observe_many(block.xs)
+            local_normalizer.observe_many(xs_in)
             t_normalize = perf_counter()
-            probas = model.predict_proba_many(normalized_block.xs)  # op #4
+            pred_in = (
+                normalized_block.matrix()
+                if getattr(model, "fast_math", False)
+                else None
+            )
+            if pred_in is None:
+                pred_in = normalized_block.xs
+            probas = model.predict_proba_many(pred_in)  # op #4
             t_predict = perf_counter()
             n = len(block)
             if n:
@@ -634,12 +650,17 @@ class MicroBatchEngine:
             if self.config.normalization_enabled
             else "none",
             N_FEATURES,
+            fast_math=self.config.fast_math,
         )
         self.model: StreamClassifier = create_model(self.config)
         # Resident-state broadcasting: one versioned snapshot per batch,
-        # pickled at most once and cached worker-side (runners module).
+        # pickled at most once into a shared-memory segment and cached
+        # worker-side (runners module). The engine owns the live
+        # broadcast's segment: it is unlinked when the next version
+        # supersedes it and when the engine closes.
         self._broadcast_key = new_broadcast_key("microbatch")
         self._state_version = 0
+        self._broadcast: Optional[StateBroadcast] = None
         self.cumulative = ConfusionMatrix(self.config.n_classes)
         self.alert_manager = AlertManager(
             AlertPolicy(
@@ -732,15 +753,26 @@ class MicroBatchEngine:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Release the engine-owned runner's pooled resources.
+        """Release the engine-owned runner's pooled resources and the
+        engine's broadcast state.
 
         Only runners the engine created itself (the default, or a string
         ``runner`` spec) are closed; an injected :class:`Runner` instance
-        stays open — its creator owns its lifecycle. Idempotent: calling
-        it repeatedly (or after a failed :meth:`run` already closed the
-        runner) is safe, and pooled runners lazily rebuild their pool if
-        the engine is used again after a close.
+        stays open — its creator owns its lifecycle, but even then the
+        engine evicts its own broadcast key from worker caches so a
+        shared long-lived pool forgets this engine's state. The live
+        broadcast's shared-memory segment is always unlinked here.
+        Idempotent: calling it repeatedly (or after a failed :meth:`run`
+        already closed the runner) is safe, and pooled runners lazily
+        rebuild their pool if the engine is used again after a close.
         """
+        if self._broadcast is not None:
+            self._broadcast.release()
+            self._broadcast = None
+        # Evict before closing: a shared pool stays alive after this
+        # engine is gone, and its workers should not retain a dead
+        # engine's model/normalizer payload.
+        self.runner.evict_broadcast(self._broadcast_key)
         if self._owns_runner:
             self.runner.close()
 
@@ -818,9 +850,13 @@ class MicroBatchEngine:
         so retry attempts share the same broadcast (and its one-time
         pickle).
         """
+        if self._broadcast is not None:
+            # Version bump: the previous batch (including any retries)
+            # is done, so its shared-memory segment can be unlinked.
+            self._broadcast.release()
         words = frozenset(self.bag_of_words.words)
         self._state_version += 1
-        return StateBroadcast(
+        self._broadcast = StateBroadcast(
             key=self._broadcast_key,
             version=self._state_version,
             value=(
@@ -830,6 +866,7 @@ class MicroBatchEngine:
                 SWEAR_WORDS - words,
             ),
         )
+        return self._broadcast
 
     def _build_tasks(
         self, tweets: Sequence[Tweet], broadcast: StateBroadcast

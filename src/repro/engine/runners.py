@@ -26,20 +26,35 @@ state (models, normalizer statistics, lexicons) wrap it in a
 :class:`StateBroadcast` instead of carrying it per task. The broadcast
 serializes its payload once per version — no matter how many tasks
 reference it — and worker processes keep the last decoded payload in a
-module-level cache keyed by ``(key, version)``, so one batch's
+bounded module-level cache keyed by ``(key, version)``, so one batch's
 partitions (and any retry attempts against the same state) deserialize
 the driver state once per worker instead of once per task.
+
+Zero-copy transport: under a process runner the encoded payload is
+written once into a ``multiprocessing.shared_memory`` segment and the
+pickled task carries only ``(key, version, segment name, size)`` — the
+payload bytes never travel through the pool's task pipe, and each
+worker maps the segment read-only and unpickles straight out of the
+mapping. Segment lifecycle is explicit: the driver creates a segment
+lazily on the first task pickle of a version, unlinks it when the
+broadcast is superseded (version bump) or released (engine close), and
+an ``atexit`` sweep unlinks anything a crashed driver left behind.
+Workers attach, decode, and detach immediately; they never own
+segments.
 """
 
 from __future__ import annotations
 
 import abc
+import atexit
 import itertools
 import os
 import pickle
 import threading
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import shared_memory
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 R = TypeVar("R")
@@ -105,12 +120,26 @@ class PartitionError(RuntimeError):
         return f"partition {self.partition_index} failed ({kind}): {self.message}"
 
 
-#: Worker-resident broadcast cache: key -> (version, decoded payload).
-#: One entry per broadcast key (each new version replaces the previous
-#: one), so memory stays bounded by the number of live broadcasters.
-_BROADCAST_CACHE: Dict[str, Tuple[int, object]] = {}
+#: Worker-resident broadcast cache: key -> (version, decoded payload),
+#: in least-recently-used order. One entry per broadcast key (each new
+#: version replaces the previous one), and the cache as a whole is
+#: bounded at :data:`BROADCAST_CACHE_MAX` keys — a long-lived worker
+#: pool shared by many engine lifetimes sheds dead broadcasters'
+#: payloads instead of accumulating one entry per engine forever.
+_BROADCAST_CACHE: "OrderedDict[str, Tuple[int, object]]" = OrderedDict()
 _BROADCAST_LOCK = threading.Lock()
 _BROADCAST_IDS = itertools.count()
+
+#: Hard bound on worker-resident broadcast cache entries (keys). Live
+#: broadcasters re-decode on the rare eviction miss; dead broadcasters
+#: stop leaking.
+BROADCAST_CACHE_MAX = 8
+
+#: Driver-resident shared-memory segments: segment name -> SharedMemory.
+#: Every entry is a segment this process created and must unlink; the
+#: atexit sweep is the safety net for drivers that crash between
+#: creating a segment and releasing its broadcast.
+_LIVE_SEGMENTS: Dict[str, "shared_memory.SharedMemory"] = {}
 
 
 def new_broadcast_key(prefix: str = "broadcast") -> str:
@@ -129,12 +158,90 @@ def clear_broadcast_cache() -> None:
         _BROADCAST_CACHE.clear()
 
 
+def broadcast_cache_size() -> int:
+    """Number of broadcast keys currently cached in this process."""
+    with _BROADCAST_LOCK:
+        return len(_BROADCAST_CACHE)
+
+
+def evict_broadcast(key: str) -> int:
+    """Drop this process's cached payload for ``key``; returns cache size.
+
+    Called locally when a broadcaster closes, and shipped to pool
+    workers as a tombstone task (:meth:`Runner.evict_broadcast`) so a
+    shared long-lived pool forgets a dead engine's state promptly
+    rather than waiting for LRU pressure.
+    """
+    with _BROADCAST_LOCK:
+        _BROADCAST_CACHE.pop(key, None)
+        return len(_BROADCAST_CACHE)
+
+
+def _cache_put(key: str, version: int, value: object) -> None:
+    """Insert/refresh a cache entry, evicting the LRU key past the cap."""
+    _BROADCAST_CACHE[key] = (version, value)
+    _BROADCAST_CACHE.move_to_end(key)
+    while len(_BROADCAST_CACHE) > BROADCAST_CACHE_MAX:
+        _BROADCAST_CACHE.popitem(last=False)
+
+
+def live_segment_names() -> List[str]:
+    """Names of shared-memory segments this process currently owns."""
+    return list(_LIVE_SEGMENTS)
+
+
+def _release_segment(name: str) -> None:
+    """Close and unlink one driver-owned segment (idempotent)."""
+    segment = _LIVE_SEGMENTS.pop(name, None)
+    if segment is None:
+        return
+    try:
+        segment.close()
+        segment.unlink()
+    except (FileNotFoundError, OSError):  # already gone — fine
+        pass
+
+
+def _release_all_segments() -> None:
+    """atexit sweep: unlink anything a crashed driver left behind."""
+    for name in list(_LIVE_SEGMENTS):
+        _release_segment(name)
+
+
+atexit.register(_release_all_segments)
+
+
+def _load_from_segment(name: str, size: int) -> object:
+    """Attach a broadcast segment, unpickle straight from the mapping.
+
+    The worker never copies the payload bytes: ``pickle.loads`` reads
+    through a memoryview over the shared mapping. Attach happens at
+    most once per ``(key, version)`` per worker — the decoded payload
+    goes into the module cache and subsequent tasks hit that.
+
+    Attaching re-registers the segment with the resource tracker, which
+    pool workers share with the driver under the default fork start
+    method — the duplicate registration dedups into the driver's own,
+    and only the driver ever unlinks (explicitly unregistering its
+    entry), so the tracker stays balanced.
+    """
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        view = segment.buf[:size]
+        try:
+            return pickle.loads(view)
+        finally:
+            view.release()
+    finally:
+        segment.close()
+
+
 class StateBroadcast:
     """Versioned, read-only driver state shared by many partition tasks.
 
     The driver wraps one batch's heavyweight state (model, normalizer
     statistics, lexicon deltas, ...) in a broadcast and hands the *same*
-    broadcast object to every partition task. Three properties make
+    broadcast object to every partition task. Four properties make
     this cheap:
 
     * **Serial/thread runners** never pickle the task, so
@@ -144,24 +251,49 @@ class StateBroadcast:
     * **Pickling is once per version.** The payload is encoded lazily
       on the first task pickle and the bytes are reused for every
       subsequent task (and every retry attempt against the same state).
+    * **Transport is zero-copy.** When shared memory is enabled (the
+      default), the encoded bytes are written once into a
+      ``multiprocessing.shared_memory`` segment and each task pickle
+      carries only the segment's name — sibling tasks add O(1) bytes to
+      the pool pipe instead of re-shipping the payload.
     * **Decoding is once per worker per version.** Worker processes
+      map the segment, unpickle directly from the shared mapping, and
       cache the decoded payload keyed by ``(key, version)``; a worker
       running several partitions of the same batch deserializes the
       driver state once.
+
+    Lifecycle: the segment belongs to the *driver*. Call
+    :meth:`release` when the broadcast is superseded or its owner
+    closes — the micro-batch engine does this on every version bump and
+    in ``close()`` — and the module's ``atexit`` sweep unlinks whatever
+    a crashed driver leaves. Workers attach and detach within one
+    decode; they never unlink.
 
     The payload must not be ``None`` (that value flags "not yet
     decoded" on the worker side).
     """
 
-    __slots__ = ("key", "version", "_value", "_encoded")
+    __slots__ = (
+        "key", "version", "_value", "_encoded", "_segment_name",
+        "_payload_size", "use_shared_memory",
+    )
 
-    def __init__(self, key: str, version: int, value: object) -> None:
+    def __init__(
+        self,
+        key: str,
+        version: int,
+        value: object,
+        use_shared_memory: bool = True,
+    ) -> None:
         if value is None:
             raise ValueError("broadcast payload must not be None")
         self.key = key
         self.version = version
         self._value: Optional[object] = value
         self._encoded: Optional[bytes] = None
+        self._segment_name: Optional[str] = None
+        self._payload_size = 0
+        self.use_shared_memory = use_shared_memory
 
     def value(self) -> object:
         """The broadcast payload (live on the driver, cached on workers)."""
@@ -171,26 +303,88 @@ class StateBroadcast:
         with _BROADCAST_LOCK:
             cached = _BROADCAST_CACHE.get(self.key)
             if cached is not None and cached[0] == self.version:
+                _BROADCAST_CACHE.move_to_end(self.key)
                 value = cached[1]
             else:
-                assert self._encoded is not None
-                value = pickle.loads(self._encoded)
-                _BROADCAST_CACHE[self.key] = (self.version, value)
+                if self._segment_name is not None:
+                    value = _load_from_segment(
+                        self._segment_name, self._payload_size
+                    )
+                else:
+                    assert self._encoded is not None
+                    value = pickle.loads(self._encoded)
+                _cache_put(self.key, self.version, value)
         self._value = value
         return value
 
-    def __getstate__(self) -> Tuple[str, int, bytes]:
+    def _encode(self) -> bytes:
         encoded = self._encoded
         if encoded is None:
-            # Driver side, first task being pickled: encode the payload
-            # once and reuse the bytes for every sibling task.
             encoded = pickle.dumps(self._value, protocol=pickle.HIGHEST_PROTOCOL)
             self._encoded = encoded
-        return (self.key, self.version, encoded)
+        return encoded
 
-    def __setstate__(self, state: Tuple[str, int, bytes]) -> None:
-        self.key, self.version, self._encoded = state
+    def _ensure_segment(self, encoded: bytes) -> Optional[str]:
+        """Write the payload into a shared segment once (driver side)."""
+        if self._segment_name is not None:
+            return self._segment_name
+        try:
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(1, len(encoded))
+            )
+            segment.buf[: len(encoded)] = encoded
+        except (OSError, ValueError):
+            # No usable /dev/shm (full, or exotic platform): fall back
+            # to shipping the bytes inline with each task pickle.
+            return None
+        _LIVE_SEGMENTS[segment.name] = segment
+        self._segment_name = segment.name
+        self._payload_size = len(encoded)
+        return segment.name
+
+    def release(self) -> None:
+        """Unlink the driver-owned segment (idempotent).
+
+        Must be called by the broadcast's owner when the version is
+        superseded or the owning engine closes. Workers that already
+        decoded this version keep serving from their cache; a retry
+        against a released version would re-pickle inline (it cannot
+        happen in the engine, which releases only after the batch —
+        including all retry attempts — completed).
+        """
+        name, self._segment_name = self._segment_name, None
+        self._payload_size = 0
+        if name is not None:
+            _release_segment(name)
+
+    def __getstate__(
+        self,
+    ) -> Tuple[str, int, Optional[bytes], Optional[str], int]:
+        with _BROADCAST_LOCK:
+            # The pool's feeder thread pickles tasks concurrently with
+            # driver code; encode + segment creation must be one-shot.
+            encoded = self._encode()
+            segment_name = (
+                self._ensure_segment(encoded)
+                if self.use_shared_memory
+                else None
+            )
+        if segment_name is not None:
+            return (self.key, self.version, None, segment_name, len(encoded))
+        return (self.key, self.version, encoded, None, len(encoded))
+
+    def __setstate__(
+        self, state: Tuple[str, int, Optional[bytes], Optional[str], int]
+    ) -> None:
+        (
+            self.key,
+            self.version,
+            self._encoded,
+            self._segment_name,
+            self._payload_size,
+        ) = state
         self._value = None
+        self.use_shared_memory = self._segment_name is not None
 
 
 class Runner(abc.ABC):
@@ -207,6 +401,15 @@ class Runner(abc.ABC):
 
     def close(self) -> None:
         """Release any pooled resources (no-op by default)."""
+
+    def evict_broadcast(self, key: str) -> None:
+        """Forget a dead broadcaster's cached payload everywhere.
+
+        The default covers in-process execution (serial/thread runners
+        share this process's cache); pool-backed runners additionally
+        ship eviction tasks to their workers.
+        """
+        evict_broadcast(key)
 
     def __enter__(self) -> "Runner":
         return self
@@ -255,8 +458,30 @@ class ProcessPoolRunner(Runner):
         self.n_processes = n_processes
         self._pool: Optional[ProcessPoolExecutor] = None
 
+    @staticmethod
+    def _ensure_tracker_running() -> None:
+        """Start the multiprocessing resource tracker pre-fork.
+
+        Workers attach broadcast segments, and attaching registers the
+        segment with the process's resource tracker. If the tracker is
+        already running when the pool forks (the default start method
+        on Linux), every worker inherits and shares the driver's
+        tracker: worker registrations dedup into the driver's own entry
+        and the driver's unlink keeps the cache balanced. Without this,
+        a worker whose fork predates the tracker spawns its *own*
+        tracker, which then warns about (or worse, tries to clean)
+        driver-owned segments when the worker exits.
+        """
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
+            self._ensure_tracker_running()
             self._pool = ProcessPoolExecutor(max_workers=self.n_processes)
         return self._pool
 
@@ -277,6 +502,26 @@ class ProcessPoolRunner(Runner):
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+
+    def evict_broadcast(self, key: str) -> None:
+        evict_broadcast(key)
+        pool = self._pool
+        if pool is None:
+            return
+        # Best effort: one eviction task per worker slot. With a warm
+        # pool each idle worker picks up one; a busy or partially-warm
+        # pool may miss some workers, which the LRU bound then covers.
+        try:
+            futures = [
+                pool.submit(evict_broadcast, key)
+                for _ in range(self.n_processes)
+            ]
+            for future in futures:
+                future.result(timeout=5.0)
+        except Exception:
+            # Eviction is an optimisation — a broken or shutting-down
+            # pool must not turn engine close() into a failure.
+            pass
 
 
 def make_runner(kind: str, n_workers: int = 4) -> Runner:

@@ -17,6 +17,11 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+try:  # numpy backs the optional fast-math kernels only
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the package
+    _np = None  # type: ignore[assignment]
+
 
 @dataclass
 class Instance:
@@ -111,13 +116,37 @@ class InstanceBlock:
     the scalar path row by row.
     """
 
-    __slots__ = ("xs", "ys", "weights", "instances")
+    __slots__ = ("xs", "ys", "weights", "instances", "_matrix")
 
     def __init__(self, instances: Sequence[Instance]) -> None:
         self.instances: List[Instance] = list(instances)
         self.xs: List[Tuple[float, ...]] = [i.x for i in self.instances]
         self.ys: List[Optional[int]] = [i.y for i in self.instances]
         self.weights: List[float] = [i.weight for i in self.instances]
+        self._matrix = None
+
+    def matrix(self):
+        """Columnar float64 matrix of the feature rows, built lazily.
+
+        Shape is ``(len(block), n_features)``. The fast-math kernels
+        consume this layout directly; it is cached so normalization and
+        prediction share one conversion. Returns ``None`` when numpy is
+        unavailable, the block is empty, or the rows are ragged (the
+        scalar kernels then handle the batch and raise the usual
+        per-row errors).
+        """
+        if self._matrix is not None:
+            return self._matrix
+        if _np is None or not self.xs:
+            return None
+        try:
+            matrix = _np.asarray(self.xs, dtype=_np.float64)
+        except (TypeError, ValueError):
+            return None
+        if matrix.ndim != 2:
+            return None
+        self._matrix = matrix
+        return matrix
 
     def __len__(self) -> int:
         return len(self.instances)

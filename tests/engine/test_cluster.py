@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.engine.cluster import (
@@ -106,6 +108,14 @@ class TestPaperCalibration:
 class TestSimulationApi:
     def test_zero_tweets(self):
         assert SimulatedCluster(MOA_SPEC).execution_time_s(0) == 0.0
+
+    def test_unmeasured_throughput_is_nan_not_zero(self):
+        # Zero elapsed time means "no measurement", not "zero rate":
+        # a 0.0 here would drag averages down silently (PR 4 convention).
+        assert math.isnan(SimulatedCluster(MOA_SPEC).throughput(0))
+        result = SimulatedCluster(SPARK_LOCAL_SPEC).simulate(0)
+        assert math.isnan(result.throughput)
+        assert result.execution_time_s == 0.0
 
     def test_negative_rejected(self):
         with pytest.raises(ValueError):

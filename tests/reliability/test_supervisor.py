@@ -253,3 +253,82 @@ class TestChaosEquivalence:
             resumed.engine.alert_manager.alerts
             == baseline_engine.alert_manager.alerts
         )
+
+
+class TestShmBroadcastCrashResume:
+    """Shared-memory broadcast segments survive crash-resume cleanly.
+
+    A driver crash mid-stream leaves the last broadcast segment live;
+    closing the dead engine must unlink it, and the resumed supervisor
+    must recreate segments from the restored state and still match the
+    uninterrupted run — proof the zero-copy path round-trips through a
+    checkpoint.
+    """
+
+    def test_segments_recreated_cleanly_after_resume(self, tmp_path):
+        from repro.engine import runners as broadcast_runners
+
+        def shm_names():
+            import os
+
+            try:
+                return {
+                    f
+                    for f in os.listdir("/dev/shm")
+                    if f.startswith("psm_")
+                }
+            except FileNotFoundError:
+                return set()
+
+        tweets = _tweets(400)
+        before = shm_names()
+        # The live-segment registry is process-global: engines from
+        # earlier tests that rely on the atexit sweep may still hold
+        # segments, so every check below is a delta against this.
+        stale = set(broadcast_runners.live_segment_names())
+
+        def new_live():
+            return set(broadcast_runners.live_segment_names()) - stale
+
+        def build():
+            return MicroBatchEngine(
+                n_partitions=2,
+                batch_size=50,
+                runner="processes",
+                n_workers=2,
+            )
+
+        baseline_engine = build()
+        baseline = StreamSupervisor(
+            baseline_engine,
+            checkpoint_dir=tmp_path / "base",
+            checkpoint_every=2,
+            chunk_size=100,
+        ).run(tweets)
+        baseline_engine.close()
+        assert new_live() == set()
+
+        crashed = StreamSupervisor(
+            build(),
+            checkpoint_dir=tmp_path / "crash",
+            checkpoint_every=1,
+            chunk_size=100,
+        )
+        with pytest.raises(_Crash):
+            crashed.run(_crashing(tweets, at=250))
+        crashed.engine.close()
+        # The crash left a live segment; close() must have unlinked it.
+        assert new_live() == set()
+
+        resumed = StreamSupervisor.resume(
+            tmp_path / "crash",
+            checkpoint_every=1,
+            runner="processes",
+            n_workers=2,
+        )
+        rerun = resumed.run(tweets)
+        resumed.engine.close()
+        assert rerun.result.metrics == baseline.result.metrics
+        assert rerun.health.n_processed == baseline.health.n_processed
+        assert new_live() == set()
+        assert shm_names() - before == set()

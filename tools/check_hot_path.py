@@ -12,12 +12,23 @@ two patterns that are harmless elsewhere are throughput bugs there:
   the work they wrap. Use ``fresh()`` + ``merge()``,
   ``structure_copy()``, or ``clone()`` instead (all bit-exact; see
   DESIGN.md §9).
+* ``SharedMemory(...)`` outside ``engine/runners.py`` — partition code
+  must never attach segments itself; one attach per (worker, version)
+  happens inside ``StateBroadcast.value()`` behind the decode cache.
+  A per-call attach would turn the zero-copy broadcast back into a
+  per-task syscall + mmap.
+* numpy array allocation (``np.array``/``asarray``/``zeros``/
+  ``empty``/``ones``/``full``/``concatenate``) inside a loop body —
+  the fast-math kernels hoist allocations out of per-row loops and
+  reuse buffers (``out=``, in-place ops); an allocation per tweet
+  re-introduces the per-row overhead the columnar layout removed.
 
 Walks the AST so occurrences in docstrings and comments don't
 false-positive, and exits non-zero listing any offending call sites.
 
 Usage: python tools/check_hot_path.py [root ...]
-       (default: src/repro/core src/repro/text)
+       (default: src/repro/core src/repro/text src/repro/streamml
+       src/repro/engine)
 """
 
 from __future__ import annotations
@@ -27,7 +38,26 @@ import sys
 from pathlib import Path
 from typing import Iterator, List, Tuple
 
-DEFAULT_ROOTS = ("src/repro/core", "src/repro/text")
+DEFAULT_ROOTS = (
+    "src/repro/core",
+    "src/repro/text",
+    "src/repro/streamml",
+    "src/repro/engine",
+)
+
+#: The one module allowed to attach shared-memory segments.
+SHM_ALLOWED_FILES = ("runners.py",)
+
+NUMPY_MODULE_NAMES = {"np", "numpy", "_np"}
+NUMPY_ALLOCATORS = {
+    "array",
+    "asarray",
+    "zeros",
+    "empty",
+    "ones",
+    "full",
+    "concatenate",
+}
 
 
 def _is_attr_call(node: ast.Call, module: str, name: str) -> bool:
@@ -39,8 +69,32 @@ def _is_attr_call(node: ast.Call, module: str, name: str) -> bool:
     )
 
 
-def find_hot_path_offenses(source: str) -> Iterator[Tuple[int, int, str]]:
-    """Yield (line, column, message) for every offending call."""
+def _is_shared_memory_call(node: ast.Call) -> bool:
+    return (
+        isinstance(node.func, ast.Name) and node.func.id == "SharedMemory"
+    ) or (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr == "SharedMemory"
+    )
+
+
+def _is_numpy_allocation(node: ast.Call) -> bool:
+    return (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr in NUMPY_ALLOCATORS
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id in NUMPY_MODULE_NAMES
+    )
+
+
+def find_hot_path_offenses(
+    source: str, filename: str = ""
+) -> Iterator[Tuple[int, int, str]]:
+    """Yield (line, column, message) for every offending call.
+
+    ``filename`` (basename is enough) gates the file-scoped rules:
+    shared-memory attach is legal only in :data:`SHM_ALLOWED_FILES`.
+    """
     tree = ast.parse(source)
     # re.compile is only an offense inside a function body; module-level
     # compiles are exactly the fix this lint wants.
@@ -53,6 +107,15 @@ def find_hot_path_offenses(source: str) -> Iterator[Tuple[int, int, str]]:
     for fn in function_nodes:
         for node in ast.walk(fn):
             in_function.add(id(node))
+    # numpy allocations are only an offense inside a loop body: the
+    # batch kernels allocate per batch, never per row.
+    in_loop = set()
+    for loop in ast.walk(tree):
+        if isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+            for node in ast.walk(loop):
+                if node is not loop:
+                    in_loop.add(id(node))
+    shm_allowed = Path(filename).name in SHM_ALLOWED_FILES
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
@@ -71,6 +134,20 @@ def find_hot_path_offenses(source: str) -> Iterator[Tuple[int, int, str]]:
                 "deepcopy on a hot path (use fresh()+merge()/"
                 "structure_copy()/clone())",
             )
+        elif _is_shared_memory_call(node) and not shm_allowed:
+            yield (
+                node.lineno,
+                node.col_offset,
+                "SharedMemory attach in partition code (attach once per "
+                "(worker, version) via StateBroadcast.value())",
+            )
+        elif _is_numpy_allocation(node) and id(node) in in_loop:
+            yield (
+                node.lineno,
+                node.col_offset,
+                "numpy array allocation inside a loop (allocate per "
+                "batch and reuse buffers / out=)",
+            )
 
 
 def check_tree(root: Path) -> List[str]:
@@ -78,7 +155,9 @@ def check_tree(root: Path) -> List[str]:
     failures = []
     for path in sorted(root.rglob("*.py")):
         source = path.read_text(encoding="utf-8")
-        for line, col, message in find_hot_path_offenses(source):
+        for line, col, message in find_hot_path_offenses(
+            source, str(path)
+        ):
             failures.append(f"{path}:{line}:{col}: {message}")
     return failures
 
