@@ -146,6 +146,29 @@ def build_parser() -> argparse.ArgumentParser:
                      "the batch size and then degrade the feature pipeline "
                      "(FULL -> NO_POS -> TEXT_ONLY), recovering when load "
                      "subsides (enables supervised execution)")
+    run.add_argument("--partition-deadline", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-partition execution deadline (microbatch "
+                     "engine): partitions are independent fault domains "
+                     "— stragglers time out, lost workers trigger a "
+                     "pool-only rebuild, and failed partitions retry "
+                     "alone before being quarantined")
+    run.add_argument("--speculate", type=float, default=None,
+                     metavar="FRACTION",
+                     help="with --partition-deadline: launch a duplicate "
+                     "attempt for partitions still running past this "
+                     "fraction of the deadline, first result wins "
+                     "(e.g. 0.5)")
+    run.add_argument("--min-partitions", type=_positive_int, default=None,
+                     metavar="N",
+                     help="with --batch-deadline: let the overload "
+                     "controller shrink the partition count down to N "
+                     "under straggler pressure (default 1)")
+    run.add_argument("--max-partitions", type=_positive_int, default=None,
+                     metavar="N",
+                     help="with --batch-deadline: ceiling for elastic "
+                     "partition scale-up on recovery (default: "
+                     "--partitions)")
     run.add_argument("--arrival-rate", type=float, default=None,
                      metavar="HZ",
                      help="replay the stream closed-loop at this mean "
@@ -246,6 +269,51 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.batch_deadline is not None and args.batch_deadline <= 0:
         logger.error("error: --batch-deadline must be positive")
         return 2
+    if args.partition_deadline is not None and args.partition_deadline <= 0:
+        logger.error("error: --partition-deadline must be positive")
+        return 2
+    if args.partition_deadline is not None and args.engine != "microbatch":
+        logger.error(
+            "error: --partition-deadline requires --engine microbatch"
+        )
+        return 2
+    if args.speculate is not None:
+        if args.partition_deadline is None:
+            logger.error("error: --speculate requires --partition-deadline")
+            return 2
+        if not 0.0 < args.speculate <= 1.0:
+            logger.error("error: --speculate must be in (0, 1]")
+            return 2
+    if (
+        args.min_partitions is not None or args.max_partitions is not None
+    ) and args.batch_deadline is None:
+        logger.error(
+            "error: --min-partitions/--max-partitions require "
+            "--batch-deadline (they bound the overload controller's "
+            "elastic partition actuator)"
+        )
+        return 2
+    if (
+        args.min_partitions is not None or args.max_partitions is not None
+    ) and args.engine != "microbatch":
+        logger.error(
+            "error: --min-partitions/--max-partitions require "
+            "--engine microbatch"
+        )
+        return 2
+    if (
+        args.min_partitions is not None
+        and args.max_partitions is not None
+        and args.min_partitions > args.max_partitions
+    ):
+        logger.error("error: --min-partitions must be <= --max-partitions")
+        return 2
+    if args.min_partitions is not None and args.min_partitions > args.partitions:
+        logger.error("error: --min-partitions must be <= --partitions")
+        return 2
+    if args.max_partitions is not None and args.max_partitions < args.partitions:
+        logger.error("error: --max-partitions must be >= --partitions")
+        return 2
     if supervised:
         return _run_supervised(args, config)
     if args.engine == "microbatch":
@@ -320,6 +388,8 @@ def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
             max_poison_rate=args.max_poison_rate,
             telemetry=sink,
             metrics_every=args.metrics_every,
+            partition_deadline_s=args.partition_deadline,
+            speculate=args.speculate,
         )
     else:
         if args.engine == "microbatch":
@@ -331,6 +401,8 @@ def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
                 n_workers=args.workers,
                 retry_policy=retry_policy,
                 dead_letters=dead_letters,
+                partition_deadline_s=args.partition_deadline,
+                speculate=args.speculate,
             )
         else:
             engine = SequentialEngine(config, dead_letters=dead_letters)
@@ -350,6 +422,10 @@ def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
                 telemetry=sink,
             )
             if args.batch_deadline is not None:
+                elastic = (
+                    args.min_partitions is not None
+                    or args.max_partitions is not None
+                ) and args.engine == "microbatch"
                 engine.controller = OverloadController(
                     batch_deadline_s=args.batch_deadline,
                     batch_size=args.batch_size,
@@ -357,6 +433,9 @@ def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
                     metrics=engine.metrics,
                     telemetry=sink,
                     engine_label=args.engine,
+                    n_partitions=args.partitions if elastic else None,
+                    min_partitions=args.min_partitions if elastic else None,
+                    max_partitions=args.max_partitions if elastic else None,
                 )
         supervisor = StreamSupervisor(
             engine,
@@ -437,6 +516,19 @@ def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
                     controller.n_deadline_misses, controller.n_degrades,
                     controller.n_recovers, controller.tier.name,
                     controller.max_tier_reached.name)
+        if controller.n_partitions is not None:
+            logger.info("elasticity    : %d partitions (bounds %d..%d, "
+                        "%d resizes, %d stragglers seen)",
+                        controller.n_partitions, controller.min_partitions,
+                        controller.max_partitions,
+                        controller.n_partition_resizes,
+                        controller.n_stragglers_seen)
+    if args.partition_deadline is not None:
+        logger.info("parallelism   : %d partition timeouts, "
+                    "%d speculative wins, %d pool rebuilds",
+                    health.n_partition_timeouts,
+                    health.n_speculative_wins,
+                    int(supervisor.metrics.total("pool_rebuilds_total")))
     if args.checkpoint_dir:
         logger.info("checkpoints   : %d written to %s",
                     health.n_checkpoints, args.checkpoint_dir)
@@ -472,6 +564,8 @@ def _run_microbatch(args: argparse.Namespace, config: PipelineConfig) -> int:
         n_workers=args.workers,
         metrics=registry,
         on_batch=on_batch,
+        partition_deadline_s=args.partition_deadline,
+        speculate=args.speculate,
     ) as engine:
         if sink is not None:
             sink.event("run_start", engine="microbatch", input=args.input)
@@ -493,6 +587,12 @@ def _run_microbatch(args: argparse.Namespace, config: PipelineConfig) -> int:
             logger.info("  %-18s %9.3f s", stage, seconds)
         logger.info("  %-18s %9.3f s", "driver total",
                     result.stage_seconds.driver_seconds)
+        if args.partition_deadline is not None:
+            logger.info("parallelism   : %d partition timeouts, "
+                        "%d speculative wins, %d pool rebuilds",
+                        int(registry.total("partition_timeouts_total")),
+                        int(registry.total("speculative_wins_total")),
+                        int(registry.total("pool_rebuilds_total")))
         if result.n_unlabeled:
             logger.info("alerts        : %d", result.n_alerts)
         if args.save_model:

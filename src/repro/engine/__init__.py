@@ -29,11 +29,14 @@ from repro.engine.microbatch import (
 )
 from repro.engine.rdd import RDD, parallelize, round_robin_partitions
 from repro.engine.replay import (
+    ChaosReport,
     LatencyReport,
     OverloadReport,
     StepClock,
     StreamReplayer,
+    model_state_digest,
     replay_closed_loop,
+    run_chaos_scenario,
 )
 from repro.engine.runners import (
     PartitionError,
@@ -56,11 +59,14 @@ __all__ = [
     "MicroBatchResult",
     "StageTimings",
     "RDD",
+    "ChaosReport",
     "LatencyReport",
     "OverloadReport",
     "StepClock",
     "StreamReplayer",
+    "model_state_digest",
     "replay_closed_loop",
+    "run_chaos_scenario",
     "parallelize",
     "round_robin_partitions",
     "PartitionError",

@@ -93,10 +93,13 @@ from repro.core.sampling import BoostedRandomSampler
 from repro.data.tweet import Tweet
 from repro.engine.rdd import round_robin_partitions
 from repro.engine.runners import (
+    OUTCOME_TIMED_OUT,
+    OUTCOME_WORKER_LOST,
     PartitionError,
     Runner,
     SerialRunner,
     StateBroadcast,
+    TaskOutcome,
     make_runner,
     new_broadcast_key,
 )
@@ -152,6 +155,23 @@ class _PartitionOutput:
     # throughput counters); the driver folds it into its registry with
     # MetricsRegistry.merge_snapshot — same pattern as the normalizer.
     metrics: Optional[MetricsSnapshot] = None
+
+
+@dataclass
+class _ExecStats:
+    """Per-batch tally of the deadline path's fault-domain events."""
+
+    retries: int = 0
+    n_timeouts: int = 0
+    n_worker_lost: int = 0
+    n_speculative: int = 0
+    n_speculative_wins: int = 0
+    n_pool_rebuilds: int = 0
+
+    @property
+    def n_stragglers(self) -> int:
+        """Partitions that blew their deadline or lost their worker."""
+        return self.n_timeouts + self.n_worker_lost
 
 
 def _make_local_model(model: StreamClassifier) -> StreamClassifier:
@@ -609,14 +629,25 @@ class MicroBatchEngine:
         metrics: Optional[MetricsRegistry] = None,
         on_batch: Optional["BatchCallback"] = None,
         controller: Optional["OverloadController"] = None,
+        partition_deadline_s: Optional[float] = None,
+        speculate: Optional[float] = None,
     ) -> None:
         if n_partitions < 1:
             raise ValueError("n_partitions must be >= 1")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if partition_deadline_s is not None and partition_deadline_s <= 0:
+            raise ValueError("partition_deadline_s must be positive")
+        if speculate is not None:
+            if partition_deadline_s is None:
+                raise ValueError("speculate requires partition_deadline_s")
+            if not 0.0 < speculate <= 1.0:
+                raise ValueError("speculate must be in (0, 1]")
         self.config = config if config is not None else PipelineConfig()
         self.n_partitions = n_partitions
         self.batch_size = batch_size
+        self.partition_deadline_s = partition_deadline_s
+        self.speculate = speculate
         self.retry_policy = retry_policy
         self._retry_rng = (
             random.Random(retry_policy.seed)
@@ -689,6 +720,8 @@ class MicroBatchEngine:
             # degraded size rather than snapping back to the default.
             self.batch_size = controller.batch_size
             self._degrade_tier = controller.tier
+            if controller.n_partitions is not None:
+                self.n_partitions = controller.n_partitions
         # Observability: one registry for the whole engine; driver
         # stages are measured by tracer spans, partition snapshots fold
         # in per batch, and StageTimings is a read-back view.
@@ -708,6 +741,24 @@ class MicroBatchEngine:
         )
         self._batch_hist = self.metrics.histogram(
             "batch_seconds", engine="microbatch"
+        )
+        self._m_partition_timeouts = self.metrics.counter(
+            "partition_timeouts_total", engine="microbatch"
+        )
+        self._m_spec_launched = self.metrics.counter(
+            "speculative_launches_total", engine="microbatch"
+        )
+        self._m_spec_wins = self.metrics.counter(
+            "speculative_wins_total", engine="microbatch"
+        )
+        self._m_pool_rebuilds = self.metrics.counter(
+            "pool_rebuilds_total", engine="microbatch"
+        )
+        self._m_partition_quarantined = self.metrics.counter(
+            "tweets_quarantined_total", engine="microbatch", stage="partition"
+        )
+        self._partition_hist = self.metrics.histogram(
+            "partition_seconds", engine="microbatch"
         )
 
     @property
@@ -879,6 +930,15 @@ class MicroBatchEngine:
         half-executed attempt can never leak trained state into the
         next one.
         """
+        return self._tasks_for(
+            round_robin_partitions(tweets, self.n_partitions), broadcast
+        )
+
+    def _tasks_for(
+        self,
+        partitions: Sequence[List[Tweet]],
+        broadcast: StateBroadcast,
+    ) -> List[_PartitionTask]:
         return [
             _PartitionTask(
                 tweets=partition,
@@ -890,7 +950,7 @@ class MicroBatchEngine:
                 quarantine=self.dead_letters is not None,
                 tier=self.degrade_tier,
             )
-            for partition in round_robin_partitions(tweets, self.n_partitions)
+            for partition in partitions
         ]
 
     def _execute_with_retry(
@@ -921,6 +981,89 @@ class MicroBatchEngine:
                 self.n_retries += 1
                 policy.sleep(delay)
 
+    def _execute_partitioned(
+        self, tweets: Sequence[Tweet], broadcast: StateBroadcast
+    ) -> Tuple[
+        List[Optional[_PartitionOutput]],
+        List[List[Tweet]],
+        List[Tuple[int, TaskOutcome]],
+        _ExecStats,
+    ]:
+        """Deadline path: per-partition outcomes, retries and quarantine.
+
+        Unlike :meth:`_execute_with_retry` (whole-batch retry on one
+        raised error), this drives :meth:`Runner.run_with_deadline` and
+        treats each partition as its own fault domain: successful
+        partitions keep their outputs while failed/timed-out/lost ones
+        are retried alone under the :class:`RetryPolicy`'s seeded
+        backoff, against the *same* broadcast (engine state is frozen
+        for the whole batch, so late attempts see identical inputs).
+
+        Returns ``(outputs, partitions, dropped, stats)`` where
+        ``outputs[i]`` is partition ``i``'s output or ``None`` if it
+        was dropped, and ``dropped`` lists ``(partition_index, final
+        outcome)`` for partitions that exhausted their budget. A fatal
+        outcome — or any non-ok outcome when no dead-letter queue is
+        attached to absorb the drop — raises instead; no merge has
+        happened at that point, so the no-half-applied guarantee holds.
+        """
+        partitions = round_robin_partitions(tweets, self.n_partitions)
+        outputs: List[Optional[_PartitionOutput]] = [None] * len(partitions)
+        dropped: List[Tuple[int, TaskOutcome]] = []
+        stats = _ExecStats()
+        policy = self.retry_policy
+        pending = list(range(len(partitions)))
+        attempt = 0
+        while pending:
+            tasks = self._tasks_for(
+                [partitions[i] for i in pending], broadcast
+            )
+            report = self.runner.run_with_deadline(
+                tasks,
+                deadline_s=self.partition_deadline_s,
+                speculate_after=self.speculate,
+            )
+            stats.n_speculative += report.n_speculative_launched
+            stats.n_speculative_wins += report.n_speculative_wins
+            stats.n_pool_rebuilds += report.n_pool_rebuilds
+            retryable: List[Tuple[int, TaskOutcome]] = []
+            for outcome in report.outcomes:
+                index = pending[outcome.partition_index]
+                if outcome.ok:
+                    outputs[index] = outcome.result  # type: ignore[assignment]
+                    self._partition_hist.observe(outcome.duration_s)
+                    continue
+                if outcome.status == OUTCOME_TIMED_OUT:
+                    stats.n_timeouts += 1
+                    self._m_partition_timeouts.inc()
+                elif outcome.status == OUTCOME_WORKER_LOST:
+                    stats.n_worker_lost += 1
+                if outcome.retryable:
+                    retryable.append((index, outcome))
+                elif self.dead_letters is not None:
+                    dropped.append((index, outcome))
+                else:
+                    raise outcome.to_error()
+            if not retryable:
+                break
+            if policy is not None and attempt < policy.max_retries:
+                assert self._retry_rng is not None
+                delay = policy.backoff_delay(attempt, self._retry_rng)
+                attempt += 1
+                stats.retries += 1
+                self.n_retries += 1
+                policy.sleep(delay)
+                pending = [index for index, _outcome in retryable]
+                continue
+            # Retry budget exhausted (or no policy): quarantine if a
+            # DLQ can absorb the loss, otherwise surface the first
+            # failure — still before any merge.
+            if self.dead_letters is None:
+                raise retryable[0][1].to_error()
+            dropped.extend(retryable)
+            break
+        return outputs, partitions, dropped, stats
+
     def process_batch(self, tweets: Sequence[Tweet]) -> MicroBatchResult:
         """Run one micro-batch through the Fig. 2 dataflow.
 
@@ -935,6 +1078,12 @@ class MicroBatchEngine:
                 cumulative poison rate exceeded it. The batch's merges
                 have completed when this is raised — the breaker is a
                 stop signal, not a rollback.
+
+        With ``partition_deadline_s`` set, partitions are independent
+        fault domains: a partition that exhausts its per-partition
+        retries is quarantined to the dead-letter queue as one
+        partition-grain poison record (its tweets count as poisoned)
+        while its siblings' outputs merge normally, in partition order.
         """
         start = time.perf_counter()
         batch_tier = self.degrade_tier
@@ -945,10 +1094,26 @@ class MicroBatchEngine:
         # under a tracer span that records into the stage_seconds
         # histogram family; the per-batch StageTimings is built from the
         # spans' raw durations, so both views see the same numbers.
+        dropped: List[Tuple[int, TaskOutcome]] = []
+        partitions: Optional[List[List[Tweet]]] = None
+        exec_stats: Optional[_ExecStats] = None
         with self._tracer.span("partition_execute") as span_execute:
-            outputs, retries_used = self._execute_with_retry(
-                tweets, broadcast
-            )
+            if self.partition_deadline_s is not None:
+                (
+                    maybe_outputs,
+                    partitions,
+                    dropped,
+                    exec_stats,
+                ) = self._execute_partitioned(tweets, broadcast)
+                # Dropped partitions leave holes; merging the survivors
+                # in partition order keeps the merge sequence (and thus
+                # the model state) deterministic.
+                outputs = [o for o in maybe_outputs if o is not None]
+                retries_used = exec_stats.retries
+            else:
+                outputs, retries_used = self._execute_with_retry(
+                    tweets, broadcast
+                )
 
         with self._tracer.span("model_merge") as span_model:
             self._combine_models(
@@ -988,6 +1153,28 @@ class MicroBatchEngine:
                         )
                     )
 
+        if dropped and self.dead_letters is not None and partitions:
+            # Partition-grain quarantine: one poison record per dropped
+            # partition; its tweets count as poisoned so the driver's
+            # accounting (n_processed + n_quarantined == ingested)
+            # stays exact without per-tweet records.
+            for index, outcome in dropped:
+                n_poisoned += len(partitions[index])
+                self._m_partition_quarantined.inc(len(partitions[index]))
+                self.dead_letters.add(
+                    DeadLetterRecord(
+                        tweet_id=None,
+                        stage="partition",
+                        error=(
+                            f"partition {index} {outcome.status} "
+                            f"({len(partitions[index])} tweets): "
+                            f"{outcome.to_error().message}"
+                        ),
+                        traceback="",
+                        batch_index=len(self.batches),
+                    )
+                )
+
         alerts_before = self.alert_manager.n_alerts
         with self._tracer.span("drain") as span_drain:
             for output in outputs:
@@ -1014,6 +1201,13 @@ class MicroBatchEngine:
         self._m_batches.inc()
         if retries_used:
             self._m_retries.inc(retries_used)
+        if exec_stats is not None:
+            if exec_stats.n_speculative:
+                self._m_spec_launched.inc(exec_stats.n_speculative)
+            if exec_stats.n_speculative_wins:
+                self._m_spec_wins.inc(exec_stats.n_speculative_wins)
+            if exec_stats.n_pool_rebuilds:
+                self._m_pool_rebuilds.inc(exec_stats.n_pool_rebuilds)
         self._publish_gauges()
         elapsed = time.perf_counter() - start
         self._batch_hist.observe(elapsed)
@@ -1024,10 +1218,15 @@ class MicroBatchEngine:
                 queue_fraction=(
                     queue.depth_fraction if queue is not None else None
                 ),
+                n_stragglers=(
+                    exec_stats.n_stragglers if exec_stats is not None else 0
+                ),
             )
-            # Adopt the controller's (possibly resized) batch size for
-            # the next discretization round.
+            # Adopt the controller's (possibly resized) batch size and
+            # partition count for the next discretization round.
             self.batch_size = self.controller.batch_size
+            if self.controller.n_partitions is not None:
+                self.n_partitions = self.controller.n_partitions
         result = MicroBatchResult(
             batch_index=len(self.batches),
             n_processed=len(tweets) - n_poisoned,

@@ -370,3 +370,183 @@ def replay_closed_loop(
         makespan_s=server_free_s,
         queue_counters=queue.as_counters(),
     )
+
+
+# ----------------------------------------------------------------------
+# Deterministic chaos scenario (partition fault domains end to end)
+# ----------------------------------------------------------------------
+
+def model_state_digest(model: object) -> str:
+    """Stable content hash of a model's full serialized state.
+
+    Two engines whose models digest identically have bit-identical
+    weights, counters, and structure — the equivalence the chaos suite
+    asserts between faulted and fault-free runs.
+    """
+    import hashlib
+    import json
+
+    from repro.streamml.serialize import model_to_dict
+
+    payload = json.dumps(model_to_dict(model), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one :func:`run_chaos_scenario` execution."""
+
+    n_tweets: int
+    n_batches: int
+    n_injected: int
+    elapsed_s: float
+    n_retries: int
+    n_quarantined: int
+    n_partition_timeouts: int
+    n_speculative_launches: int
+    n_speculative_wins: int
+    n_pool_rebuilds: int
+    final_f1: float
+    model_digest: str
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable view (CI smoke checks, bench summaries)."""
+        return {
+            "n_tweets": self.n_tweets,
+            "n_batches": self.n_batches,
+            "n_injected": self.n_injected,
+            "elapsed_s": self.elapsed_s,
+            "n_retries": self.n_retries,
+            "n_quarantined": self.n_quarantined,
+            "n_partition_timeouts": self.n_partition_timeouts,
+            "n_speculative_launches": self.n_speculative_launches,
+            "n_speculative_wins": self.n_speculative_wins,
+            "n_pool_rebuilds": self.n_pool_rebuilds,
+            "final_f1": self.final_f1,
+            "model_digest": self.model_digest,
+        }
+
+
+def run_chaos_scenario(
+    tweets: Sequence[Tweet],
+    config: Optional[object] = None,
+    *,
+    fault_kind: str = "worker_hang",
+    every_n_calls: int = 4,
+    n_partitions: int = 2,
+    batch_size: int = 500,
+    runner: str = "processes",
+    n_workers: int = 2,
+    partition_deadline_s: float = 5.0,
+    speculate: Optional[float] = None,
+    max_retries: int = 3,
+    seed: int = 11,
+    hang_s: float = 30.0,
+    slow_s: float = 0.25,
+    max_rebuilds_per_run: int = 1,
+) -> ChaosReport:
+    """Drive a micro-batch run through a seeded partition-fault storm.
+
+    Every ``every_n_calls``-th runner call injects one ``fault_kind``
+    fault (cycling deterministically over the partitions), so the run
+    exercises the full self-healing path: partition deadlines catch the
+    hangs, pool rebuilds replace killed workers, per-partition retries
+    re-run the affected slices, and — because engine-level retries
+    advance the injector's call index past the faulty one — every batch
+    eventually completes with the *same* merged state a fault-free run
+    produces. ``every_n_calls`` must be >= 2 so a retry lands on a
+    clean call index.
+
+    Fault decisions ride in the pickled task, so a resubmit *within*
+    the same runner call re-triggers the same fault; recovery comes
+    from the engine's retry (a fresh call), which is why
+    ``max_rebuilds_per_run`` defaults low — burning the rebuild budget
+    fast surfaces ``worker_lost`` to the engine without extra forks.
+
+    With ``every_n_calls <= 0``, no injector is attached: that is the
+    fault-free baseline the chaos tests compare digests against.
+    """
+    from repro.core.config import PipelineConfig
+    from repro.engine.microbatch import MicroBatchEngine
+    from repro.engine.runners import ProcessPoolRunner, make_runner
+    from repro.reliability.deadletter import DeadLetterQueue
+    from repro.reliability.faults import FaultInjectingRunner, FaultInjector
+    from repro.reliability.supervisor import RetryPolicy
+
+    if every_n_calls == 1:
+        raise ValueError(
+            "every_n_calls must be >= 2 (a retry must be able to land "
+            "on a clean call index) or <= 0 for the fault-free baseline"
+        )
+    if runner == "processes":
+        base: object = ProcessPoolRunner(
+            n_processes=n_workers,
+            max_rebuilds_per_run=max_rebuilds_per_run,
+        )
+    else:
+        base = make_runner(runner, n_workers)
+    injector: Optional[FaultInjector] = None
+    exec_runner = base
+    if every_n_calls > 0:
+        # One faulty partition per every_n_calls-th call, cycling over
+        # partitions so each fault domain gets exercised.
+        schedule = {
+            call: ((call // every_n_calls) % n_partitions,)
+            for call in range(every_n_calls - 1, 10_000, every_n_calls)
+        }
+        injector = FaultInjector(
+            schedule=schedule,
+            seed=seed,
+            transient=True,
+            kind=fault_kind,
+            hang_s=hang_s,
+            slow_s=slow_s,
+        )
+        exec_runner = FaultInjectingRunner(base, injector, owns_inner=True)
+    dead_letters = DeadLetterQueue()
+    policy = RetryPolicy(
+        max_retries=max_retries,
+        base_delay_s=0.0,
+        jitter=0.0,
+        seed=seed,
+        sleep=lambda _s: None,
+    )
+    engine = MicroBatchEngine(
+        config if config is not None else PipelineConfig(n_classes=2),
+        n_partitions=n_partitions,
+        batch_size=batch_size,
+        runner=exec_runner,  # type: ignore[arg-type]
+        retry_policy=policy,
+        dead_letters=dead_letters,
+        partition_deadline_s=partition_deadline_s,
+        speculate=speculate,
+    )
+    started = time.perf_counter()
+    try:
+        result = engine.run(tweets)
+        digest = model_state_digest(engine.model)
+        registry = engine.metrics
+        report = ChaosReport(
+            n_tweets=len(tweets),
+            n_batches=len(result.batches),
+            n_injected=injector.n_injected if injector is not None else 0,
+            elapsed_s=time.perf_counter() - started,
+            n_retries=result.n_retries,
+            n_quarantined=result.n_quarantined,
+            n_partition_timeouts=int(
+                registry.total("partition_timeouts_total")
+            ),
+            n_speculative_launches=int(
+                registry.total("speculative_launches_total")
+            ),
+            n_speculative_wins=int(
+                registry.total("speculative_wins_total")
+            ),
+            n_pool_rebuilds=int(registry.total("pool_rebuilds_total")),
+            final_f1=float(result.metrics.get("f1", 0.0)),
+            model_digest=digest,
+        )
+    finally:
+        engine.close()
+        exec_runner.close()  # type: ignore[union-attr]
+    return report

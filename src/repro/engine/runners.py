@@ -51,11 +51,19 @@ import itertools
 import os
 import pickle
 import threading
+import time
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from multiprocessing import shared_memory
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, TypeVar
 
 R = TypeVar("R")
 
@@ -118,6 +126,112 @@ class PartitionError(RuntimeError):
     def __str__(self) -> str:
         kind = "transient" if self.transient else "fatal"
         return f"partition {self.partition_index} failed ({kind}): {self.message}"
+
+
+#: Per-task outcome classes reported by :meth:`Runner.run_with_deadline`.
+#: ``ok`` carries a result; ``failed`` carries the task's own
+#: :class:`PartitionError` (transient or fatal per the usual
+#: classification); ``timed_out`` means the partition was still running
+#: when the deadline expired; ``worker_lost`` means its worker process
+#: died and the rebuild budget ran out before a clean re-run.
+OUTCOME_OK = "ok"
+OUTCOME_FAILED = "failed"
+OUTCOME_TIMED_OUT = "timed_out"
+OUTCOME_WORKER_LOST = "worker_lost"
+
+TASK_OUTCOMES = (
+    OUTCOME_OK,
+    OUTCOME_FAILED,
+    OUTCOME_TIMED_OUT,
+    OUTCOME_WORKER_LOST,
+)
+
+#: How often the deadline loop re-checks futures, the clock, and the
+#: speculation trigger. Small enough that deadlines land within ~50ms,
+#: large enough that polling is invisible next to partition work.
+_POLL_INTERVAL_S = 0.05
+
+
+@dataclass
+class TaskOutcome:
+    """One partition task's fate under :meth:`Runner.run_with_deadline`."""
+
+    partition_index: int
+    status: str
+    result: object = None
+    error: Optional[PartitionError] = None
+    duration_s: float = 0.0
+    #: Whether the *winning* attempt was a speculative duplicate.
+    speculative: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OUTCOME_OK
+
+    @property
+    def retryable(self) -> bool:
+        """Whether re-running this partition can plausibly succeed.
+
+        Timeouts and lost workers are environmental by definition; a
+        ``failed`` outcome defers to the wrapped error's transient flag.
+        """
+        if self.status in (OUTCOME_TIMED_OUT, OUTCOME_WORKER_LOST):
+            return True
+        return (
+            self.status == OUTCOME_FAILED
+            and self.error is not None
+            and self.error.transient
+        )
+
+    def to_error(self) -> PartitionError:
+        """The outcome as a raisable :class:`PartitionError`."""
+        if self.error is not None:
+            return self.error
+        return PartitionError(
+            self.partition_index,
+            f"partition {self.status}",
+            transient=self.status != OUTCOME_FAILED,
+        )
+
+
+@dataclass
+class RunReport:
+    """What :meth:`Runner.run_with_deadline` observed for one task set.
+
+    ``outcomes`` keeps the input task order. The counters cover this
+    call only; :class:`ProcessPoolRunner` additionally accumulates
+    lifetime ``n_pool_rebuilds`` on the runner itself.
+    """
+
+    outcomes: List[TaskOutcome] = field(default_factory=list)
+    n_speculative_launched: int = 0
+    n_speculative_wins: int = 0
+    n_pool_rebuilds: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    def results(self) -> List:
+        """All results in task order; raises the first non-ok outcome."""
+        out = []
+        for outcome in self.outcomes:
+            if not outcome.ok:
+                raise outcome.to_error()
+            out.append(outcome.result)
+        return out
+
+
+def _validate_deadline_args(
+    deadline_s: Optional[float], speculate_after: Optional[float]
+) -> None:
+    if deadline_s is not None and deadline_s <= 0:
+        raise ValueError("deadline_s must be positive")
+    if speculate_after is not None:
+        if deadline_s is None:
+            raise ValueError("speculate_after requires deadline_s")
+        if not 0.0 < speculate_after <= 1.0:
+            raise ValueError("speculate_after must be in (0, 1]")
 
 
 #: Worker-resident broadcast cache: key -> (version, decoded payload),
@@ -399,6 +513,56 @@ class Runner(abc.ABC):
                 failing partition and wraps the original message.
         """
 
+    def run_with_deadline(
+        self,
+        tasks: Sequence[Task],
+        deadline_s: Optional[float] = None,
+        speculate_after: Optional[float] = None,
+    ) -> RunReport:
+        """Execute all tasks, classifying each outcome instead of raising.
+
+        Unlike :meth:`run`, one bad partition does not poison its
+        siblings: every task gets a :class:`TaskOutcome` (``ok``,
+        ``failed``, ``timed_out`` or ``worker_lost``) and the caller
+        decides what to retry, speculate or quarantine.
+
+        ``deadline_s`` bounds the whole task set; ``speculate_after``
+        (a fraction of the deadline in ``(0, 1]``) asks pool runners to
+        launch duplicate attempts for partitions still unresolved past
+        that point — first finisher wins, the loser is cancelled or its
+        result discarded.
+
+        This default implementation runs tasks serially on the calling
+        thread. In-process execution cannot preempt a running task, so
+        the deadline and speculation arguments are validated but not
+        enforced: outcomes here are only ever ``ok`` or ``failed``.
+        """
+        _validate_deadline_args(deadline_s, speculate_after)
+        outcomes: List[TaskOutcome] = []
+        for item in enumerate(tasks):
+            started = time.perf_counter()
+            try:
+                result = _run_task(item)
+            except PartitionError as exc:
+                outcomes.append(
+                    TaskOutcome(
+                        item[0],
+                        OUTCOME_FAILED,
+                        error=exc,
+                        duration_s=time.perf_counter() - started,
+                    )
+                )
+            else:
+                outcomes.append(
+                    TaskOutcome(
+                        item[0],
+                        OUTCOME_OK,
+                        result=result,
+                        duration_s=time.perf_counter() - started,
+                    )
+                )
+        return RunReport(outcomes=outcomes)
+
     def close(self) -> None:
         """Release any pooled resources (no-op by default)."""
 
@@ -443,6 +607,57 @@ class ThreadPoolRunner(Runner):
         pool = self._ensure_pool()
         return list(pool.map(_run_task, enumerate(tasks)))
 
+    def run_with_deadline(
+        self,
+        tasks: Sequence[Task],
+        deadline_s: Optional[float] = None,
+        speculate_after: Optional[float] = None,
+    ) -> RunReport:
+        """Threaded variant: enforces the deadline, never speculates.
+
+        Threads cannot be killed, so a timed-out task keeps running in
+        the background — safe because partition tasks are pure — and
+        its eventual result is discarded. Speculating a duplicate onto
+        the same GIL would only slow the straggler down further, so
+        ``speculate_after`` is validated but ignored.
+        """
+        _validate_deadline_args(deadline_s, speculate_after)
+        pool = self._ensure_pool()
+        started = time.perf_counter()
+        futures: Dict[Future, int] = {
+            pool.submit(_run_task, item): item[0]
+            for item in enumerate(tasks)
+        }
+        outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
+        done, pending = wait(list(futures), timeout=deadline_s)
+        for future in done:
+            index = futures[future]
+            duration = time.perf_counter() - started
+            try:
+                result = future.result()
+            except PartitionError as exc:
+                outcomes[index] = TaskOutcome(
+                    index, OUTCOME_FAILED, error=exc, duration_s=duration
+                )
+            else:
+                outcomes[index] = TaskOutcome(
+                    index, OUTCOME_OK, result=result, duration_s=duration
+                )
+        for future in pending:
+            index = futures[future]
+            future.cancel()
+            outcomes[index] = TaskOutcome(
+                index,
+                OUTCOME_TIMED_OUT,
+                error=PartitionError(
+                    index,
+                    f"partition exceeded {deadline_s:.3f}s deadline",
+                    transient=True,
+                ),
+                duration_s=time.perf_counter() - started,
+            )
+        return RunReport(outcomes=[o for o in outcomes if o is not None])
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown()
@@ -450,12 +665,31 @@ class ThreadPoolRunner(Runner):
 
 
 class ProcessPoolRunner(Runner):
-    """Runs tasks on worker processes (tasks must be picklable)."""
+    """Runs tasks on worker processes (tasks must be picklable).
 
-    def __init__(self, n_processes: int = 4) -> None:
+    ``evict_timeout_s`` bounds how long :meth:`evict_broadcast` waits on
+    each worker's tombstone task. ``max_rebuilds_per_run`` caps how many
+    times one :meth:`run_with_deadline` call replaces a broken pool
+    before classifying the surviving partitions as ``worker_lost``;
+    ``n_pool_rebuilds`` counts rebuilds over the runner's lifetime.
+    """
+
+    def __init__(
+        self,
+        n_processes: int = 4,
+        evict_timeout_s: float = 5.0,
+        max_rebuilds_per_run: int = 2,
+    ) -> None:
         if n_processes < 1:
             raise ValueError("n_processes must be >= 1")
+        if evict_timeout_s <= 0:
+            raise ValueError("evict_timeout_s must be positive")
+        if max_rebuilds_per_run < 0:
+            raise ValueError("max_rebuilds_per_run must be >= 0")
         self.n_processes = n_processes
+        self.evict_timeout_s = evict_timeout_s
+        self.max_rebuilds_per_run = max_rebuilds_per_run
+        self.n_pool_rebuilds = 0
         self._pool: Optional[ProcessPoolExecutor] = None
 
     @staticmethod
@@ -498,6 +732,229 @@ class ProcessPoolRunner(Runner):
                 -1, f"worker pool broken: {exc}", transient=True
             ) from exc
 
+    def run_with_deadline(
+        self,
+        tasks: Sequence[Task],
+        deadline_s: Optional[float] = None,
+        speculate_after: Optional[float] = None,
+    ) -> RunReport:
+        """Deadline-aware execution with speculation and pool recovery.
+
+        The driver polls futures instead of blocking on ``pool.map``,
+        so one partition's fate never hides its siblings': each task
+        resolves to ``ok`` or ``failed`` as its future completes,
+        partitions still unresolved at the deadline become
+        ``timed_out``, and a dead worker breaks only the *pool* — the
+        completed siblings keep their results, the pool is rebuilt in
+        place (broadcast segments in ``_LIVE_SEGMENTS`` are untouched,
+        so workers re-attach the same driver state), and only the
+        unresolved partitions are resubmitted, up to
+        ``max_rebuilds_per_run`` times per call.
+
+        With ``speculate_after`` set, partitions still unresolved past
+        that fraction of the deadline get one duplicate attempt; the
+        first finisher wins and the loser is cancelled (or, if already
+        running, its result is discarded — tasks are pure, so the extra
+        execution is wasted work, never corruption).
+
+        If a timed-out partition's worker is still grinding when the
+        call returns, the whole pool is abandoned (workers terminated)
+        rather than handed, poisoned, to the next call; that abandonment
+        counts as a pool rebuild.
+        """
+        _validate_deadline_args(deadline_s, speculate_after)
+        n_tasks = len(tasks)
+        outcomes: List[Optional[TaskOutcome]] = [None] * n_tasks
+        report = RunReport(outcomes=outcomes)  # type: ignore[arg-type]
+        if n_tasks == 0:
+            return report
+        started = time.perf_counter()
+        speculate_at = (
+            started + speculate_after * deadline_s
+            if speculate_after is not None and deadline_s is not None
+            else None
+        )
+        # Future -> (partition index, speculative attempt?, submit time).
+        in_flight: Dict[Future, Tuple[int, bool, float]] = {}
+        unresolved: Set[int] = set(range(n_tasks))
+        speculated: Set[int] = set()
+        to_submit: List[Tuple[int, bool]] = [(i, False) for i in range(n_tasks)]
+        pool_broken = False
+        rebuilds = 0
+
+        def resolve(index: int, outcome: TaskOutcome) -> None:
+            outcomes[index] = outcome
+            unresolved.discard(index)
+
+        while unresolved:
+            if not pool_broken and to_submit:
+                try:
+                    pool = self._ensure_pool()
+                    while to_submit:
+                        index, speculative = to_submit[0]
+                        future = pool.submit(_run_task, (index, tasks[index]))
+                        to_submit.pop(0)
+                        in_flight[future] = (
+                            index, speculative, time.perf_counter()
+                        )
+                except (BrokenProcessPool, RuntimeError):
+                    pool_broken = True
+            if pool_broken:
+                # In-flight results are lost with the pool; completed
+                # partitions keep theirs. Rebuild and resubmit only the
+                # unresolved ones — or give up on them past the budget.
+                pool_broken = False
+                in_flight.clear()
+                self.close()
+                if rebuilds >= self.max_rebuilds_per_run:
+                    for index in sorted(unresolved):
+                        outcomes[index] = TaskOutcome(
+                            index,
+                            OUTCOME_WORKER_LOST,
+                            error=PartitionError(
+                                index,
+                                "worker lost and pool rebuild budget "
+                                f"({self.max_rebuilds_per_run}) exhausted",
+                                transient=True,
+                            ),
+                            duration_s=time.perf_counter() - started,
+                        )
+                    unresolved.clear()
+                    break
+                rebuilds += 1
+                self.n_pool_rebuilds += 1
+                report.n_pool_rebuilds += 1
+                speculated -= unresolved
+                to_submit = [(i, False) for i in sorted(unresolved)]
+                continue
+            now = time.perf_counter()
+            if deadline_s is not None and now - started >= deadline_s:
+                break
+            timeout = _POLL_INTERVAL_S
+            if deadline_s is not None:
+                timeout = min(
+                    timeout, max(0.001, started + deadline_s - now)
+                )
+            done, _ = wait(
+                list(in_flight),
+                timeout=timeout,
+                return_when=FIRST_COMPLETED,
+            )
+            for future in done:
+                index, speculative, submitted = in_flight.pop(future)
+                if index not in unresolved:
+                    continue  # the sibling attempt already won
+                duration = time.perf_counter() - submitted
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    pool_broken = True
+                except PartitionError as exc:
+                    resolve(
+                        index,
+                        TaskOutcome(
+                            index,
+                            OUTCOME_FAILED,
+                            error=exc,
+                            duration_s=duration,
+                            speculative=speculative,
+                        ),
+                    )
+                except Exception as exc:  # pragma: no cover - defensive
+                    resolve(
+                        index,
+                        TaskOutcome(
+                            index,
+                            OUTCOME_FAILED,
+                            error=PartitionError(
+                                index,
+                                f"{type(exc).__name__}: {exc}",
+                                transient=is_transient_error(exc),
+                            ),
+                            duration_s=duration,
+                            speculative=speculative,
+                        ),
+                    )
+                else:
+                    resolve(
+                        index,
+                        TaskOutcome(
+                            index,
+                            OUTCOME_OK,
+                            result=result,
+                            duration_s=duration,
+                            speculative=speculative,
+                        ),
+                    )
+                    if speculative:
+                        report.n_speculative_wins += 1
+            # Cancel the losing sibling of any partition that resolved.
+            for future in list(in_flight):
+                if in_flight[future][0] not in unresolved:
+                    future.cancel()
+                    del in_flight[future]
+            if (
+                speculate_at is not None
+                and time.perf_counter() >= speculate_at
+            ):
+                for index in sorted(unresolved - speculated):
+                    speculated.add(index)
+                    to_submit.append((index, True))
+                    report.n_speculative_launched += 1
+
+        # Deadline expiry (or budget exhaustion) path: classify the
+        # leftovers and decide whether the pool survives this call.
+        hung_worker = False
+        for future in list(in_flight):
+            index, _speculative, _submitted = in_flight.pop(future)
+            if (
+                index in unresolved
+                and not future.cancel()
+                and not future.done()
+            ):
+                hung_worker = True
+        for index in sorted(unresolved):
+            outcomes[index] = TaskOutcome(
+                index,
+                OUTCOME_TIMED_OUT,
+                error=PartitionError(
+                    index,
+                    f"partition exceeded {deadline_s:.3f}s deadline",
+                    transient=True,
+                ),
+                duration_s=time.perf_counter() - started,
+            )
+        unresolved.clear()
+        if hung_worker:
+            # A worker is still grinding an abandoned task; terminate
+            # the pool rather than hand it, busy, to the next batch.
+            self._abandon_pool()
+            self.n_pool_rebuilds += 1
+            report.n_pool_rebuilds += 1
+        return report
+
+    def _abandon_pool(self) -> None:
+        """Tear down a pool whose workers may be hung (best effort).
+
+        ``shutdown(wait=True)`` would block behind the hung task, so:
+        cancel what's queued, terminate the worker processes, and let
+        the next ``run`` build a fresh pool. Broadcast segments are
+        driver-owned and survive untouched.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - executor internals vary
+            pass
+        for proc in processes:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in processes:
+            proc.join(timeout=1.0)
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown()
@@ -516,12 +973,17 @@ class ProcessPoolRunner(Runner):
                 pool.submit(evict_broadcast, key)
                 for _ in range(self.n_processes)
             ]
-            for future in futures:
-                future.result(timeout=5.0)
         except Exception:
             # Eviction is an optimisation — a broken or shutting-down
             # pool must not turn engine close() into a failure.
-            pass
+            return
+        for future in futures:
+            try:
+                future.result(timeout=self.evict_timeout_s)
+            except Exception:
+                # One hung or dying worker must not abort eviction on
+                # the rest of the pool; the LRU bound covers the miss.
+                continue
 
 
 def make_runner(kind: str, n_workers: int = 4) -> Runner:

@@ -25,15 +25,25 @@ what lets the chaos suite assert exact metric equivalence.
 from __future__ import annotations
 
 import copy
+import os
 import random
-from dataclasses import replace
+import time
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.data.tweet import Tweet
-from repro.engine.runners import Runner, Task, TransientWorkerError
+from repro.engine.runners import Runner, RunReport, Task, TransientWorkerError
 
 #: Supported corruption kinds, in the cycle order used by default.
 CORRUPTION_KINDS = ("none_text", "nan_counts", "absurd_timestamp")
+
+#: Supported injected fault kinds. ``error`` raises inside the task
+#: (transient or fatal per the injector flag); ``worker_hang`` sleeps a
+#: pool worker past any reasonable deadline; ``worker_kill`` terminates
+#: the worker process outright (driving the pool-rebuild path);
+#: ``slow_partition`` delays the task but lets it finish — the
+#: straggler that speculation is for.
+FAULT_KINDS = ("error", "worker_hang", "worker_kill", "slow_partition")
 
 
 class FaultInjector:
@@ -51,6 +61,16 @@ class FaultInjector:
 
     ``transient`` picks the raised type: :class:`TransientWorkerError`
     (default, retryable) or a plain ``RuntimeError`` (classified fatal).
+
+    ``kind`` selects *how* the chosen task misbehaves (one of
+    :data:`FAULT_KINDS`): the default ``error`` raises immediately;
+    ``worker_hang`` sleeps ``hang_s`` first (stalling a pool worker past
+    its deadline); ``worker_kill`` terminates the worker process;
+    ``slow_partition`` sleeps ``slow_s`` and then runs the task to
+    completion. The process-level kinds only make sense under a process
+    runner — on serial/thread runners (same PID as the driver) they
+    downgrade to raising :class:`TransientWorkerError`, because killing
+    or hanging the driver would take the test process down with it.
     """
 
     def __init__(
@@ -59,9 +79,18 @@ class FaultInjector:
         rate: float = 0.0,
         seed: int = 0,
         transient: bool = True,
+        kind: str = "error",
+        hang_s: float = 30.0,
+        slow_s: float = 0.25,
     ) -> None:
         if not 0.0 <= rate <= 1.0:
             raise ValueError("rate must be in [0, 1]")
+        if kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if hang_s <= 0 or slow_s <= 0:
+            raise ValueError("hang_s/slow_s must be positive")
         self.schedule: Dict[int, Tuple[int, ...]] = {
             int(call): tuple(partitions)
             for call, partitions in (schedule or {}).items()
@@ -69,6 +98,9 @@ class FaultInjector:
         self.rate = rate
         self.seed = seed
         self.transient = transient
+        self.kind = kind
+        self.hang_s = hang_s
+        self.slow_s = slow_s
         self._rng = random.Random(seed)
         self.n_injected = 0
 
@@ -83,7 +115,7 @@ class FaultInjector:
         return self.rate > 0.0 and self._rng.random() < self.rate
 
     def build_error(self, call_index: int, partition_index: int) -> Exception:
-        """The exception an injected failure raises."""
+        """The exception an injected ``error``-kind failure raises."""
         message = (
             f"injected fault: call {call_index}, partition {partition_index}"
         )
@@ -91,21 +123,88 @@ class FaultInjector:
             return TransientWorkerError(message)
         return RuntimeError(message)
 
+    def build_action(
+        self, call_index: int, partition_index: int
+    ) -> "_FaultAction":
+        """The picklable misbehaviour an injected failure performs."""
+        return _FaultAction(
+            kind=self.kind,
+            message=(
+                f"injected {self.kind}: call {call_index}, "
+                f"partition {partition_index}"
+            ),
+            transient=self.transient,
+            hang_s=self.hang_s,
+            slow_s=self.slow_s,
+            driver_pid=os.getpid(),
+        )
+
+
+@dataclass
+class _FaultAction:
+    """One injected misbehaviour, decided driver-side, applied task-side.
+
+    ``driver_pid`` is captured at build time: the process-level kinds
+    (``worker_kill``/``worker_hang``) check it before acting, so a task
+    executed in the driver's own process (serial/thread runners, or a
+    fork-sharing edge case) degrades to a transient error instead of
+    killing or stalling the driver.
+    """
+
+    kind: str
+    message: str
+    transient: bool
+    hang_s: float
+    slow_s: float
+    driver_pid: int
+
+    def apply(self) -> bool:
+        """Misbehave; returns whether the task should still run."""
+        if self.kind == "slow_partition":
+            time.sleep(self.slow_s)
+            return True
+        if self.kind == "worker_kill":
+            if os.getpid() != self.driver_pid:
+                os._exit(17)
+            raise TransientWorkerError(self.message + " (in-driver downgrade)")
+        if self.kind == "worker_hang":
+            if os.getpid() != self.driver_pid:
+                time.sleep(self.hang_s)
+                # A hang that outlives every deadline still terminates
+                # eventually — as a retryable failure, never a result,
+                # so a late-waking worker cannot inject duplicates.
+                raise TransientWorkerError(self.message + " (hang elapsed)")
+            raise TransientWorkerError(self.message + " (in-driver downgrade)")
+        if self.transient:
+            raise TransientWorkerError(self.message)
+        raise RuntimeError(self.message)
+
 
 class _InjectedTask:
-    """Picklable task wrapper that raises instead of running.
+    """Picklable task wrapper that misbehaves instead of (or before)
+    running.
 
     The decision is made driver-side (so the injector RNG is consumed
     deterministically regardless of runner kind); the wrapper carries
-    only the verdict across the process boundary.
+    only the verdict across the process boundary. ``error`` is the
+    legacy immediate-raise form; ``action`` covers the full
+    :data:`FAULT_KINDS` vocabulary.
     """
 
-    def __init__(self, task: Task, error: Optional[Exception]) -> None:
+    def __init__(
+        self,
+        task: Task,
+        error: Optional[Exception],
+        action: Optional[_FaultAction] = None,
+    ) -> None:
         self.task = task
         self.error = error
+        self.action = action
 
     def __call__(self) -> object:
-        if self.error is not None:
+        if self.action is not None:
+            self.action.apply()
+        elif self.error is not None:
             raise self.error
         return self.task()
 
@@ -129,17 +228,44 @@ class FaultInjectingRunner(Runner):
         self.owns_inner = owns_inner
         self.n_calls = 0
 
-    def run(self, tasks: Sequence[Task]) -> List:
+    def _wrap(self, tasks: Sequence[Task]) -> List[Task]:
+        """Consume one call index and wrap the chosen tasks.
+
+        Every delegated execution — :meth:`run` or
+        :meth:`run_with_deadline`, including engine-level retries —
+        advances the call index, so a schedule keyed on call indices
+        addresses attempts, not just batches.
+        """
         call_index = self.n_calls
         self.n_calls += 1
         wrapped: List[Task] = []
         for partition_index, task in enumerate(tasks):
-            error: Optional[Exception] = None
+            action: Optional[_FaultAction] = None
             if self.injector.should_fail(call_index, partition_index):
                 self.injector.n_injected += 1
-                error = self.injector.build_error(call_index, partition_index)
-            wrapped.append(_InjectedTask(task, error))
-        return self.inner.run(wrapped)
+                action = self.injector.build_action(
+                    call_index, partition_index
+                )
+            wrapped.append(_InjectedTask(task, None, action))
+        return wrapped
+
+    def run(self, tasks: Sequence[Task]) -> List:
+        return self.inner.run(self._wrap(tasks))
+
+    def run_with_deadline(
+        self,
+        tasks: Sequence[Task],
+        deadline_s: Optional[float] = None,
+        speculate_after: Optional[float] = None,
+    ) -> RunReport:
+        return self.inner.run_with_deadline(
+            self._wrap(tasks),
+            deadline_s=deadline_s,
+            speculate_after=speculate_after,
+        )
+
+    def evict_broadcast(self, key: str) -> None:
+        self.inner.evict_broadcast(key)
 
     def close(self) -> None:
         if self.owns_inner:

@@ -486,6 +486,17 @@ class OverloadController:
             :meth:`observe_batch` reads its depth fraction by default.
         metrics: optional registry for the controller gauges/counters.
         telemetry: optional sink for transition events.
+        n_partitions: enables the third actuator — elastic partition
+            count. When set, straggler pressure (timed-out or lost
+            partitions reported via ``observe_batch``) counts as
+            overload, and once batch size and tier are exhausted the
+            controller halves the partition count toward
+            ``min_partitions`` (fewer concurrent tasks contend less on
+            few cores and each failure domain gets coarser); recovery
+            restores partitions *first* (the reverse of the degrade
+            ladder), then tier, then batch size.
+        min_partitions / max_partitions: bounds for the elastic range
+            (defaults: 1 and the initial ``n_partitions``).
     """
 
     def __init__(
@@ -503,6 +514,9 @@ class OverloadController:
         metrics: Optional["MetricsRegistry"] = None,
         telemetry: Optional["TelemetrySink"] = None,
         engine_label: str = "microbatch",
+        n_partitions: Optional[int] = None,
+        min_partitions: Optional[int] = None,
+        max_partitions: Optional[int] = None,
     ) -> None:
         if batch_deadline_s <= 0:
             raise ValueError("batch_deadline_s must be positive")
@@ -524,6 +538,26 @@ class OverloadController:
             raise ValueError("shrink_factor must be in (0, 1)")
         if grow_factor <= 1.0:
             raise ValueError("grow_factor must be > 1")
+        if n_partitions is None:
+            if min_partitions is not None or max_partitions is not None:
+                raise ValueError(
+                    "min_partitions/max_partitions require n_partitions"
+                )
+        else:
+            if min_partitions is None:
+                min_partitions = 1
+            if max_partitions is None:
+                max_partitions = n_partitions
+            if not 1 <= min_partitions <= n_partitions <= max_partitions:
+                raise ValueError(
+                    "need 1 <= min_partitions <= n_partitions"
+                    " <= max_partitions"
+                )
+        self.n_partitions = n_partitions
+        self.min_partitions = min_partitions
+        self.max_partitions = max_partitions
+        self.n_partition_resizes = 0
+        self.n_stragglers_seen = 0
         self.batch_deadline_s = batch_deadline_s
         self.batch_size = batch_size
         self.min_batch_size = min_batch_size
@@ -566,13 +600,21 @@ class OverloadController:
         if self.metrics is not None:
             self.metrics.gauge("degrade_level").set(int(self.tier))
             self.metrics.gauge("controller_batch_size").set(self.batch_size)
+            if self.n_partitions is not None:
+                self.metrics.gauge("controller_n_partitions").set(
+                    self.n_partitions
+                )
 
     @property
     def degraded(self) -> bool:
-        """Whether any degradation (tier or batch shrink) is active."""
+        """Whether any degradation (tier/batch/partition) is active."""
         return (
             self.tier != DegradeTier.FULL
             or self.batch_size < self.max_batch_size
+            or (
+                self.n_partitions is not None
+                and self.n_partitions < self.max_partitions
+            )
         )
 
     # -- observation -----------------------------------------------------
@@ -581,13 +623,22 @@ class OverloadController:
         self,
         batch_seconds: float,
         queue_fraction: Optional[float] = None,
+        n_stragglers: int = 0,
     ) -> None:
-        """Feed one completed batch's duration into the control loop."""
+        """Feed one completed batch's duration into the control loop.
+
+        ``n_stragglers`` is the batch's count of timed-out or
+        worker-lost partitions; any straggler counts as pressure (and
+        blocks comfort) regardless of the batch's own duration, since a
+        timed-out partition means the deadline path already gave up on
+        part of the batch.
+        """
         if queue_fraction is None:
             queue_fraction = (
                 self.queue.depth_fraction if self.queue is not None else 0.0
             )
         self.n_batches += 1
+        self.n_stragglers_seen += n_stragglers
         missed = batch_seconds > self.batch_deadline_s
         if missed:
             self.n_deadline_misses += 1
@@ -597,9 +648,10 @@ class OverloadController:
             self.queue.high_watermark if self.queue is not None else 0.8
         )
         low = self.queue.low_watermark if self.queue is not None else 0.5
-        pressured = missed or queue_fraction >= high
+        pressured = missed or queue_fraction >= high or n_stragglers > 0
         comfortable = (
             not missed
+            and n_stragglers == 0
             and batch_seconds <= self.batch_deadline_s * self.recovery_headroom
             and queue_fraction <= low
         )
@@ -669,8 +721,30 @@ class OverloadController:
                 self.telemetry.event(
                     "degrade", tier=self.tier.name, level=int(self.tier)
                 )
+            return
+        # Last rung of the ladder: fewer, coarser partitions — less
+        # per-task overhead and scheduling contention on few cores,
+        # and each straggler retry re-runs a larger (but rarer) slice.
+        if (
+            self.n_partitions is not None
+            and self.n_partitions > self.min_partitions
+        ):
+            self._resize_partitions(
+                max(self.min_partitions, self.n_partitions // 2)
+            )
 
     def _recover_step(self) -> None:
+        # Reverse of the degrade ladder: partitions come back first so
+        # parallelism is restored before the cheaper knobs unwind.
+        if (
+            self.n_partitions is not None
+            and self.n_partitions < self.max_partitions
+        ):
+            self._resize_partitions(
+                min(self.max_partitions, max(self.n_partitions + 1,
+                                             self.n_partitions * 2))
+            )
+            return
         if self.tier > DegradeTier.FULL:
             self.tier = DegradeTier(self.tier - 1)
             self.n_recovers += 1
@@ -706,6 +780,18 @@ class OverloadController:
                 "batch_resize", old=old, new=new_size
             )
 
+    def _resize_partitions(self, new_count: int) -> None:
+        if new_count == self.n_partitions:
+            return
+        old = self.n_partitions
+        self.n_partitions = new_count
+        self.n_partition_resizes += 1
+        logger.info("overload: partition count %s -> %d", old, new_count)
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "partition_resize", old=old, new=new_count
+            )
+
     # -- checkpoint (de)serialization ------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
@@ -732,6 +818,13 @@ class OverloadController:
             "n_resizes": self.n_resizes,
             "polled_count": self._polled_count,
             "polled_sum": self._polled_sum,
+            # Elastic partition actuator (checkpoint v4; absent in v3
+            # payloads and optional on read).
+            "n_partitions": self.n_partitions,
+            "min_partitions": self.min_partitions,
+            "max_partitions": self.max_partitions,
+            "n_partition_resizes": self.n_partition_resizes,
+            "n_stragglers_seen": self.n_stragglers_seen,
         }
 
     @classmethod
@@ -743,6 +836,9 @@ class OverloadController:
         telemetry: Optional["TelemetrySink"] = None,
     ) -> "OverloadController":
         """Rebuild a controller mid-episode (hysteresis included)."""
+        # Elastic-partition keys arrived with checkpoint v4; older
+        # payloads simply have no partition actuator.
+        max_parts = payload.get("max_partitions")
         controller = cls(
             batch_deadline_s=float(payload["batch_deadline_s"]),
             batch_size=int(payload["max_batch_size"]),
@@ -757,8 +853,27 @@ class OverloadController:
             metrics=metrics,
             telemetry=telemetry,
             engine_label=str(payload["engine_label"]),
+            n_partitions=(
+                int(max_parts) if max_parts is not None else None
+            ),
+            min_partitions=(
+                int(payload["min_partitions"])
+                if max_parts is not None
+                else None
+            ),
+            max_partitions=(
+                int(max_parts) if max_parts is not None else None
+            ),
         )
         controller.batch_size = int(payload["batch_size"])
+        if max_parts is not None:
+            controller.n_partitions = int(payload["n_partitions"])
+        controller.n_partition_resizes = int(
+            payload.get("n_partition_resizes", 0)
+        )
+        controller.n_stragglers_seen = int(
+            payload.get("n_stragglers_seen", 0)
+        )
         controller.tier = DegradeTier(int(payload["tier"]))
         controller.max_tier_reached = DegradeTier(
             int(payload["max_tier_reached"])

@@ -95,10 +95,14 @@ from repro.streamml.serialize import (
 #: Version 2 adds the ``metrics`` registry snapshot to the payload;
 #: version 3 adds the optional ``overload`` section (bounded ingest
 #: queue backlog + controller state + simulated-clock cursor) so a run
-#: can crash mid-overload and resume exactly. Versions 1 and 2 are
-#: still readable (older sections resume as approximations / absent).
-SUPERVISOR_CHECKPOINT_VERSION = 3
-_READABLE_CHECKPOINT_VERSIONS = (1, 2, 3)
+#: can crash mid-overload and resume exactly; version 4 extends the
+#: controller section with the elastic partition actuator
+#: (n_partitions/min/max, resize + straggler counters) so a crash
+#: mid-recovery resumes with the same partition count. Versions 1-3
+#: stay readable (older sections resume as approximations / absent —
+#: a v3 controller simply has no partition actuator).
+SUPERVISOR_CHECKPOINT_VERSION = 4
+_READABLE_CHECKPOINT_VERSIONS = (1, 2, 3, 4)
 CHECKPOINT_FILENAME = "checkpoint.json"
 
 logger = get_logger("supervisor")
@@ -222,11 +226,14 @@ def microbatch_engine_from_dict(
     retry_policy: Optional[RetryPolicy] = None,
     dead_letters: Optional[DeadLetterQueue] = None,
     max_poison_rate: Optional[float] = None,
+    partition_deadline_s: Optional[float] = None,
+    speculate: Optional[float] = None,
 ) -> MicroBatchEngine:
     """Rebuild an engine that continues exactly where the saved one was.
 
-    Execution wiring (runner, retry policy, quarantine) is supplied by
-    the caller, since pools and callbacks cannot be serialized.
+    Execution wiring (runner, retry policy, quarantine, partition
+    deadline/speculation) is supplied by the caller, since pools and
+    callbacks cannot be serialized.
     """
     engine = MicroBatchEngine(
         PipelineConfig(**payload["config"]),
@@ -237,6 +244,8 @@ def microbatch_engine_from_dict(
         retry_policy=retry_policy,
         dead_letters=dead_letters,
         max_poison_rate=max_poison_rate,
+        partition_deadline_s=partition_deadline_s,
+        speculate=speculate,
     )
     engine.model = model_from_dict(payload["model"])
     engine.normalizer = normalizer_from_dict(payload["normalizer"])
@@ -509,6 +518,8 @@ class StreamSupervisor:
         validate: bool = True,
         telemetry: Optional[TelemetrySink] = None,
         metrics_every: Optional[int] = None,
+        partition_deadline_s: Optional[float] = None,
+        speculate: Optional[float] = None,
     ) -> "StreamSupervisor":
         """Rebuild a supervisor from the last good checkpoint.
 
@@ -534,6 +545,8 @@ class StreamSupervisor:
                 retry_policy=retry_policy,
                 dead_letters=dead_letters,
                 max_poison_rate=max_poison_rate,
+                partition_deadline_s=partition_deadline_s,
+                speculate=speculate,
             )
         elif engine_payload["engine"] == "sequential":
             engine = SequentialEngine(
@@ -575,6 +588,8 @@ class StreamSupervisor:
                 if isinstance(engine, MicroBatchEngine):
                     engine.batch_size = controller.batch_size
                     engine._degrade_tier = controller.tier
+                    if controller.n_partitions is not None:
+                        engine.n_partitions = controller.n_partitions
                 else:
                     engine.pipeline.set_degrade_tier(controller.tier)
         supervisor = cls(
@@ -721,6 +736,8 @@ class StreamSupervisor:
             if isinstance(self.engine, MicroBatchEngine):
                 self.engine._degrade_tier = controller.tier
                 self.engine.batch_size = controller.batch_size
+                if controller.n_partitions is not None:
+                    self.engine.n_partitions = controller.n_partitions
             else:
                 self.engine.pipeline.set_degrade_tier(controller.tier)
         try:
@@ -804,6 +821,8 @@ class StreamSupervisor:
                 if isinstance(self.engine, MicroBatchEngine):
                     self.engine.batch_size = controller.batch_size
                     self.engine._degrade_tier = controller.tier
+                    if controller.n_partitions is not None:
+                        self.engine.n_partitions = controller.n_partitions
                 else:
                     self.engine.pipeline.set_degrade_tier(controller.tier)
         self._server_free_s = start_s + duration

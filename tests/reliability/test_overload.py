@@ -480,7 +480,7 @@ class TestSupervisedOverload:
         # The checkpoint captured the overload machinery mid-episode,
         # pending backlog included.
         payload = json.loads(crashed.checkpoint_path.read_text())
-        assert payload["supervisor_version"] == 3
+        assert payload["supervisor_version"] == 4
         assert payload["overload"]["queue"]["entries"]
         assert payload["overload"]["controller"]["n_batches"] > 0
 
