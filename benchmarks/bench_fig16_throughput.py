@@ -117,30 +117,65 @@ def test_fig16_real_engine_throughput(benchmark):
     n_partitions = _env_int("FIG16_PARTITIONS") or max(4, n_workers)
     sweep_counts = _worker_sweep(n_workers)
 
-    def run_microbatch(cfg, runner=None, workers=None):
+    def run_microbatch(cfg, runner=None, workers=None, telemetry=True):
         with MicroBatchEngine(
             cfg,
             n_partitions=n_partitions,
             batch_size=2000,
             runner=runner,
             n_workers=workers,
+            worker_telemetry=telemetry,
         ) as engine:
-            return engine.run(tweets)
+            result = engine.run(tweets)
+            return result, engine.metrics, engine.last_trace
 
     def run_all():
         sequential = SequentialEngine(config).run(tweets)
-        serial_mb = run_microbatch(config)
-        scalar_mb = run_microbatch(config, "processes", n_workers)
+        serial_mb, _, _ = run_microbatch(config)
+        scalar_mb, scalar_reg, scalar_trace = run_microbatch(
+            config, "processes", n_workers
+        )
+        # Same configuration with worker telemetry stripped: the delta
+        # is the cross-process tracing overhead (console/profiling off).
+        dark_mb, _, _ = run_microbatch(
+            config, "processes", n_workers, telemetry=False
+        )
         sweep = {
-            w: run_microbatch(fast_config, "processes", w)
+            w: run_microbatch(fast_config, "processes", w)[0]
             for w in sweep_counts
         }
-        return sequential, serial_mb, scalar_mb, sweep
+        return (
+            sequential, serial_mb, scalar_mb, scalar_reg, scalar_trace,
+            dark_mb, sweep,
+        )
 
-    sequential, serial_mb, scalar_mb, sweep = benchmark.pedantic(
-        run_all, rounds=1, iterations=1
-    )
+    (
+        sequential, serial_mb, scalar_mb, scalar_reg, scalar_trace,
+        dark_mb, sweep,
+    ) = benchmark.pedantic(run_all, rounds=1, iterations=1)
     process_mb = sweep[n_workers]
+    # Worker-side spans ship inside partition outputs and are stitched
+    # driver-side; their "partition" root spans must account for (at
+    # least) the driver-observed partition_execute wall time.
+    worker_partition_s = scalar_mb.worker_stage_seconds.get("partition", 0.0)
+    driver_partition_s = scalar_mb.stage_seconds.partition_execute
+    trace_cover = (
+        worker_partition_s / driver_partition_s
+        if driver_partition_s > 0
+        else float("nan")
+    )
+    telemetry_overhead = (
+        dark_mb.throughput / scalar_mb.throughput - 1.0
+        if scalar_mb.throughput > 0
+        else float("nan")
+    )
+    from repro.obs.slo import Scorecard
+
+    scorecard = Scorecard.from_registry(
+        scalar_reg,
+        f1=scalar_mb.metrics.get("f1", float("nan")),
+        throughput=scalar_mb.throughput,
+    )
     stage_cols = list(serial_mb.stage_seconds.as_dict())
 
     def stage_row(label, result):
@@ -169,6 +204,17 @@ def test_fig16_real_engine_throughput(benchmark):
             f"driver-side merge/drain per engine: serial "
             f"{serial_mb.stage_seconds.driver_seconds:.3f} s, multi-process "
             f"{process_mb.stage_seconds.driver_seconds:.3f} s",
+            "worker stage seconds (processes, scalar): "
+            + ", ".join(
+                f"{stage}={seconds:.3f}s"
+                for stage, seconds in sorted(
+                    scalar_mb.worker_stage_seconds.items()
+                )
+            ),
+            f"stitched-trace coverage: worker partition spans sum to "
+            f"{trace_cover:.2f}x the driver's partition_execute wall",
+            f"worker-telemetry overhead: {telemetry_overhead:+.1%} "
+            f"throughput (telemetry-off vs on, console/profiling off)",
         ],
         summary={
             "n_tweets": len(tweets),
@@ -196,6 +242,19 @@ def test_fig16_real_engine_throughput(benchmark):
             "microbatch_processes_stage_seconds": (
                 process_mb.stage_seconds.as_dict()
             ),
+            "worker_stage_seconds": dict(scalar_mb.worker_stage_seconds),
+            "trace_coverage_worker_vs_driver": trace_cover,
+            "telemetry_overhead_fraction": telemetry_overhead,
+            "broadcast_encode_seconds_sum": scalar_reg.histogram_sum(
+                "broadcast_encode_seconds", engine="microbatch"
+            ),
+            "broadcast_decode_seconds_sum": scalar_reg.histogram_sum(
+                "broadcast_decode_seconds"
+            ),
+            "broadcast_decode_total": scalar_reg.total(
+                "broadcast_decode_total"
+            ),
+            "scorecard": scorecard.as_dict(),
         },
     )
     for result in (serial_mb, scalar_mb, *sweep.values()):
@@ -205,7 +264,19 @@ def test_fig16_real_engine_throughput(benchmark):
         assert all(v >= 0 for v in stages.as_dict().values())
         # Driver per-batch work is O(partitions), not O(tweets).
         assert stages.driver_seconds < 0.5 * stages.partition_execute
+    # The stitched trace of the last processes batch must carry real
+    # per-partition worker subtrees (pid + spans under one root).
+    assert scalar_trace is not None
+    traced = [p for p in scalar_trace["partitions"] if p.get("spans")]
+    assert traced, "no worker telemetry reached the driver"
+    for node in traced:
+        assert node["spans"][0]["name"] == "partition"
+        assert node["pid"] > 0
     if n_cpus >= 2:
         # With real cores available, multi-process partition execution
         # must at least keep up with the single-thread baseline.
         assert process_mb.throughput >= sequential.throughput
+        # Worker-observed partition time must account for >= 90% of the
+        # driver-observed partition_execute wall (under parallelism the
+        # per-worker sum normally exceeds the driver wall).
+        assert trace_cover >= 0.9

@@ -188,6 +188,18 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="N",
                      help="with --metrics-out: snapshot every N "
                      "micro-batches/chunks (default: checkpoint cadence)")
+    run.add_argument("--console", action="store_true",
+                     help="redraw a one-screen ops console on stderr "
+                     "after each chunk/batch: throughput, queue depth, "
+                     "degrade tier, partition count, SLO burn rates")
+    run.add_argument("--profile-partitions", action="store_true",
+                     help="run each partition task under cProfile and "
+                     "print a merged top-K table (microbatch engine; "
+                     "deterministic attribution, ~1.3-2x slowdown)")
+    run.add_argument("--flight-recorder", default=None, metavar="DIR",
+                     help="keep a bounded in-memory ring of recent "
+                     "telemetry and dump it to DIR as JSONL on "
+                     "incidents (quarantine, pool rebuild, crash)")
 
     classify = commands.add_parser(
         "classify", help="classify a JSONL stream with a saved model"
@@ -314,6 +326,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.max_partitions is not None and args.max_partitions < args.partitions:
         logger.error("error: --max-partitions must be >= --partitions")
         return 2
+    if args.profile_partitions and args.engine != "microbatch":
+        logger.error(
+            "error: --profile-partitions requires --engine microbatch"
+        )
+        return 2
     if supervised:
         return _run_supervised(args, config)
     if args.engine == "microbatch":
@@ -357,6 +374,9 @@ def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
     """
     from repro.engine.microbatch import MicroBatchEngine
     from repro.engine.sequential import SequentialEngine
+    from repro.obs.console import OpsConsole
+    from repro.obs.recorder import FlightRecorder
+    from repro.obs.slo import SLOTracker, default_slos
     from repro.reliability import (
         BoundedIngestQueue,
         DeadLetterQueue,
@@ -372,6 +392,13 @@ def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
     )
     dead_letters = DeadLetterQueue()
     sink = _open_telemetry(args)
+    recorder = (
+        FlightRecorder(dump_dir=args.flight_recorder)
+        if args.flight_recorder is not None
+        else None
+    )
+    console = OpsConsole() if args.console else None
+    slo_sinks = [s for s in (sink, recorder) if s is not None]
     overloaded = (
         args.queue_capacity is not None
         or args.batch_deadline is not None
@@ -390,7 +417,13 @@ def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
             metrics_every=args.metrics_every,
             partition_deadline_s=args.partition_deadline,
             speculate=args.speculate,
+            console=console,
+            recorder=recorder,
         )
+        if isinstance(supervisor.engine, MicroBatchEngine):
+            # The rebuilt engine predates these run flags; re-attach.
+            supervisor.engine.recorder = recorder
+            supervisor.engine.profile_partitions = args.profile_partitions
     else:
         if args.engine == "microbatch":
             engine = MicroBatchEngine(
@@ -403,6 +436,8 @@ def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
                 dead_letters=dead_letters,
                 partition_deadline_s=args.partition_deadline,
                 speculate=args.speculate,
+                profile_partitions=args.profile_partitions,
+                recorder=recorder,
             )
         else:
             engine = SequentialEngine(config, dead_letters=dead_letters)
@@ -446,6 +481,9 @@ def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
             telemetry=sink,
             metrics_every=args.metrics_every,
             ingest_queue=ingest_queue,
+            slos=SLOTracker(default_slos(), sinks=slo_sinks),
+            console=console,
+            recorder=recorder,
         )
     engine = supervisor.engine
     if sink is not None:
@@ -477,6 +515,8 @@ def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
         close = getattr(engine, "close", None)
         if close is not None:
             close()
+        if console is not None:
+            console.close()
     result = run.result
     health = run.health
     logger.info("configuration : %s",
@@ -532,6 +572,37 @@ def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
     if args.checkpoint_dir:
         logger.info("checkpoints   : %d written to %s",
                     health.n_checkpoints, args.checkpoint_dir)
+    if (
+        isinstance(engine, MicroBatchEngine)
+        and result.worker_stage_seconds
+    ):
+        logger.info("worker stages :")
+        for stage, seconds in sorted(result.worker_stage_seconds.items()):
+            logger.info("  %-18s %9.3f s", stage, seconds)
+    tracker = supervisor.slo_tracker
+    if tracker is not None:
+        logger.info("slo burn      : (short/long, 1.0 = at budget)")
+        for entry in tracker.status():
+            logger.info("  %-18s %6.2f / %6.2f%s",
+                        entry["slo"], entry["burn_short"],
+                        entry["burn_long"],
+                        "  FIRING" if entry["firing"] else "")
+        card = supervisor.scorecard()
+        logger.info("scorecard     : f1=%.3f p99=%.3fs shed=%.4f "
+                    "quarantine=%.4f availability=%.4f alerts=%d",
+                    card.f1, card.p99_batch_seconds, card.shed_fraction,
+                    card.quarantine_rate, card.availability,
+                    card.alerts_fired)
+    if (
+        args.profile_partitions
+        and isinstance(engine, MicroBatchEngine)
+        and engine.profile_report.n_slices
+    ):
+        for line in engine.profile_report.format_top(10).splitlines():
+            logger.info("%s", line)
+    if recorder is not None and recorder.n_dumps:
+        logger.info("flight dumps  : %d written to %s",
+                    recorder.n_dumps, args.flight_recorder)
     if args.save_model:
         model = (engine.model if isinstance(engine, MicroBatchEngine)
                  else engine.pipeline.model)
@@ -543,8 +614,16 @@ def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
 
 def _run_microbatch(args: argparse.Namespace, config: PipelineConfig) -> int:
     from repro.engine.microbatch import MicroBatchEngine, MicroBatchResult
+    from repro.obs.console import OpsConsole
+    from repro.obs.recorder import FlightRecorder
 
     sink = _open_telemetry(args)
+    recorder = (
+        FlightRecorder(dump_dir=args.flight_recorder)
+        if args.flight_recorder is not None
+        else None
+    )
+    console = OpsConsole() if args.console else None
     registry = MetricsRegistry()
     snapshot_every = (
         args.metrics_every
@@ -555,6 +634,8 @@ def _run_microbatch(args: argparse.Namespace, config: PipelineConfig) -> int:
     def on_batch(batch: MicroBatchResult) -> None:
         if sink is not None and (batch.batch_index + 1) % snapshot_every == 0:
             sink.snapshot(registry, batch=batch.batch_index)
+        if console is not None:
+            console.tick(registry)
 
     with MicroBatchEngine(
         config,
@@ -566,10 +647,16 @@ def _run_microbatch(args: argparse.Namespace, config: PipelineConfig) -> int:
         on_batch=on_batch,
         partition_deadline_s=args.partition_deadline,
         speculate=args.speculate,
+        profile_partitions=args.profile_partitions,
+        recorder=recorder,
     ) as engine:
         if sink is not None:
             sink.event("run_start", engine="microbatch", input=args.input)
-        result = engine.run(read_jsonl(args.input, metrics=registry))
+        try:
+            result = engine.run(read_jsonl(args.input, metrics=registry))
+        finally:
+            if console is not None:
+                console.close()
         logger.info("configuration : %s", config.describe())
         logger.info("engine        : microbatch (%d partitions x %d tweets, "
                     "runner=%s)",
@@ -587,6 +674,18 @@ def _run_microbatch(args: argparse.Namespace, config: PipelineConfig) -> int:
             logger.info("  %-18s %9.3f s", stage, seconds)
         logger.info("  %-18s %9.3f s", "driver total",
                     result.stage_seconds.driver_seconds)
+        if result.worker_stage_seconds:
+            logger.info("worker stages :")
+            for stage, seconds in sorted(
+                result.worker_stage_seconds.items()
+            ):
+                logger.info("  %-18s %9.3f s", stage, seconds)
+        if args.profile_partitions and engine.profile_report.n_slices:
+            for line in engine.profile_report.format_top(10).splitlines():
+                logger.info("%s", line)
+        if recorder is not None and recorder.n_dumps:
+            logger.info("flight dumps  : %d written to %s",
+                        recorder.n_dumps, args.flight_recorder)
         if args.partition_deadline is not None:
             logger.info("parallelism   : %d partition timeouts, "
                         "%d speculative wins, %d pool rebuilds",

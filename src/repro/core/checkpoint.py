@@ -58,17 +58,18 @@ CHECKPOINT_VERSION = 2
 PathLike = Union[str, Path]
 
 
-def atomic_write_json(path: PathLike, payload: Any) -> int:
-    """Write JSON to ``path`` atomically; returns the byte size.
+def atomic_write_text(path: PathLike, text: str) -> int:
+    """Write ``text`` to ``path`` atomically; returns the byte size.
 
     Writes to ``<name>.tmp`` in the *same directory* (``os.replace``
     must not cross filesystems), flushes and fsyncs the data, then
     replaces the target in one atomic rename. A crash at any point
     leaves the previous file contents intact; the stale ``*.tmp`` is
-    overwritten by the next attempt.
+    overwritten by the next attempt. Shared by the checkpoint writers
+    and the flight recorder's post-mortem dumps — anything that must
+    never leave a torn file behind.
     """
     target = Path(path)
-    text = json.dumps(payload, separators=(",", ":"))
     data = text.encode("utf-8")
     tmp = target.with_name(target.name + ".tmp")
     with open(tmp, "wb") as handle:
@@ -77,6 +78,14 @@ def atomic_write_json(path: PathLike, payload: Any) -> int:
         os.fsync(handle.fileno())
     os.replace(tmp, target)
     return len(data)
+
+
+def atomic_write_json(path: PathLike, payload: Any) -> int:
+    """Write JSON to ``path`` atomically; returns the byte size.
+
+    See :func:`atomic_write_text` for the crash-safety contract.
+    """
+    return atomic_write_text(path, json.dumps(payload, separators=(",", ":")))
 
 
 # ----------------------------------------------------------------------

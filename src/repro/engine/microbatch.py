@@ -62,13 +62,17 @@ stops the run when the stream is too dirty to trust.
 
 from __future__ import annotations
 
+import os
 import random
 import time
 import traceback as traceback_module
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
+    Any,
     Callable,
+    ContextManager,
     Dict,
     Iterable,
     List,
@@ -104,7 +108,15 @@ from repro.engine.runners import (
     new_broadcast_key,
 )
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
-from repro.obs.tracing import Tracer, stage_seconds_by_stage
+from repro.obs.profile import ProfileReport, ProfileSlice, profile_call
+from repro.obs.recorder import FlightRecorder
+from repro.obs.tracing import (
+    WORKER_STAGE_SECONDS,
+    Tracer,
+    WorkerTelemetry,
+    span_tree,
+    stage_seconds_by_stage,
+)
 from repro.reliability.deadletter import (
     CircuitBreaker,
     DeadLetterQueue,
@@ -155,6 +167,12 @@ class _PartitionOutput:
     # throughput counters); the driver folds it into its registry with
     # MetricsRegistry.merge_snapshot — same pattern as the normalizer.
     metrics: Optional[MetricsSnapshot] = None
+    # Captured worker-side spans (decode/derive_state/extract/...)
+    # under one root "partition" span; the driver stitches these into
+    # the batch trace. None when worker telemetry is off.
+    telemetry: Optional[WorkerTelemetry] = None
+    # Top functions by cumulative time when --profile-partitions is on.
+    profile: Optional[ProfileSlice] = None
 
 
 @dataclass
@@ -167,11 +185,21 @@ class _ExecStats:
     n_speculative: int = 0
     n_speculative_wins: int = 0
     n_pool_rebuilds: int = 0
+    # Per-partition annotations for trace stitching: speculative win,
+    # runner-observed duration, retry round the partition resolved on.
+    partition_meta: Dict[int, Dict[str, Any]] = field(default_factory=dict)
 
     @property
     def n_stragglers(self) -> int:
         """Partitions that blew their deadline or lost their worker."""
         return self.n_timeouts + self.n_worker_lost
+
+
+def _maybe_span(tracer: Optional[Tracer], name: str) -> ContextManager:
+    """A tracer span, or a no-op context when telemetry is off."""
+    if tracer is None:
+        return nullcontext()
+    return tracer.span(name)
 
 
 def _make_local_model(model: StreamClassifier) -> StreamClassifier:
@@ -215,6 +243,8 @@ class _PartitionTask:
         adaptive_bow: bool,
         quarantine: bool = False,
         tier: DegradeTier = DegradeTier.FULL,
+        worker_telemetry: bool = True,
+        profile: bool = False,
     ) -> None:
         self.tweets = tweets
         self.broadcast = broadcast
@@ -224,16 +254,52 @@ class _PartitionTask:
         self.adaptive_bow = adaptive_bow
         self.quarantine = quarantine
         self.tier = tier
+        self.worker_telemetry = worker_telemetry
+        self.profile = profile
 
     def __call__(self) -> _PartitionOutput:
+        # Partition-local observability: nothing here is shared with the
+        # driver or sibling partitions; the snapshot (and the captured
+        # spans) ride back on the output, like the local normalizer.
+        registry = MetricsRegistry()
+        tracer: Optional[Tracer] = None
+        if self.worker_telemetry:
+            tracer = Tracer(
+                registry,
+                labels={"engine": "microbatch"},
+                metric=WORKER_STAGE_SECONDS,
+                capture=True,
+            )
+        profile_slice: Optional[ProfileSlice] = None
+        with _maybe_span(tracer, "partition") as root:
+            if self.profile:
+                output, profile_slice = profile_call(
+                    lambda: self._execute(registry, tracer)
+                )
+            else:
+                output = self._execute(registry, tracer)
+        if tracer is not None:
+            output.telemetry = WorkerTelemetry(
+                spans=tracer.drain(),
+                pid=os.getpid(),
+                wall_s=root.duration or 0.0,
+            )
+        output.profile = profile_slice
+        # Snapshot last so the worker spans' own histogram observations
+        # (recorded as each span closes) are part of what ships back.
+        output.metrics = registry.snapshot()
+        return output
+
+    def _execute(
+        self, registry: MetricsRegistry, tracer: Optional[Tracer]
+    ) -> _PartitionOutput:
         model: StreamClassifier
         normalizer: Normalizer
-        model, normalizer, bow_added, bow_removed = self.broadcast.value()
+        with _maybe_span(tracer, "decode"):
+            model, normalizer, bow_added, bow_removed = (
+                self.broadcast.value(metrics=registry)
+            )
         bow_words = (SWEAR_WORDS - bow_removed) | bow_added
-        # Partition-local observability: nothing here is shared with the
-        # driver or sibling partitions; the snapshot rides back on the
-        # output, exactly like the partition-local normalizer.
-        registry = MetricsRegistry()
         m_processed = registry.counter(
             "tweets_processed_total", engine="microbatch"
         )
@@ -252,34 +318,35 @@ class _PartitionTask:
             )
             for hist_stage in ("extract", "normalize", "predict")
         }
-        encoder = LabelEncoder(self.n_classes)
-        bow_delta: Optional[AdaptiveBagOfWords] = None
-        if self.adaptive_bow:
-            bow_delta = AdaptiveBagOfWords(
-                seed_words=bow_words, update_interval=10 ** 9
+        with _maybe_span(tracer, "derive_state"):
+            encoder = LabelEncoder(self.n_classes)
+            bow_delta: Optional[AdaptiveBagOfWords] = None
+            if self.adaptive_bow:
+                bow_delta = AdaptiveBagOfWords(
+                    seed_words=bow_words, update_interval=10 ** 9
+                )
+                bag = bow_delta
+            else:
+                bag = FixedBagOfWords(seed_words=bow_words)
+            extractor = FeatureExtractor(
+                encoder=encoder,
+                preprocessing=self.preprocessing,
+                bag_of_words=bag,
+                deobfuscate=self.deobfuscate,
+                tier=self.tier,
             )
-            bag = bow_delta
-        else:
-            bag = FixedBagOfWords(seed_words=bow_words)
-        extractor = FeatureExtractor(
-            encoder=encoder,
-            preprocessing=self.preprocessing,
-            bag_of_words=bag,
-            deobfuscate=self.deobfuscate,
-            tier=self.tier,
-        )
-        # Broadcast statistics + this partition's own observations.
-        # fresh() + merge() clones the broadcast exactly (merging into an
-        # empty normalizer reproduces every statistic and counter) while
-        # keeping the driver's live normalizer untouched under the
-        # serial and thread runners — no deep copy through the shared
-        # object graph.
-        seen = normalizer.fresh()
-        seen.merge(normalizer)
-        base_transformed = seen.n_transformed
-        base_clipped = seen.n_clipped
-        local_normalizer = normalizer.fresh()
-        local_model = _make_local_model(model)
+            # Broadcast statistics + this partition's own observations.
+            # fresh() + merge() clones the broadcast exactly (merging
+            # into an empty normalizer reproduces every statistic and
+            # counter) while keeping the driver's live normalizer
+            # untouched under the serial and thread runners — no deep
+            # copy through the shared object graph.
+            seen = normalizer.fresh()
+            seen.merge(normalizer)
+            base_transformed = seen.n_transformed
+            base_clipped = seen.n_clipped
+            local_normalizer = normalizer.fresh()
+            local_model = _make_local_model(model)
         stats = ConfusionMatrix(self.n_classes)
         labeled: List[Instance] = []
         unlabeled: List[Tuple[ClassifiedInstance, Optional[str]]] = []
@@ -288,67 +355,71 @@ class _PartitionTask:
         n_unlabeled = 0
         if self.quarantine:
             # Per-tweet loop: quarantine needs tweet-granular try/except
-            # attribution, so each stage runs (and is timed) row by row.
-            for tweet in self.tweets:
-                stage = "validate"
-                t_start = time.perf_counter()
-                try:
-                    validate_tweet(tweet)
-                    stage = "extract"
-                    instance = extractor.extract(tweet)  # op #1 (extract)
-                    t_extract = time.perf_counter()
-                    stage = "normalize"
-                    normalized = instance.with_features(
-                        seen.observe_and_transform(instance.x)
-                    )  # op #1 (normalize: broadcast + local statistics)
-                    t_normalize = time.perf_counter()
-                    stage = "predict"
-                    proba = model.predict_proba_one(normalized.x)  # op #4
-                    t_predict = time.perf_counter()
-                except Exception as exc:
-                    registry.counter(
-                        "tweets_quarantined_total",
-                        engine="microbatch",
-                        stage=stage,
-                    ).inc()
-                    poisoned.append(
-                        (
-                            getattr(tweet, "tweet_id", None),
-                            stage,
-                            f"{type(exc).__name__}: {exc}",
-                            "".join(
-                                traceback_module.format_exception(
-                                    type(exc), exc, exc.__traceback__
-                                )
-                            ),
+            # attribution, so each stage runs (and is timed) row by row
+            # — the stages interleave per tweet, so the trace gets one
+            # "process_rows" span for the whole loop (per-stage cost is
+            # still in the tweet_stage_seconds histograms).
+            with _maybe_span(tracer, "process_rows"):
+                for tweet in self.tweets:
+                    stage = "validate"
+                    t_start = time.perf_counter()
+                    try:
+                        validate_tweet(tweet)
+                        stage = "extract"
+                        instance = extractor.extract(tweet)  # op #1 (extract)
+                        t_extract = time.perf_counter()
+                        stage = "normalize"
+                        normalized = instance.with_features(
+                            seen.observe_and_transform(instance.x)
+                        )  # op #1 (normalize: broadcast + local statistics)
+                        t_normalize = time.perf_counter()
+                        stage = "predict"
+                        proba = model.predict_proba_one(normalized.x)  # op #4
+                        t_predict = time.perf_counter()
+                    except Exception as exc:
+                        registry.counter(
+                            "tweets_quarantined_total",
+                            engine="microbatch",
+                            stage=stage,
+                        ).inc()
+                        poisoned.append(
+                            (
+                                getattr(tweet, "tweet_id", None),
+                                stage,
+                                f"{type(exc).__name__}: {exc}",
+                                "".join(
+                                    traceback_module.format_exception(
+                                        type(exc), exc, exc.__traceback__
+                                    )
+                                ),
+                            )
                         )
-                    )
-                    continue
-                stage_hists["extract"].observe(t_extract - t_start)
-                stage_hists["normalize"].observe(t_normalize - t_extract)
-                stage_hists["predict"].observe(t_predict - t_normalize)
-                m_processed.inc()
-                local_normalizer.observe(instance.x)
-                predicted = max(range(len(proba)), key=proba.__getitem__)
-                if normalized.is_labeled:
-                    n_labeled += 1
-                    m_labeled.inc()
-                    assert normalized.y is not None
-                    stats.add(normalized.y, predicted)  # op #5
-                    labeled.append(normalized)  # op #2 (filter)
-                else:
-                    n_unlabeled += 1
-                    m_unlabeled.inc()
-                    unlabeled.append(
-                        (
-                            ClassifiedInstance(
-                                instance=normalized,
-                                predicted=predicted,
-                                proba=proba,
-                            ),
-                            tweet.user.user_id,
+                        continue
+                    stage_hists["extract"].observe(t_extract - t_start)
+                    stage_hists["normalize"].observe(t_normalize - t_extract)
+                    stage_hists["predict"].observe(t_predict - t_normalize)
+                    m_processed.inc()
+                    local_normalizer.observe(instance.x)
+                    predicted = max(range(len(proba)), key=proba.__getitem__)
+                    if normalized.is_labeled:
+                        n_labeled += 1
+                        m_labeled.inc()
+                        assert normalized.y is not None
+                        stats.add(normalized.y, predicted)  # op #5
+                        labeled.append(normalized)  # op #2 (filter)
+                    else:
+                        n_unlabeled += 1
+                        m_unlabeled.inc()
+                        unlabeled.append(
+                            (
+                                ClassifiedInstance(
+                                    instance=normalized,
+                                    predicted=predicted,
+                                    proba=proba,
+                                ),
+                                tweet.user.user_id,
+                            )
                         )
-                    )
         else:
             # Batched fast path, result-identical to the loop above (the
             # *_many kernels are bit-exact by contract, `seen` and the
@@ -362,81 +433,91 @@ class _PartitionTask:
             hist_extract = stage_hists["extract"]
             instances: List[Instance] = []
             append_instance = instances.append
-            for tweet in self.tweets:
-                t_start = perf_counter()
-                append_instance(extract(tweet))  # op #1 (extract)
-                hist_extract.observe(perf_counter() - t_start)
-            block = InstanceBlock(instances)
+            with _maybe_span(tracer, "extract"):
+                for tweet in self.tweets:
+                    t_start = perf_counter()
+                    append_instance(extract(tweet))  # op #1 (extract)
+                    hist_extract.observe(perf_counter() - t_start)
+                block = InstanceBlock(instances)
             # Under fast_math, hand the kernels the block's cached
             # float64 matrix so the two normalizer calls share one
             # rows->matrix conversion; otherwise (or for ragged rows)
             # the scalar kernels take the tuple columns as before.
-            xs_in = (
-                block.matrix() if getattr(seen, "fast_math", False) else None
-            )
-            if xs_in is None:
-                xs_in = block.xs
-            t_start = perf_counter()
-            normalized_block = block.with_xs(
-                seen.observe_and_transform_many(xs_in)
-            )  # op #1 (normalize: broadcast + local statistics)
-            local_normalizer.observe_many(xs_in)
-            t_normalize = perf_counter()
-            pred_in = (
-                normalized_block.matrix()
-                if getattr(model, "fast_math", False)
-                else None
-            )
-            if pred_in is None:
-                pred_in = normalized_block.xs
-            probas = model.predict_proba_many(pred_in)  # op #4
-            t_predict = perf_counter()
-            n = len(block)
-            if n:
-                # The kernels ran once for the whole partition; book the
-                # amortized per-tweet cost so the histogram still counts
-                # one observation per tweet (sum stays the true total).
-                per_normalize = (t_normalize - t_start) / n
-                per_predict = (t_predict - t_normalize) / n
-                hist_normalize = stage_hists["normalize"]
-                hist_predict = stage_hists["predict"]
-                for _ in range(n):
-                    hist_normalize.observe(per_normalize)
-                    hist_predict.observe(per_predict)
-            m_processed.inc(n)
-            for normalized, proba, tweet in zip(
-                normalized_block, probas, self.tweets
-            ):
-                predicted = max(range(len(proba)), key=proba.__getitem__)
-                if normalized.y is not None:
-                    n_labeled += 1
-                    stats.add(normalized.y, predicted)  # op #5
-                    labeled.append(normalized)  # op #2 (filter)
-                else:
-                    n_unlabeled += 1
-                    unlabeled.append(
-                        (
-                            ClassifiedInstance(
-                                instance=normalized,
-                                predicted=predicted,
-                                proba=proba,
-                            ),
-                            tweet.user.user_id,
-                        )
+            with _maybe_span(tracer, "normalize"):
+                xs_in = (
+                    block.matrix()
+                    if getattr(seen, "fast_math", False)
+                    else None
+                )
+                if xs_in is None:
+                    xs_in = block.xs
+                t_start = perf_counter()
+                normalized_block = block.with_xs(
+                    seen.observe_and_transform_many(xs_in)
+                )  # op #1 (normalize: broadcast + local statistics)
+                local_normalizer.observe_many(xs_in)
+                t_normalize = perf_counter()
+            with _maybe_span(tracer, "predict"):
+                pred_in = (
+                    normalized_block.matrix()
+                    if getattr(model, "fast_math", False)
+                    else None
+                )
+                if pred_in is None:
+                    pred_in = normalized_block.xs
+                probas = model.predict_proba_many(pred_in)  # op #4
+                t_predict = perf_counter()
+            with _maybe_span(tracer, "collect"):
+                n = len(block)
+                if n:
+                    # The kernels ran once for the whole partition; book
+                    # the amortized per-tweet cost so the histogram still
+                    # counts one observation per tweet (sum stays the
+                    # true total).
+                    per_normalize = (t_normalize - t_start) / n
+                    per_predict = (t_predict - t_normalize) / n
+                    hist_normalize = stage_hists["normalize"]
+                    hist_predict = stage_hists["predict"]
+                    for _ in range(n):
+                        hist_normalize.observe(per_normalize)
+                        hist_predict.observe(per_predict)
+                m_processed.inc(n)
+                for normalized, proba, tweet in zip(
+                    normalized_block, probas, self.tweets
+                ):
+                    predicted = max(
+                        range(len(proba)), key=proba.__getitem__
                     )
-            if n_labeled:
-                m_labeled.inc(n_labeled)
-            if n_unlabeled:
-                m_unlabeled.inc(n_unlabeled)
-        t_learn = time.perf_counter()
-        local_model.learn_many(labeled)  # op #3, local part
-        if labeled:
-            registry.histogram(
-                "tweet_stage_seconds",
-                sketch_every=TWEET_SKETCH_EVERY,
-                engine="microbatch",
-                stage="learn",
-            ).observe(time.perf_counter() - t_learn)
+                    if normalized.y is not None:
+                        n_labeled += 1
+                        stats.add(normalized.y, predicted)  # op #5
+                        labeled.append(normalized)  # op #2 (filter)
+                    else:
+                        n_unlabeled += 1
+                        unlabeled.append(
+                            (
+                                ClassifiedInstance(
+                                    instance=normalized,
+                                    predicted=predicted,
+                                    proba=proba,
+                                ),
+                                tweet.user.user_id,
+                            )
+                        )
+                if n_labeled:
+                    m_labeled.inc(n_labeled)
+                if n_unlabeled:
+                    m_unlabeled.inc(n_unlabeled)
+        with _maybe_span(tracer, "learn"):
+            t_learn = time.perf_counter()
+            local_model.learn_many(labeled)  # op #3, local part
+            if labeled:
+                registry.histogram(
+                    "tweet_stage_seconds",
+                    sketch_every=TWEET_SKETCH_EVERY,
+                    engine="microbatch",
+                    stage="learn",
+                ).observe(time.perf_counter() - t_learn)
         # The broadcast copy did this partition's transforms; hand the
         # clip deltas back on the fresh normalizer so the driver's
         # merge() accumulates them globally.
@@ -451,7 +532,8 @@ class _PartitionTask:
             n_unlabeled=n_unlabeled,
             unlabeled=unlabeled,
             poisoned=poisoned,
-            metrics=registry.snapshot(),
+            # metrics snapshot is taken by __call__ *after* the root
+            # span closes, so worker span durations ship back too.
         )
 
 
@@ -558,6 +640,11 @@ class EngineResult:
     stage_seconds: StageTimings = field(default_factory=StageTimings)
     n_quarantined: int = 0
     n_retries: int = 0
+    #: Worker-observed seconds per partition stage (decode,
+    #: derive_state, extract, normalize, predict, collect, learn, plus
+    #: the root "partition" span), summed across all partitions and
+    #: batches — the cross-process complement of ``stage_seconds``.
+    worker_stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -614,6 +701,19 @@ class MicroBatchEngine:
             engine reports each batch's elapsed time to it and adopts
             the controller's adjusted ``batch_size`` and degrade tier
             for the *next* batch.
+        worker_telemetry: partition tasks capture per-stage spans
+            (decode/derive_state/extract/...) and ship them back for
+            trace stitching; the stitched tree of the most recent batch
+            is exposed as :attr:`last_trace`. On by default — the
+            capture cost is a handful of perf_counter calls per
+            partition.
+        profile_partitions: run each partition task under ``cProfile``
+            and merge the per-partition top functions into
+            :attr:`profile_report`. Opt-in: profiling costs real time
+            (~1.3-2x per partition).
+        recorder: optional :class:`~repro.obs.recorder.FlightRecorder`;
+            the engine records one event per batch and auto-dumps the
+            ring on quarantine, pool rebuild, or a crashed run.
     """
 
     def __init__(
@@ -631,6 +731,9 @@ class MicroBatchEngine:
         controller: Optional["OverloadController"] = None,
         partition_deadline_s: Optional[float] = None,
         speculate: Optional[float] = None,
+        worker_telemetry: bool = True,
+        profile_partitions: bool = False,
+        recorder: Optional[FlightRecorder] = None,
     ) -> None:
         if n_partitions < 1:
             raise ValueError("n_partitions must be >= 1")
@@ -724,9 +827,22 @@ class MicroBatchEngine:
                 self.n_partitions = controller.n_partitions
         # Observability: one registry for the whole engine; driver
         # stages are measured by tracer spans, partition snapshots fold
-        # in per batch, and StageTimings is a read-back view.
+        # in per batch, and StageTimings is a read-back view. The driver
+        # tracer also *captures* its spans so each batch's driver spans
+        # can be stitched with the worker-side partition subtrees.
+        self.worker_telemetry = worker_telemetry
+        self.profile_partitions = profile_partitions
+        self.recorder = recorder
+        #: Stitched trace of the most recent batch (driver spans plus
+        #: one subtree per partition), or None before the first batch /
+        #: with worker telemetry off.
+        self.last_trace: Optional[Dict[str, Any]] = None
+        #: Merged cProfile rows across all profiled partitions.
+        self.profile_report = ProfileReport()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self._tracer = Tracer(self.metrics, labels={"engine": "microbatch"})
+        self._tracer = Tracer(
+            self.metrics, labels={"engine": "microbatch"}, capture=True
+        )
         self._m_ingested = self.metrics.counter(
             "tweets_ingested_total", engine="microbatch"
         )
@@ -949,6 +1065,8 @@ class MicroBatchEngine:
                 adaptive_bow=self.config.adaptive_bow,
                 quarantine=self.dead_letters is not None,
                 tier=self.degrade_tier,
+                worker_telemetry=self.worker_telemetry,
+                profile=self.profile_partitions,
             )
             for partition in partitions
         ]
@@ -1032,6 +1150,14 @@ class MicroBatchEngine:
                 if outcome.ok:
                     outputs[index] = outcome.result  # type: ignore[assignment]
                     self._partition_hist.observe(outcome.duration_s)
+                    # Trace annotations: who won (a speculative copy?),
+                    # how long the runner saw it take, and which retry
+                    # round it resolved on.
+                    stats.partition_meta[index] = {
+                        "speculative": outcome.speculative,
+                        "duration_s": outcome.duration_s,
+                        "attempts": attempt,
+                    }
                     continue
                 if outcome.status == OUTCOME_TIMED_OUT:
                     stats.n_timeouts += 1
@@ -1063,6 +1189,55 @@ class MicroBatchEngine:
             dropped.extend(retryable)
             break
         return outputs, partitions, dropped, stats
+
+    def _stitch_trace(
+        self,
+        indexed_outputs: Sequence[Optional[_PartitionOutput]],
+        dropped: Sequence[Tuple[int, TaskOutcome]],
+        exec_stats: Optional[_ExecStats],
+    ) -> Dict[str, Any]:
+        """One trace tree for the batch: driver spans + worker subtrees.
+
+        Drains the driver tracer's captured spans (so each batch's trace
+        holds only its own), nests them, and attaches one annotated node
+        per partition: successful partitions carry their worker-side
+        span subtree (plus pid / wall time / speculative-win / retry
+        round from the runner), dropped partitions a status stub. The
+        whole structure is plain dicts — JSON-ready for dumps and
+        deterministic for a deterministic run (span ids are per-tracer
+        creation counters, nodes are ordered by partition index).
+        """
+        driver_spans = span_tree(self._tracer.drain())
+        meta = (
+            exec_stats.partition_meta if exec_stats is not None else {}
+        )
+        partition_nodes: List[Dict[str, Any]] = []
+        for index, output in enumerate(indexed_outputs):
+            if output is None or output.telemetry is None:
+                continue
+            node: Dict[str, Any] = {
+                "partition": index,
+                "status": "ok",
+                "pid": output.telemetry.pid,
+                "wall_s": output.telemetry.wall_s,
+                "spans": output.telemetry.tree(),
+            }
+            node.update(meta.get(index, {}))
+            partition_nodes.append(node)
+        for index, outcome in dropped:
+            partition_nodes.append(
+                {
+                    "partition": index,
+                    "status": outcome.status,
+                    "spans": [],
+                }
+            )
+        partition_nodes.sort(key=lambda node: node["partition"])
+        return {
+            "trace_id": f"microbatch-batch-{len(self.batches)}",
+            "driver": driver_spans,
+            "partitions": partition_nodes,
+        }
 
     def process_batch(self, tweets: Sequence[Tweet]) -> MicroBatchResult:
         """Run one micro-batch through the Fig. 2 dataflow.
@@ -1097,6 +1272,7 @@ class MicroBatchEngine:
         dropped: List[Tuple[int, TaskOutcome]] = []
         partitions: Optional[List[List[Tweet]]] = None
         exec_stats: Optional[_ExecStats] = None
+        indexed_outputs: List[Optional[_PartitionOutput]]
         with self._tracer.span("partition_execute") as span_execute:
             if self.partition_deadline_s is not None:
                 (
@@ -1110,10 +1286,19 @@ class MicroBatchEngine:
                 # the model state) deterministic.
                 outputs = [o for o in maybe_outputs if o is not None]
                 retries_used = exec_stats.retries
+                indexed_outputs = maybe_outputs
             else:
                 outputs, retries_used = self._execute_with_retry(
                     tweets, broadcast
                 )
+                indexed_outputs = list(outputs)
+
+        # One encode per batch (the payload is cached across retries);
+        # serial/threads runners never pickle, so the field stays None.
+        if broadcast.encode_seconds is not None:
+            self.metrics.histogram(
+                "broadcast_encode_seconds", engine="microbatch"
+            ).observe(broadcast.encode_seconds)
 
         with self._tracer.span("model_merge") as span_model:
             self._combine_models(
@@ -1141,6 +1326,8 @@ class MicroBatchEngine:
             n_poisoned += len(output.poisoned)
             if output.metrics is not None:
                 self.metrics.merge_snapshot(output.metrics)
+            if output.profile is not None:
+                self.profile_report.merge(output.profile)
             if output.poisoned and self.dead_letters is not None:
                 for tweet_id, stage, error, trace in output.poisoned:
                     self.dead_letters.add(
@@ -1209,6 +1396,12 @@ class MicroBatchEngine:
             if exec_stats.n_pool_rebuilds:
                 self._m_pool_rebuilds.inc(exec_stats.n_pool_rebuilds)
         self._publish_gauges()
+        # All driver spans for this batch are closed at this point;
+        # drain them and stitch the worker subtrees underneath into one
+        # trace tree for the batch.
+        self.last_trace = self._stitch_trace(
+            indexed_outputs, dropped, exec_stats
+        )
         elapsed = time.perf_counter() - start
         self._batch_hist.observe(elapsed)
         if self.controller is not None:
@@ -1241,6 +1434,32 @@ class MicroBatchEngine:
             degrade_tier=int(batch_tier),
         )
         self.batches.append(result)
+        if self.recorder is not None:
+            # One ring entry per batch; incidents additionally dump the
+            # ring so the post-mortem has the batches leading up to it.
+            self.recorder.event(
+                "batch",
+                batch_index=result.batch_index,
+                n_processed=result.n_processed,
+                n_quarantined=n_poisoned,
+                elapsed_s=elapsed,
+                f1=result.cumulative_f1,
+                degrade_tier=int(batch_tier),
+            )
+            if n_poisoned:
+                self.recorder.event(
+                    "quarantine",
+                    batch_index=result.batch_index,
+                    n_poisoned=n_poisoned,
+                )
+                self.recorder.auto_dump("quarantine")
+            if exec_stats is not None and exec_stats.n_pool_rebuilds:
+                self.recorder.event(
+                    "pool_rebuild",
+                    batch_index=result.batch_index,
+                    n_rebuilds=exec_stats.n_pool_rebuilds,
+                )
+                self.recorder.auto_dump("pool_rebuild")
         if self.breaker is not None:
             self.breaker.record_batch(len(tweets) - n_poisoned, n_poisoned)
             self.breaker.check()
@@ -1269,7 +1488,10 @@ class MicroBatchEngine:
                     batch = []
             if batch:
                 self.process_batch(batch)
-        except BaseException:
+        except BaseException as exc:
+            if self.recorder is not None:
+                self.recorder.event("crash", error=repr(exc))
+                self.recorder.auto_dump("crash")
             self.close()
             raise
         elapsed = time.perf_counter() - start
@@ -1295,4 +1517,9 @@ class MicroBatchEngine:
             stage_seconds=self.stage_seconds,
             n_quarantined=self.n_quarantined,
             n_retries=self.n_retries,
+            worker_stage_seconds=stage_seconds_by_stage(
+                self.metrics,
+                metric=WORKER_STAGE_SECONDS,
+                engine="microbatch",
+            ),
         )

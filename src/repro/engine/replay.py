@@ -408,6 +408,10 @@ class ChaosReport:
     n_pool_rebuilds: int
     final_f1: float
     model_digest: str
+    #: One-look operational summary (see :class:`repro.obs.slo.Scorecard`).
+    scorecard: Dict[str, Any] = field(default_factory=dict)
+    #: Flight-recorder incident dumps written during the run.
+    flight_dumps: List[str] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-serializable view (CI smoke checks, bench summaries)."""
@@ -424,6 +428,8 @@ class ChaosReport:
             "n_pool_rebuilds": self.n_pool_rebuilds,
             "final_f1": self.final_f1,
             "model_digest": self.model_digest,
+            "scorecard": dict(self.scorecard),
+            "flight_dumps": list(self.flight_dumps),
         }
 
 
@@ -444,6 +450,7 @@ def run_chaos_scenario(
     hang_s: float = 30.0,
     slow_s: float = 0.25,
     max_rebuilds_per_run: int = 1,
+    flight_dir: Optional[str] = None,
 ) -> ChaosReport:
     """Drive a micro-batch run through a seeded partition-fault storm.
 
@@ -465,10 +472,17 @@ def run_chaos_scenario(
 
     With ``every_n_calls <= 0``, no injector is attached: that is the
     fault-free baseline the chaos tests compare digests against.
+
+    ``flight_dir`` attaches a :class:`~repro.obs.recorder.FlightRecorder`
+    to the engine: every quarantine / pool rebuild / crash during the
+    storm dumps the recent-event ring as JSONL into that directory, and
+    the report lists the dump files.
     """
     from repro.core.config import PipelineConfig
     from repro.engine.microbatch import MicroBatchEngine
     from repro.engine.runners import ProcessPoolRunner, make_runner
+    from repro.obs.recorder import FlightRecorder
+    from repro.obs.slo import Scorecard
     from repro.reliability.deadletter import DeadLetterQueue
     from repro.reliability.faults import FaultInjectingRunner, FaultInjector
     from repro.reliability.supervisor import RetryPolicy
@@ -511,6 +525,11 @@ def run_chaos_scenario(
         seed=seed,
         sleep=lambda _s: None,
     )
+    recorder = (
+        FlightRecorder(dump_dir=flight_dir)
+        if flight_dir is not None
+        else None
+    )
     engine = MicroBatchEngine(
         config if config is not None else PipelineConfig(n_classes=2),
         n_partitions=n_partitions,
@@ -520,17 +539,31 @@ def run_chaos_scenario(
         dead_letters=dead_letters,
         partition_deadline_s=partition_deadline_s,
         speculate=speculate,
+        recorder=recorder,
     )
     started = time.perf_counter()
     try:
         result = engine.run(tweets)
         digest = model_state_digest(engine.model)
         registry = engine.metrics
+        elapsed_s = time.perf_counter() - started
+        scorecard = Scorecard.from_registry(
+            registry,
+            f1=float(result.metrics.get("f1", float("nan"))),
+            throughput=(
+                len(tweets) / elapsed_s if elapsed_s > 0 else float("nan")
+            ),
+        )
+        flight_dumps = []
+        if recorder is not None and recorder.dump_dir is not None:
+            flight_dumps = sorted(
+                str(p) for p in recorder.dump_dir.glob("flight-*.jsonl")
+            )
         report = ChaosReport(
             n_tweets=len(tweets),
             n_batches=len(result.batches),
             n_injected=injector.n_injected if injector is not None else 0,
-            elapsed_s=time.perf_counter() - started,
+            elapsed_s=elapsed_s,
             n_retries=result.n_retries,
             n_quarantined=result.n_quarantined,
             n_partition_timeouts=int(
@@ -545,6 +578,8 @@ def run_chaos_scenario(
             n_pool_rebuilds=int(registry.total("pool_rebuilds_total")),
             final_f1=float(result.metrics.get("f1", 0.0)),
             model_digest=digest,
+            scorecard=scorecard.as_dict(),
+            flight_dumps=flight_dumps,
         )
     finally:
         engine.close()

@@ -63,7 +63,20 @@ from concurrent.futures import (
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, TypeVar
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TypeVar,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.metrics import MetricsRegistry
 
 R = TypeVar("R")
 
@@ -389,7 +402,7 @@ class StateBroadcast:
 
     __slots__ = (
         "key", "version", "_value", "_encoded", "_segment_name",
-        "_payload_size", "use_shared_memory",
+        "_payload_size", "use_shared_memory", "_encode_seconds",
     )
 
     def __init__(
@@ -408,12 +421,42 @@ class StateBroadcast:
         self._segment_name: Optional[str] = None
         self._payload_size = 0
         self.use_shared_memory = use_shared_memory
+        self._encode_seconds: Optional[float] = None
 
-    def value(self) -> object:
-        """The broadcast payload (live on the driver, cached on workers)."""
+    @property
+    def encode_seconds(self) -> Optional[float]:
+        """Seconds spent pickling the payload (driver side, once per
+        version); ``None`` until :meth:`_encode` has run — i.e. under
+        serial/thread runners, where the payload is never encoded."""
+        return self._encode_seconds
+
+    @property
+    def payload_bytes(self) -> Optional[int]:
+        """Encoded payload size in bytes; ``None`` before encoding."""
+        if self._encoded is not None:
+            return len(self._encoded)
+        if self._payload_size:
+            return self._payload_size
+        return None
+
+    def value(self, metrics: Optional["MetricsRegistry"] = None) -> object:
+        """The broadcast payload (live on the driver, cached on workers).
+
+        When ``metrics`` (a partition-local registry) is given, the
+        resolution path is recorded: ``broadcast_decode_total`` counts
+        by ``source`` (``live``/``cache``/``segment``/``inline``) and
+        ``broadcast_decode_seconds`` observes actual decode time (the
+        live short-circuit costs nothing and books no histogram entry).
+        """
         value = self._value
         if value is not None:
+            if metrics is not None:
+                metrics.counter(
+                    "broadcast_decode_total", source="live"
+                ).inc()
             return value
+        t_start = time.perf_counter()
+        source = "cache"
         with _BROADCAST_LOCK:
             cached = _BROADCAST_CACHE.get(self.key)
             if cached is not None and cached[0] == self.version:
@@ -421,20 +464,29 @@ class StateBroadcast:
                 value = cached[1]
             else:
                 if self._segment_name is not None:
+                    source = "segment"
                     value = _load_from_segment(
                         self._segment_name, self._payload_size
                     )
                 else:
+                    source = "inline"
                     assert self._encoded is not None
                     value = pickle.loads(self._encoded)
                 _cache_put(self.key, self.version, value)
         self._value = value
+        if metrics is not None:
+            metrics.counter("broadcast_decode_total", source=source).inc()
+            metrics.histogram("broadcast_decode_seconds").observe(
+                time.perf_counter() - t_start
+            )
         return value
 
     def _encode(self) -> bytes:
         encoded = self._encoded
         if encoded is None:
+            t_start = time.perf_counter()
             encoded = pickle.dumps(self._value, protocol=pickle.HIGHEST_PROTOCOL)
+            self._encode_seconds = time.perf_counter() - t_start
             self._encoded = encoded
         return encoded
 
@@ -499,6 +551,7 @@ class StateBroadcast:
         ) = state
         self._value = None
         self.use_shared_memory = self._segment_name is not None
+        self._encode_seconds = None
 
 
 class Runner(abc.ABC):

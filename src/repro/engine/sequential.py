@@ -188,5 +188,8 @@ class SequentialEngine:
                 count += 1
         assert span.duration is not None
         if span.duration <= 0 or count == 0:
-            return 0.0
+            # No measurable interval or nothing processed after warmup:
+            # there is no throughput to report, and 0.0 would poison
+            # bench comparisons as "infinitely slow".
+            return float("nan")
         return count / span.duration

@@ -10,6 +10,7 @@ fold into the driver via :class:`MetricsSnapshot.merge`, exactly like
 per-partition normalizer statistics.
 """
 
+from repro.obs.console import OpsConsole
 from repro.obs.export import (
     TelemetrySink,
     prometheus_exposition,
@@ -25,7 +26,23 @@ from repro.obs.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
 )
-from repro.obs.tracing import Span, Tracer, stage_seconds_by_stage
+from repro.obs.profile import ProfileReport, ProfileSlice, profile_call
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import (
+    SLO,
+    Scorecard,
+    SLOTracker,
+    default_slos,
+    family_quantile,
+)
+from repro.obs.tracing import (
+    Span,
+    SpanRecord,
+    Tracer,
+    WorkerTelemetry,
+    span_tree,
+    stage_seconds_by_stage,
+)
 
 __all__ = [
     "Counter",
@@ -36,11 +53,24 @@ __all__ = [
     "MetricsSnapshot",
     "DEFAULT_QUANTILES",
     "Span",
+    "SpanRecord",
     "Tracer",
+    "WorkerTelemetry",
+    "span_tree",
     "stage_seconds_by_stage",
     "TelemetrySink",
     "prometheus_exposition",
     "write_exposition",
     "configure_logging",
     "get_logger",
+    "OpsConsole",
+    "FlightRecorder",
+    "ProfileReport",
+    "ProfileSlice",
+    "profile_call",
+    "SLO",
+    "SLOTracker",
+    "Scorecard",
+    "default_slos",
+    "family_quantile",
 ]

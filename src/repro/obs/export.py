@@ -98,12 +98,50 @@ def _format_labels(labels: Dict[str, str], extra: str = "") -> str:
 
 
 def _escape(value: str) -> str:
+    """Label-value escaping per the exposition format: backslash first
+    (so later escapes aren't double-escaped), then quote and newline."""
     return (
         str(value)
         .replace("\\", "\\\\")
         .replace('"', '\\"')
         .replace("\n", "\\n")
     )
+
+
+def _escape_help(value: str) -> str:
+    # HELP text escapes only backslash and newline (quotes are legal).
+    return str(value).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+#: Operator-facing help strings for the well-known metric families;
+#: families not listed get a generic HELP line (the format requires
+#: HELP/TYPE once per family, before its first sample).
+METRIC_HELP: Dict[str, str] = {
+    "tweets_consumed_total": "Tweets drawn from the source stream.",
+    "tweets_ingested_total": "Tweets handed to the engine after ingest.",
+    "tweets_processed_total": "Tweets fully processed by the pipeline.",
+    "tweets_quarantined_total": "Tweets quarantined to the dead-letter queue.",
+    "overload_shed_total": "Tweets shed by the bounded ingest queue.",
+    "retries_total": "Batch/partition retry attempts.",
+    "batches_total": "Micro-batches completed.",
+    "batch_seconds": "Wall-clock seconds per micro-batch.",
+    "partition_seconds": "Runner-observed seconds per partition task.",
+    "stage_seconds": "Driver-observed seconds per engine stage.",
+    "worker_stage_seconds": "Worker-observed seconds per partition stage.",
+    "tweet_stage_seconds": "Per-tweet seconds per pipeline stage.",
+    "broadcast_encode_seconds": "Seconds pickling the batch broadcast.",
+    "broadcast_decode_seconds": "Seconds decoding the broadcast per task.",
+    "broadcast_decode_total": "Broadcast reads by resolution source.",
+    "partition_timeouts_total": "Partitions that blew their deadline.",
+    "speculative_launches_total": "Speculative duplicate tasks launched.",
+    "speculative_wins_total": "Speculative duplicates that won.",
+    "pool_rebuilds_total": "Worker-pool rebuilds after lost workers.",
+    "alerts_total": "Aggression alerts raised.",
+    "checkpoints_total": "Checkpoints written.",
+    "ingest_queue_depth": "Tweets waiting in the bounded ingest queue.",
+    "degrade_level": "Current feature-degradation tier (0 = full).",
+    "controller_n_partitions": "Partition count chosen by the controller.",
+}
 
 
 def _format_value(value: float) -> str:
@@ -119,7 +157,10 @@ def prometheus_exposition(
     Counters and gauges become single samples; histograms are exposed
     summary-style: one sample per tracked quantile (``quantile``
     label), plus ``<name>_sum`` and ``<name>_count``. Unset gauges and
-    never-observed quantiles are skipped.
+    never-observed quantiles are skipped. ``# HELP`` and ``# TYPE``
+    headers are emitted exactly once per family, before its first
+    sample; label values are escaped (backslash, double-quote,
+    newline) so adversarial label content cannot corrupt the format.
     """
     if isinstance(source, MetricsRegistry):
         source = source.snapshot()
@@ -129,6 +170,8 @@ def prometheus_exposition(
     def type_line(name: str, kind: str) -> None:
         if name not in seen_types:
             seen_types.add(name)
+            help_text = METRIC_HELP.get(name, f"{name} (no help registered).")
+            lines.append(f"# HELP {prefix}{name} {_escape_help(help_text)}")
             lines.append(f"# TYPE {prefix}{name} {kind}")
 
     for (name, labels), value in sorted(source.counters.items()):

@@ -133,9 +133,13 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        """Arithmetic mean of all observations (0 when empty)."""
+        """Arithmetic mean of all observations.
+
+        ``nan`` when empty — an unobserved histogram has no mean, and a
+        silent ``0.0`` reads as "instantaneous" in latency summaries.
+        """
         if self.count == 0:
-            return 0.0
+            return float("nan")
         return self.sum / self.count
 
     @property
@@ -307,8 +311,10 @@ class HistogramState:
 
     @property
     def mean(self) -> float:
+        # nan when empty, matching Histogram.mean: no observations
+        # means "no mean", never "zero seconds".
         if self.count == 0:
-            return 0.0
+            return float("nan")
         return self.sum / self.count
 
     def as_dict(self, exact: bool = True) -> Dict[str, Any]:

@@ -12,17 +12,124 @@ Spans nest: the tracer keeps a stack, each span knows its parent and
 its ``path`` (``"batch/partition_execute"``), and nothing here is
 thread-shared — partition tasks build their own registry + tracer and
 ship a snapshot back to the driver.
+
+Cross-process tracing: every span carries a process-local ``span_id``
+(monotonic per tracer, so ids are deterministic for a deterministic
+code path), and a tracer opened with ``capture=True`` additionally
+keeps a flat :class:`SpanRecord` per finished span. Worker-side
+tracers bundle their records into a :class:`WorkerTelemetry` that
+rides back to the driver inside the partition output, where
+:func:`span_tree` nests the flat records back into a tree and the
+engine stitches the per-partition subtrees under its own
+``partition_execute`` span — one trace per micro-batch, speculative
+winners and retries annotated by the driver.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.obs.metrics import DEFAULT_QUANTILES, MetricsRegistry
 
 #: Metric family spans emit into by default.
 STAGE_SECONDS = "stage_seconds"
+
+#: Metric family worker-side partition spans emit into — kept separate
+#: from the driver's ``stage_seconds`` so driver-observed and
+#: worker-observed stage costs never alias (the worker snapshots fold
+#: into the same driver registry).
+WORKER_STAGE_SECONDS = "worker_stage_seconds"
+
+
+@dataclass
+class SpanRecord:
+    """One finished span, flattened for cross-process shipping.
+
+    ``span_id``/``parent_id`` encode the tree (ids are tracer-local and
+    assigned at span creation, so a deterministic code path yields a
+    deterministic tree); ``start_s`` is the offset from the tracer's
+    epoch, which orders siblings without any cross-process clock
+    agreement.
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start_s: float
+    duration_s: float
+    labels: Dict[str, str] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly flat form (flight recorder, trace dumps)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "labels": dict(self.labels),
+        }
+
+
+@dataclass
+class WorkerTelemetry:
+    """A partition task's captured spans, shipped back to the driver.
+
+    Deliberately tiny: a handful of :class:`SpanRecord` (one per
+    partition stage) plus the worker's pid and the task's wall time.
+    Metric *deltas* travel separately on the partition output's
+    registry snapshot; this is only the trace structure. Speculative
+    losers never produce one of these — the deadline runner discards a
+    losing attempt's entire result, telemetry included, exactly once.
+    """
+
+    spans: List[SpanRecord] = field(default_factory=list)
+    pid: int = 0
+    wall_s: float = 0.0
+
+    def tree(self) -> List[Dict[str, Any]]:
+        """The captured spans nested as a tree (see :func:`span_tree`)."""
+        return span_tree(self.spans)
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Per-stage seconds summed over the captured spans."""
+        totals: Dict[str, float] = {}
+        for record in self.spans:
+            totals[record.name] = (
+                totals.get(record.name, 0.0) + record.duration_s
+            )
+        return totals
+
+
+def span_tree(records: Iterable[SpanRecord]) -> List[Dict[str, Any]]:
+    """Nest flat span records into parent→children dicts.
+
+    Children (and roots) are ordered by ``span_id`` — creation order —
+    so the same execution always renders the same tree. Records whose
+    parent is missing (e.g. the parent belongs to another process)
+    become roots.
+    """
+    nodes: Dict[int, Dict[str, Any]] = {}
+    ordered: List[SpanRecord] = sorted(records, key=lambda r: r.span_id)
+    for record in ordered:
+        node = record.as_dict()
+        node["children"] = []
+        nodes[record.span_id] = node
+    roots: List[Dict[str, Any]] = []
+    for record in ordered:
+        node = nodes[record.span_id]
+        parent = (
+            nodes.get(record.parent_id)
+            if record.parent_id is not None
+            else None
+        )
+        if parent is None:
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+    return roots
 
 
 class Span:
@@ -35,7 +142,7 @@ class Span:
     """
 
     __slots__ = ("tracer", "name", "labels", "parent",
-                 "started", "duration")
+                 "span_id", "started", "duration")
 
     def __init__(
         self,
@@ -43,11 +150,13 @@ class Span:
         name: str,
         labels: Dict[str, str],
         parent: Optional["Span"],
+        span_id: int = 0,
     ) -> None:
         self.tracer = tracer
         self.name = name
         self.labels = labels
         self.parent = parent
+        self.span_id = span_id
         self.started: Optional[float] = None
         self.duration: Optional[float] = None
 
@@ -80,6 +189,8 @@ class Tracer:
         quantiles: quantile points tracked per stage.
         sketch_every: quantile-sketch sampling factor for the emitted
             histograms (1 = sketch every observation).
+        capture: keep a flat :class:`SpanRecord` per finished span in
+            :attr:`records` (cross-process trace shipping / stitching).
     """
 
     def __init__(
@@ -89,13 +200,18 @@ class Tracer:
         metric: str = STAGE_SECONDS,
         quantiles: Iterable[float] = DEFAULT_QUANTILES,
         sketch_every: int = 1,
+        capture: bool = False,
     ) -> None:
         self.registry = registry
         self.labels = dict(labels or {})
         self.metric = metric
         self.quantiles = tuple(quantiles)
         self.sketch_every = sketch_every
+        self.capture = capture
+        self.records: List[SpanRecord] = []
         self._stack: List[Span] = []
+        self._next_span_id = 1
+        self._epoch = time.perf_counter()
 
     @property
     def current(self) -> Optional[Span]:
@@ -107,7 +223,14 @@ class Tracer:
         merged = dict(self.labels)
         merged.update(labels)
         merged["stage"] = name
-        return Span(self, name, merged, self.current)
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        return Span(self, name, merged, self.current, span_id=span_id)
+
+    def drain(self) -> List[SpanRecord]:
+        """Hand over (and clear) the captured span records."""
+        records, self.records = self.records, []
+        return records
 
     def _push(self, span: Span) -> None:
         self._stack.append(span)
@@ -124,6 +247,22 @@ class Tracer:
             sketch_every=self.sketch_every,
             **span.labels,
         ).observe(span.duration)
+        if self.capture:
+            assert span.started is not None
+            self.records.append(
+                SpanRecord(
+                    span_id=span.span_id,
+                    parent_id=(
+                        span.parent.span_id
+                        if span.parent is not None
+                        else None
+                    ),
+                    name=span.name,
+                    start_s=span.started - self._epoch,
+                    duration_s=span.duration,
+                    labels=span.labels,
+                )
+            )
 
 
 def stage_seconds_by_stage(

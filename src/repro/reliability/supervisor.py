@@ -71,9 +71,12 @@ from repro.engine.microbatch import (
 )
 from repro.engine.runners import Runner
 from repro.engine.sequential import SequentialEngine
+from repro.obs.console import OpsConsole
 from repro.obs.export import TelemetrySink
 from repro.obs.logconfig import get_logger
 from repro.obs.metrics import MetricsSnapshot
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import Scorecard, SLOTracker
 from repro.reliability.deadletter import (
     CircuitBreaker,
     CircuitOpenError,
@@ -98,11 +101,13 @@ from repro.streamml.serialize import (
 #: can crash mid-overload and resume exactly; version 4 extends the
 #: controller section with the elastic partition actuator
 #: (n_partitions/min/max, resize + straggler counters) so a crash
-#: mid-recovery resumes with the same partition count. Versions 1-3
-#: stay readable (older sections resume as approximations / absent —
-#: a v3 controller simply has no partition actuator).
-SUPERVISOR_CHECKPOINT_VERSION = 4
-_READABLE_CHECKPOINT_VERSIONS = (1, 2, 3, 4)
+#: mid-recovery resumes with the same partition count; version 5 adds
+#: the optional ``slo`` section (objective definitions + rolling
+#: burn-rate windows + firing/alert state) so SLO alerting resumes
+#: bit-exactly. Versions 1-4 stay readable (older sections resume as
+#: approximations / absent — a v4 run simply has no SLO state).
+SUPERVISOR_CHECKPOINT_VERSION = 5
+_READABLE_CHECKPOINT_VERSIONS = (1, 2, 3, 4, 5)
 CHECKPOINT_FILENAME = "checkpoint.json"
 
 logger = get_logger("supervisor")
@@ -366,6 +371,17 @@ class StreamSupervisor:
             closed-loop (arrival-timestamped) replay. Queue and
             controller state ride in the checkpoint (v3), so a crash
             mid-overload resumes exactly.
+        slos: optional :class:`~repro.obs.slo.SLOTracker`; the
+            supervisor feeds it one sample per chunk, its burn-rate
+            windows and alert state ride in the checkpoint (v5), and
+            :meth:`scorecard` folds its alert counts into the run's
+            scorecard.
+        console: optional :class:`~repro.obs.console.OpsConsole`,
+            redrawn once per chunk with the registry's current view.
+        recorder: optional :class:`~repro.obs.recorder.FlightRecorder`;
+            the supervisor records one event per chunk and auto-dumps
+            the ring when a run crashes. (Hand the same recorder to the
+            engine for batch-level quarantine/pool-rebuild dumps.)
     """
 
     def __init__(
@@ -380,6 +396,9 @@ class StreamSupervisor:
         telemetry: Optional[TelemetrySink] = None,
         metrics_every: Optional[int] = None,
         ingest_queue: Optional[BoundedIngestQueue] = None,
+        slos: Optional[SLOTracker] = None,
+        console: Optional[OpsConsole] = None,
+        recorder: Optional[FlightRecorder] = None,
     ) -> None:
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
@@ -413,6 +432,9 @@ class StreamSupervisor:
             metrics_every if metrics_every is not None else checkpoint_every
         )
         self.ingest_queue = ingest_queue
+        self.slo_tracker = slos
+        self.console = console
+        self.recorder = recorder
         self._server_free_s = 0.0  # simulated-clock cursor (run_timed)
         # Holds the controller while run_timed's model mode detaches it
         # from the engine, so checkpoints still capture its state.
@@ -475,6 +497,11 @@ class StreamSupervisor:
             # registry continues from precisely this point.
             "metrics": self.metrics.snapshot().as_dict(exact=True),
         }
+        if self.slo_tracker is not None:
+            # Full tracker state (definitions + windows + firing set):
+            # a resumed run's burn rates and alert transitions continue
+            # bit-exactly from this cut.
+            payload["slo"] = self.slo_tracker.to_dict()
         controller = self.controller
         if self.ingest_queue is not None or controller is not None:
             payload["overload"] = {
@@ -520,6 +547,8 @@ class StreamSupervisor:
         metrics_every: Optional[int] = None,
         partition_deadline_s: Optional[float] = None,
         speculate: Optional[float] = None,
+        console: Optional[OpsConsole] = None,
+        recorder: Optional[FlightRecorder] = None,
     ) -> "StreamSupervisor":
         """Rebuild a supervisor from the last good checkpoint.
 
@@ -592,6 +621,16 @@ class StreamSupervisor:
                         engine.n_partitions = controller.n_partitions
                 else:
                     engine.pipeline.set_degrade_tier(controller.tier)
+        # SLO state (v5): the tracker — definitions, rolling burn
+        # windows, firing set, alert counts — comes back bit-exactly;
+        # alert events from the resumed run go to the new sinks.
+        slo_payload = payload.get("slo")
+        slo_tracker: Optional[SLOTracker] = None
+        if slo_payload is not None:
+            sinks = [
+                sink for sink in (telemetry, recorder) if sink is not None
+            ]
+            slo_tracker = SLOTracker.from_dict(slo_payload, sinks=sinks)
         supervisor = cls(
             engine,
             checkpoint_dir=checkpoint_dir,
@@ -603,6 +642,9 @@ class StreamSupervisor:
             telemetry=telemetry,
             metrics_every=metrics_every,
             ingest_queue=ingest_queue,
+            slos=slo_tracker,
+            console=console,
+            recorder=recorder,
         )
         if overload_payload is not None:
             supervisor._server_free_s = float(
@@ -649,37 +691,43 @@ class StreamSupervisor:
         shedding policy (not an unbounded list) decides what survives;
         shed tweets are counted consumed but never reach the engine.
         """
-        iterator = iter(tweets)
-        if self._cursor:
-            for _ in islice(iterator, self._cursor):
-                pass
-        queue = self.ingest_queue
-        if queue is None:
-            chunk: List[Tweet] = []
-            for tweet in iterator:
-                self._cursor += 1
-                self._m_consumed.inc()
-                if self.validate and not self._admit(tweet):
-                    continue
-                chunk.append(tweet)
-                if len(chunk) >= self._current_chunk_size():
+        try:
+            iterator = iter(tweets)
+            if self._cursor:
+                for _ in islice(iterator, self._cursor):
+                    pass
+            queue = self.ingest_queue
+            if queue is None:
+                chunk: List[Tweet] = []
+                for tweet in iterator:
+                    self._cursor += 1
+                    self._m_consumed.inc()
+                    if self.validate and not self._admit(tweet):
+                        continue
+                    chunk.append(tweet)
+                    if len(chunk) >= self._current_chunk_size():
+                        self._process_chunk(chunk)
+                        chunk = []
+                if chunk:
                     self._process_chunk(chunk)
-                    chunk = []
-            if chunk:
-                self._process_chunk(chunk)
-        else:
-            for tweet in iterator:
-                self._cursor += 1
-                self._m_consumed.inc()
-                if self.validate and not self._admit(tweet):
-                    continue
-                queue.offer(tweet)
-                while len(queue) >= self._current_chunk_size():
+            else:
+                for tweet in iterator:
+                    self._cursor += 1
+                    self._m_consumed.inc()
+                    if self.validate and not self._admit(tweet):
+                        continue
+                    queue.offer(tweet)
+                    while len(queue) >= self._current_chunk_size():
+                        self._process_chunk(
+                            queue.drain(self._current_chunk_size())
+                        )
+                while len(queue):
                     self._process_chunk(
                         queue.drain(self._current_chunk_size())
                     )
-            while len(queue):
-                self._process_chunk(queue.drain(self._current_chunk_size()))
+        except BaseException as exc:
+            self._record_crash(exc)
+            raise
         self.write_checkpoint()
         return self._finish()
 
@@ -757,6 +805,9 @@ class StreamSupervisor:
                 self._timed_chunk(service_time_s, controller)
             self.write_checkpoint()
             return self._finish()
+        except BaseException as exc:
+            self._record_crash(exc)
+            raise
         finally:
             if modeled and controller is not None:
                 self.engine.controller = controller
@@ -828,6 +879,13 @@ class StreamSupervisor:
         self._server_free_s = start_s + duration
         self._after_chunk()
 
+    def _record_crash(self, exc: BaseException) -> None:
+        """Flight-record a dying run: the ring holds the lead-up."""
+        if self.recorder is None:
+            return
+        self.recorder.event("crash", error=repr(exc))
+        self.recorder.auto_dump("crash")
+
     def _admit(self, tweet: Tweet) -> bool:
         """Ingest validation; quarantines and returns False on poison."""
         try:
@@ -887,9 +945,20 @@ class StreamSupervisor:
 
         Runs *after* all per-chunk state (engine, controller, simulated
         clock) is final, so any checkpoint written here captures a
-        consistent cut a resumed run can continue from exactly.
+        consistent cut a resumed run can continue from exactly. The SLO
+        tracker samples here too — one sample per chunk, *before* any
+        checkpoint write, so the persisted windows include the chunk
+        that triggered the write.
         """
         self._chunks_done += 1
+        if self.slo_tracker is not None:
+            self.slo_tracker.observe(self.metrics)
+        if self.recorder is not None:
+            self.recorder.event(
+                "chunk", chunk=self._chunks_done, cursor=self._cursor
+            )
+        if self.console is not None:
+            self.console.tick(self.metrics, tracker=self.slo_tracker)
         if (
             self.telemetry is not None
             and self._chunks_done % self.metrics_every == 0
@@ -905,6 +974,11 @@ class StreamSupervisor:
 
     def _finish(self) -> SupervisedRun:
         """Final health/telemetry/result assembly shared by both runs."""
+        if self.console is not None:
+            # Last frame unthrottled: the final counts always land.
+            self.console.tick(
+                self.metrics, tracker=self.slo_tracker, force=True
+            )
         health = self.health()
         if self.telemetry is not None:
             self.telemetry.snapshot(self.metrics, reason="final")
@@ -916,6 +990,23 @@ class StreamSupervisor:
         )
 
     # -- reporting ------------------------------------------------------
+
+    def scorecard(self) -> Scorecard:
+        """One-line run summary: quality, latency, loss, alerts.
+
+        Reads the operational fields off the shared registry and the
+        model-quality/throughput fields off the engine result; SLO
+        alert counts come from the attached tracker (zero alerts, no
+        SLOs firing when none is attached).
+        """
+        result = self.engine.result()
+        metrics = result.metrics or {}
+        return Scorecard.from_registry(
+            self.metrics,
+            f1=metrics.get("f1", float("nan")),
+            throughput=result.throughput,
+            tracker=self.slo_tracker,
+        )
 
     def health(self) -> StreamHealth:
         """Current reliability summary across supervisor and engine.

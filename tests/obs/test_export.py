@@ -107,6 +107,68 @@ class TestPrometheusExposition:
         text = prometheus_exposition(registry)
         assert 'path="a\\"b\\\\c\\nd"' in text
 
+    def test_malformed_label_values_round_trip(self):
+        # Adversarial label content: backslashes, quotes, newlines.
+        evil = {"path": 'a\\b"c\nd', "tag": "\\\\n\"\n"}
+        registry = MetricsRegistry()
+        registry.counter("events_total", **evil).inc(7)
+        text = prometheus_exposition(registry)
+        # Escaping keeps every sample on one physical line.
+        sample_lines = [
+            line for line in text.splitlines()
+            if not line.startswith("#")
+        ]
+        assert len(sample_lines) == 1
+        # A single-pass unescape recovers the original values.
+        import re
+
+        def unescape(raw):
+            return re.sub(
+                r"\\(.)",
+                lambda m: "\n" if m.group(1) == "n" else m.group(1),
+                raw,
+            )
+
+        (line,) = sample_lines
+        recovered = {
+            key: unescape(raw)
+            for key, raw in re.findall(r'(\w+)="((?:[^"\\]|\\.)*)"', line)
+        }
+        assert recovered == evil
+
+    def test_help_and_type_emitted_once_per_family(self):
+        registry = MetricsRegistry()
+        registry.counter("tweets_total", engine="a").inc(1)
+        registry.counter("tweets_total", engine="b").inc(2)
+        registry.histogram("latency_seconds", engine="a").observe(0.1)
+        registry.histogram("latency_seconds", engine="b").observe(0.2)
+        text = prometheus_exposition(registry)
+        assert text.count("# TYPE repro_tweets_total ") == 1
+        assert text.count("# HELP repro_tweets_total ") == 1
+        assert text.count("# TYPE repro_latency_seconds ") == 1
+        # Headers precede the family's first sample.
+        lines = text.splitlines()
+        first_sample = next(
+            i for i, l in enumerate(lines)
+            if l.startswith("repro_tweets_total")
+        )
+        header = next(
+            i for i, l in enumerate(lines)
+            if l.startswith("# HELP repro_tweets_total")
+        )
+        assert header < first_sample
+
+    def test_unregistered_family_gets_generic_help(self):
+        registry = MetricsRegistry()
+        registry.counter("bespoke_total").inc()
+        text = prometheus_exposition(registry)
+        assert "# HELP repro_bespoke_total bespoke_total" in text
+
+    def test_help_text_escapes_backslash_and_newline(self):
+        from repro.obs.export import _escape_help
+
+        assert _escape_help("a\\b\nc") == "a\\\\b\\nc"
+
     def test_snapshot_and_registry_render_identically(self):
         registry = _registry()
         assert prometheus_exposition(registry) == prometheus_exposition(

@@ -57,7 +57,7 @@ class TestHistogram:
 
     def test_empty_histogram_is_safe(self):
         hist = Histogram()
-        assert hist.mean == 0.0
+        assert math.isnan(hist.mean)
         assert hist.quantile(0.5) is None
 
     def test_unknown_quantile_raises(self):

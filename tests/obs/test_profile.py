@@ -1,0 +1,71 @@
+"""Per-partition cProfile slices and the driver-side merged report."""
+
+from __future__ import annotations
+
+from repro.obs.profile import (
+    SLICE_LIMIT,
+    ProfileReport,
+    ProfileSlice,
+    profile_call,
+)
+
+
+def _busy():
+    total = 0
+    for i in range(2000):
+        total += _helper(i)
+    return total
+
+
+def _helper(i):
+    return i * i
+
+
+class TestProfileCall:
+    def test_returns_result_and_bounded_slice(self):
+        result, piece = profile_call(_busy)
+        assert result == _busy()
+        assert 0 < len(piece.rows) <= SLICE_LIMIT
+        assert piece.wall_s >= 0.0
+        # The hot helper is attributed by (file, line, function) key.
+        assert any(key[2] == "_helper" for key in piece.rows)
+        ncalls, tottime, cumtime = next(
+            v for k, v in piece.rows.items() if k[2] == "_helper"
+        )
+        assert ncalls == 2000
+        assert cumtime >= tottime >= 0.0
+
+
+class TestProfileReport:
+    def test_merge_accumulates_rows_and_slices(self):
+        key = ("f.py", 10, "work")
+        report = ProfileReport()
+        report.merge(ProfileSlice(rows={key: (2, 0.5, 1.0)}, wall_s=1.0))
+        report.merge(ProfileSlice(rows={key: (3, 0.25, 0.5)}, wall_s=0.5))
+        assert report.n_slices == 2
+        assert report.wall_s == 1.5
+        assert report.rows[key] == (5, 0.75, 1.5)
+
+    def test_top_ranks_by_self_time(self):
+        report = ProfileReport()
+        report.merge(
+            ProfileSlice(
+                rows={
+                    ("a.py", 1, "slow"): (1, 2.0, 2.0),
+                    ("b.py", 2, "fast"): (1, 0.1, 0.1),
+                }
+            )
+        )
+        top = report.top(k=1)
+        assert len(top) == 1
+        assert "slow" in top[0]["function"]
+        assert top[0]["ncalls"] == 1
+
+    def test_format_top_is_readable(self):
+        _, piece = profile_call(_busy)
+        report = ProfileReport()
+        report.merge(piece)
+        text = report.format_top(5)
+        assert "partition profile" in text
+        assert "_helper" in text
+        assert len(text.splitlines()) <= 6

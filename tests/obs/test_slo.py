@@ -1,0 +1,254 @@
+"""SLO burn-rate alerting, checkpoint round-trip, and the scorecard."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    SLO,
+    Scorecard,
+    SLOTracker,
+    default_slos,
+    family_quantile,
+)
+
+
+class _SpySink:
+    def __init__(self):
+        self.events = []
+
+    def event(self, kind, **fields):
+        self.events.append((kind, fields))
+
+
+def _ratio_slo(budget=0.1, short=2, long=4):
+    return SLO(
+        name="shed",
+        kind="ratio",
+        budget=budget,
+        bad=[("bad_total", {})],
+        total=[("seen_total", {})],
+        short_window=short,
+        long_window=long,
+    )
+
+
+class TestSLODefinition:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            SLO(name="x", kind="weird", budget=0.1)
+
+    def test_rejects_bad_budget_and_windows(self):
+        with pytest.raises(ValueError):
+            SLO(name="x", kind="ratio", budget=0.0)
+        with pytest.raises(ValueError):
+            SLO(
+                name="x", kind="ratio", budget=0.1,
+                short_window=5, long_window=2,
+            )
+
+    def test_round_trips_through_dict(self):
+        slo = _ratio_slo()
+        assert SLO.from_dict(slo.as_dict()).as_dict() == slo.as_dict()
+
+    def test_default_set_has_unique_names(self):
+        names = [slo.name for slo in default_slos()]
+        assert len(set(names)) == len(names)
+        assert "shed_fraction" in names
+        assert "batch_latency_p99" in names
+
+    def test_tracker_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOTracker([_ratio_slo(), _ratio_slo()])
+
+
+class TestBurnRateAlerting:
+    def test_fires_when_both_windows_burn_and_resolves_clean(self):
+        registry = MetricsRegistry()
+        bad = registry.counter("bad_total")
+        seen = registry.counter("seen_total")
+        sink = _SpySink()
+        tracker = SLOTracker([_ratio_slo()], sinks=[sink])
+
+        # Burn at 5x budget: every chunk sheds half its traffic.
+        transitions = []
+        for _ in range(3):
+            bad.inc(5)
+            seen.inc(10)
+            transitions.extend(tracker.observe(registry))
+        assert [t["state"] for t in transitions] == ["firing"]
+        assert tracker.firing() == ["shed"]
+        assert tracker.alerts_fired == 1
+        assert sink.events[0][0] == "slo_alert"
+        assert sink.events[0][1]["state"] == "firing"
+
+        # Clean traffic drains both windows and resolves the alert.
+        resolved = []
+        for _ in range(6):
+            seen.inc(10)
+            resolved.extend(tracker.observe(registry))
+        assert [t["state"] for t in resolved] == ["resolved"]
+        assert tracker.firing() == []
+        # One firing transition total; resolution does not re-count.
+        assert tracker.alerts_fired == 1
+
+    def test_burn_is_nan_until_two_samples(self):
+        registry = MetricsRegistry()
+        registry.counter("bad_total")
+        registry.counter("seen_total")
+        tracker = SLOTracker([_ratio_slo()])
+        tracker.observe(registry)
+        short, long = tracker.burn_rates("shed")
+        assert math.isnan(short) and math.isnan(long)
+        with pytest.raises(KeyError):
+            tracker.burn_rates("nope")
+
+    def test_burn_rate_value(self):
+        registry = MetricsRegistry()
+        bad = registry.counter("bad_total")
+        seen = registry.counter("seen_total")
+        tracker = SLOTracker([_ratio_slo(budget=0.1)])
+        tracker.observe(registry)
+        bad.inc(2)
+        seen.inc(10)
+        tracker.observe(registry)
+        short, _ = tracker.burn_rates("shed")
+        # 20% bad on a 10% budget = burning twice as fast as allowed.
+        assert short == pytest.approx(2.0)
+
+    def test_quantile_slo_counts_breaches_per_observation(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("batch_seconds")
+        slo = SLO(
+            name="latency",
+            kind="quantile",
+            budget=0.5,
+            family="batch_seconds",
+            quantile=0.5,
+            threshold=1.0,
+            short_window=2,
+            long_window=3,
+        )
+        tracker = SLOTracker([slo])
+        for _ in range(4):
+            hist.observe(10.0)  # p50 far above the 1s threshold
+            tracker.observe(registry)
+        short, long = tracker.burn_rates("latency")
+        # Every sample breaches: burn = 1.0 / budget = 2.0.
+        assert short == pytest.approx(2.0)
+        assert long == pytest.approx(2.0)
+        assert tracker.firing() == ["latency"]
+
+    def test_quantile_slo_idles_on_empty_family(self):
+        registry = MetricsRegistry()
+        slo = SLO(
+            name="latency", kind="quantile", budget=0.5,
+            family="batch_seconds", threshold=1.0,
+        )
+        tracker = SLOTracker([slo])
+        for _ in range(3):
+            assert tracker.observe(registry) == []
+        short, _ = tracker.burn_rates("latency")
+        assert math.isnan(short)
+
+    def test_status_reports_every_slo(self):
+        tracker = SLOTracker(default_slos())
+        status = tracker.status()
+        assert [s["slo"] for s in status] == [
+            slo.name for slo in tracker.slos
+        ]
+        assert all(not s["firing"] for s in status)
+
+
+class TestCheckpointRoundTrip:
+    def test_to_from_dict_is_bit_exact(self):
+        registry = MetricsRegistry()
+        bad = registry.counter("bad_total")
+        seen = registry.counter("seen_total")
+        tracker = SLOTracker([_ratio_slo()] + default_slos())
+        for step in range(7):
+            bad.inc(step % 3)
+            seen.inc(10)
+            tracker.observe(registry)
+        payload = tracker.to_dict()
+        restored = SLOTracker.from_dict(payload)
+        assert restored.to_dict() == payload
+        # The restored tracker continues identically.
+        bad.inc(5)
+        seen.inc(10)
+        assert tracker.observe(registry) == restored.observe(registry)
+        assert tracker.to_dict() == restored.to_dict()
+
+    def test_restored_tracker_keeps_firing_state(self):
+        registry = MetricsRegistry()
+        bad = registry.counter("bad_total")
+        seen = registry.counter("seen_total")
+        tracker = SLOTracker([_ratio_slo()])
+        for _ in range(3):
+            bad.inc(5)
+            seen.inc(10)
+            tracker.observe(registry)
+        assert tracker.firing() == ["shed"]
+        restored = SLOTracker.from_dict(tracker.to_dict())
+        assert restored.firing() == ["shed"]
+        assert restored.alerts_fired == 1
+
+
+class TestFamilyQuantile:
+    def test_merges_label_children(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0):
+            registry.histogram("h", part="a").observe(value)
+        for value in (101.0, 102.0, 103.0):
+            registry.histogram("h", part="b").observe(value)
+        merged = family_quantile(registry, "h", 0.5)
+        only_a = family_quantile(registry, "h", 0.5, {"part": "a"})
+        assert 2.0 <= merged <= 103.0
+        assert only_a == pytest.approx(2.0)
+
+    def test_nan_when_missing_or_untracked(self):
+        registry = MetricsRegistry()
+        assert math.isnan(family_quantile(registry, "h", 0.5))
+        registry.histogram("h")
+        assert math.isnan(family_quantile(registry, "h", 0.5))
+        registry.histogram("h").observe(1.0)
+        assert math.isnan(family_quantile(registry, "h", 0.123))
+
+
+class TestScorecard:
+    def test_unobserved_fields_are_nan(self):
+        card = Scorecard.from_registry(MetricsRegistry())
+        assert math.isnan(card.f1)
+        assert math.isnan(card.p99_batch_seconds)
+        assert math.isnan(card.shed_fraction)
+        assert math.isnan(card.quarantine_rate)
+        assert math.isnan(card.availability)
+        assert math.isnan(card.throughput_tweets_per_s)
+        assert card.alerts_fired == 0
+        assert card.slos_firing == []
+
+    def test_reads_flow_counters(self):
+        registry = MetricsRegistry()
+        registry.counter("tweets_consumed_total").inc(90)
+        registry.counter("overload_shed_total").inc(10)
+        registry.counter("tweets_quarantined_total").inc(9)
+        registry.counter("tweets_processed_total").inc(81)
+        registry.histogram("batch_seconds").observe(0.5)
+        card = Scorecard.from_registry(registry, f1=0.9, throughput=1234.0)
+        assert card.shed_fraction == pytest.approx(0.1)
+        assert card.quarantine_rate == pytest.approx(0.1)
+        assert card.availability == pytest.approx(0.81)
+        assert card.f1 == 0.9
+        assert card.p99_batch_seconds == pytest.approx(0.5)
+        payload = card.as_dict()
+        assert payload["throughput_tweets_per_s"] == 1234.0
+
+    def test_falls_back_to_ingested_for_engine_only_runs(self):
+        registry = MetricsRegistry()
+        registry.counter("tweets_ingested_total").inc(100)
+        registry.counter("tweets_processed_total").inc(100)
+        card = Scorecard.from_registry(registry)
+        assert card.availability == pytest.approx(1.0)

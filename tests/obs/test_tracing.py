@@ -5,7 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.tracing import Tracer, stage_seconds_by_stage
+from repro.obs.tracing import (
+    SpanRecord,
+    Tracer,
+    WorkerTelemetry,
+    span_tree,
+    stage_seconds_by_stage,
+)
 
 
 class TestSpans:
@@ -61,6 +67,106 @@ class TestSpans:
         assert registry.histogram(
             "stage_seconds", engine="b", stage="s"
         ).count == 1
+
+
+class TestCapture:
+    def test_capture_records_finished_spans_and_drain_clears(self):
+        tracer = Tracer(MetricsRegistry(), capture=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        records = tracer.drain()
+        # Records appear in completion order; ids in creation order.
+        assert [r.name for r in records] == ["inner", "outer"]
+        assert [r.span_id for r in records] == [2, 1]
+        assert records[0].parent_id == 1
+        assert records[1].parent_id is None
+        assert all(r.duration_s >= 0.0 for r in records)
+        assert tracer.drain() == []
+
+    def test_span_ids_are_deterministic_per_tracer(self):
+        def run():
+            tracer = Tracer(MetricsRegistry(), capture=True)
+            with tracer.span("a"):
+                with tracer.span("b"):
+                    pass
+            with tracer.span("c"):
+                pass
+            return [
+                (r.span_id, r.parent_id, r.name) for r in tracer.drain()
+            ]
+
+        assert run() == run()
+
+    def test_stack_and_capture_survive_raising_span_body(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry, capture=True)
+        with pytest.raises(RuntimeError):
+            with tracer.span("root"):
+                with tracer.span("explodes"):
+                    raise RuntimeError("boom")
+        assert tracer.current is None
+        records = tracer.drain()
+        # Both spans still closed, recorded, and booked into the
+        # histogram family — a crash never loses the trace.
+        assert sorted(r.name for r in records) == ["explodes", "root"]
+        assert registry.histogram("stage_seconds", stage="explodes").count == 1
+
+    def test_no_capture_keeps_records_empty(self):
+        tracer = Tracer(MetricsRegistry())
+        with tracer.span("work"):
+            pass
+        assert tracer.records == []
+
+
+def _record(span_id, parent_id, name, start=0.0, duration=1.0):
+    return SpanRecord(
+        span_id=span_id, parent_id=parent_id, name=name,
+        start_s=start, duration_s=duration,
+    )
+
+
+class TestSpanTree:
+    def test_nests_children_under_parents_ordered_by_id(self):
+        # Shuffled input: the tree is ordered by span_id regardless.
+        tree = span_tree(
+            [
+                _record(3, 1, "late"),
+                _record(1, None, "root"),
+                _record(2, 1, "early"),
+            ]
+        )
+        assert len(tree) == 1
+        assert tree[0]["name"] == "root"
+        assert [c["name"] for c in tree[0]["children"]] == ["early", "late"]
+
+    def test_orphans_become_roots(self):
+        # Parent id 99 belongs to another process: its child must not
+        # vanish from the stitched trace.
+        tree = span_tree([_record(1, None, "a"), _record(2, 99, "orphan")])
+        assert [node["name"] for node in tree] == ["a", "orphan"]
+
+    def test_empty_input_yields_empty_tree(self):
+        assert span_tree([]) == []
+
+
+class TestWorkerTelemetry:
+    def test_tree_and_stage_seconds_views(self):
+        telemetry = WorkerTelemetry(
+            spans=[
+                _record(1, None, "partition", duration=3.0),
+                _record(2, 1, "extract", duration=1.0),
+                _record(3, 1, "extract", duration=0.5),
+            ],
+            pid=1234,
+            wall_s=3.0,
+        )
+        (root,) = telemetry.tree()
+        assert root["name"] == "partition"
+        assert len(root["children"]) == 2
+        assert telemetry.stage_seconds() == {
+            "partition": 3.0, "extract": 1.5
+        }
 
 
 class TestStageSecondsByStage:

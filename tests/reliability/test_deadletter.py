@@ -171,7 +171,8 @@ class TestStreamHealth:
     def test_poison_rate(self):
         health = StreamHealth(n_consumed=200, n_processed=190, n_quarantined=10)
         assert health.poison_rate == pytest.approx(0.05)
-        assert StreamHealth().poison_rate == 0.0
+        # Nothing consumed -> no rate to report (nan, not a clean 0.0).
+        assert math.isnan(StreamHealth().poison_rate)
 
     def test_as_dict_round_trips_counters(self):
         health = StreamHealth(

@@ -15,6 +15,7 @@ from repro.engine.microbatch import MicroBatchEngine
 from repro.engine.sequential import SequentialEngine
 from repro.obs.metrics import MetricsRegistry
 from repro.reliability import StreamSupervisor
+from repro.reliability.supervisor import SUPERVISOR_CHECKPOINT_VERSION
 from repro.reliability.overload import (
     SHED_POLICY_REGISTRY,
     BoundedIngestQueue,
@@ -480,7 +481,7 @@ class TestSupervisedOverload:
         # The checkpoint captured the overload machinery mid-episode,
         # pending backlog included.
         payload = json.loads(crashed.checkpoint_path.read_text())
-        assert payload["supervisor_version"] == 4
+        assert payload["supervisor_version"] == SUPERVISOR_CHECKPOINT_VERSION
         assert payload["overload"]["queue"]["entries"]
         assert payload["overload"]["controller"]["n_batches"] > 0
 
