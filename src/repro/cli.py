@@ -8,7 +8,11 @@ Subcommands:
 * ``classify`` — classify a JSONL stream with a saved model, writing
   one prediction per line;
 * ``simulate`` — project execution time/throughput for the paper's
-  cluster configurations with the calibrated cost model.
+  cluster configurations with the calibrated cost model;
+* ``serve`` — answer ``classify``/``explain`` requests over HTTP and
+  JSONL from a snapshot store, hot-swapping models as training
+  publishes new versions;
+* ``snapshot`` — publish to / inspect a serving snapshot store.
 
 Invoke as ``python -m repro <subcommand> ...``.
 
@@ -200,6 +204,81 @@ def build_parser() -> argparse.ArgumentParser:
                      help="keep a bounded in-memory ring of recent "
                      "telemetry and dump it to DIR as JSONL on "
                      "incidents (quarantine, pool rebuild, crash)")
+    run.add_argument("--keep-checkpoints", type=_positive_int, default=None,
+                     metavar="K",
+                     help="with --checkpoint-dir: retain the newest K "
+                     "chunk-stamped history checkpoints for corrupt-file "
+                     "fallback (default 3)")
+    run.add_argument("--publish-snapshot", default=None, metavar="DIR",
+                     help="publish a verified serving snapshot to the "
+                     "store at DIR on every checkpoint, so a live "
+                     "'repro serve' hot-swaps models while this run "
+                     "trains (enables supervised execution)")
+
+    serve = commands.add_parser(
+        "serve", help="serve classifications over HTTP/JSONL from a "
+        "snapshot store, hot-swapping on publish"
+    )
+    serve.add_argument("store", help="snapshot store directory (fed by "
+                       "'run --publish-snapshot' or 'snapshot publish')")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8423,
+                       help="listen port; 0 picks a free one "
+                       "(default 8423)")
+    serve.add_argument("--max-inflight", type=_positive_int, default=8,
+                       help="concurrent scoring requests (default 8)")
+    serve.add_argument("--queue-capacity", type=int, default=64,
+                       help="admission waiting-room size; beyond it the "
+                       "shed policy decides (default 64)")
+    serve.add_argument("--shed-policy", default="drop-newest",
+                       choices=("drop-newest", "drop-oldest", "sample"),
+                       help="who is shed when the waiting room is full "
+                       "(default drop-newest; shed requests get 429 + "
+                       "Retry-After)")
+    serve.add_argument("--request-deadline", type=float, default=0.05,
+                       metavar="SECONDS",
+                       help="default per-request latency budget; under "
+                       "pressure the feature pipeline degrades "
+                       "FULL -> NO_POS -> TEXT_ONLY instead of erroring "
+                       "(default 0.05; requests may override with "
+                       "'deadline_ms')")
+    serve.add_argument("--poll-interval", type=float, default=0.25,
+                       metavar="SECONDS",
+                       help="snapshot-store poll cadence for hot swaps "
+                       "(default 0.25)")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="max wait for in-flight requests on "
+                       "SIGTERM before force-closing (default 10)")
+    serve.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="export serving telemetry: JSONL events to "
+                       "FILE plus a Prometheus exposition to FILE.prom "
+                       "on exit (live scrapes: GET /metrics)")
+    serve.add_argument("--flight-recorder", default=None, metavar="DIR",
+                       help="dump the telemetry ring to DIR on "
+                       "incidents (snapshot rejected, handler errors)")
+
+    snapshot = commands.add_parser(
+        "snapshot", help="manage serving snapshot stores"
+    )
+    snapshot_commands = snapshot.add_subparsers(
+        dest="snapshot_command", required=True
+    )
+    publish = snapshot_commands.add_parser(
+        "publish", help="publish a verified snapshot from a checkpoint"
+    )
+    publish.add_argument("store", help="snapshot store directory "
+                         "(created if missing)")
+    publish.add_argument("--from-checkpoint", required=True,
+                         metavar="PATH",
+                         help="supervisor checkpoint directory or a "
+                         "checkpoint/pipeline JSON file to publish from")
+    publish.add_argument("--keep", type=_positive_int, default=5,
+                         help="snapshot versions to retain (default 5)")
+    snapshot_list = snapshot_commands.add_parser(
+        "list", help="list the verified versions in a store"
+    )
+    snapshot_list.add_argument("store")
 
     classify = commands.add_parser(
         "classify", help="classify a JSONL stream with a saved model"
@@ -271,9 +350,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         or args.queue_capacity is not None
         or args.batch_deadline is not None
         or args.arrival_rate is not None
+        or args.publish_snapshot is not None
     )
     if args.resume and args.checkpoint_dir is None:
         logger.error("error: --resume requires --checkpoint-dir")
+        return 2
+    if args.keep_checkpoints is not None and args.checkpoint_dir is None:
+        logger.error("error: --keep-checkpoints requires --checkpoint-dir")
         return 2
     if args.arrival_rate is not None and args.arrival_rate <= 0:
         logger.error("error: --arrival-rate must be positive")
@@ -384,6 +467,7 @@ def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
         RetryPolicy,
         StreamSupervisor,
     )
+    from repro.reliability.supervisor import DEFAULT_KEEP_CHECKPOINTS
 
     retry_policy = (
         RetryPolicy(max_retries=args.retries)
@@ -399,6 +483,16 @@ def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
     )
     console = OpsConsole() if args.console else None
     slo_sinks = [s for s in (sink, recorder) if s is not None]
+    snapshot_store = None
+    if args.publish_snapshot is not None:
+        from repro.serve.snapshot import SnapshotStore
+
+        snapshot_store = SnapshotStore(args.publish_snapshot)
+    keep_checkpoints = (
+        args.keep_checkpoints
+        if args.keep_checkpoints is not None
+        else DEFAULT_KEEP_CHECKPOINTS
+    )
     overloaded = (
         args.queue_capacity is not None
         or args.batch_deadline is not None
@@ -419,6 +513,8 @@ def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
             speculate=args.speculate,
             console=console,
             recorder=recorder,
+            keep_checkpoints=keep_checkpoints,
+            snapshot_store=snapshot_store,
         )
         if isinstance(supervisor.engine, MicroBatchEngine):
             # The rebuilt engine predates these run flags; re-attach.
@@ -484,8 +580,29 @@ def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
             slos=SLOTracker(default_slos(), sinks=slo_sinks),
             console=console,
             recorder=recorder,
+            keep_checkpoints=keep_checkpoints,
+            snapshot_store=snapshot_store,
         )
     engine = supervisor.engine
+    # SIGTERM/SIGINT drain gracefully: stop drawing tweets, flush the
+    # buffered work through the engine, write a final checkpoint (and
+    # snapshot), exit 0. A second signal falls through to the default
+    # handler for a hard kill.
+    import signal as _signal
+
+    previous_handlers = {}
+
+    def _graceful_stop(signum: int, frame: object) -> None:
+        supervisor.request_stop()
+        _signal.signal(signum, previous_handlers.get(
+            signum, _signal.SIG_DFL
+        ))
+
+    for _sig in (_signal.SIGTERM, _signal.SIGINT):
+        try:
+            previous_handlers[_sig] = _signal.signal(_sig, _graceful_stop)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
     if sink is not None:
         sink.event(
             "run_start",
@@ -569,9 +686,18 @@ def _run_supervised(args: argparse.Namespace, config: PipelineConfig) -> int:
                     health.n_partition_timeouts,
                     health.n_speculative_wins,
                     int(supervisor.metrics.total("pool_rebuilds_total")))
+    if run.stopped:
+        logger.info("stopped       : graceful drain at cursor %d; "
+                    "re-run with --resume to continue",
+                    supervisor._cursor)
     if args.checkpoint_dir:
         logger.info("checkpoints   : %d written to %s",
                     health.n_checkpoints, args.checkpoint_dir)
+    if snapshot_store is not None:
+        latest = snapshot_store.latest_version()
+        logger.info("snapshots     : latest v%s published to %s",
+                    latest if latest is not None else "-",
+                    args.publish_snapshot)
     if (
         isinstance(engine, MicroBatchEngine)
         and result.worker_stage_seconds
@@ -708,6 +834,83 @@ def _run_microbatch(args: argparse.Namespace, config: PipelineConfig) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve classifications from a snapshot store until SIGTERM."""
+    import asyncio
+
+    from repro.obs.recorder import FlightRecorder
+    from repro.serve.server import AggressionServer
+    from repro.serve.snapshot import SnapshotStore
+
+    sink = _open_telemetry(args)
+    recorder = (
+        FlightRecorder(dump_dir=args.flight_recorder)
+        if args.flight_recorder is not None
+        else None
+    )
+    store = SnapshotStore(args.store)
+    server = AggressionServer(
+        store,
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        queue_capacity=args.queue_capacity,
+        shed_policy=args.shed_policy,
+        default_deadline_s=args.request_deadline,
+        poll_interval_s=args.poll_interval,
+        drain_timeout_s=args.drain_timeout,
+        telemetry=sink,
+        recorder=recorder,
+    )
+    try:
+        asyncio.run(server.serve_forever())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    logger.info("served        : %d requests (%d swaps, %d rejected "
+                "snapshots, %d shed)",
+                server.n_requests, server.n_swaps,
+                store.n_rejected, server.admission.n_shed)
+    _finalize_telemetry(sink, server.metrics, args)
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.serve.snapshot import SnapshotStore, payload_from_checkpoint
+
+    if args.snapshot_command == "publish":
+        from pathlib import Path
+
+        source = Path(args.from_checkpoint)
+        if source.is_dir():
+            source = source / "checkpoint.json"
+        if not source.exists():
+            logger.error("error: checkpoint not found: %s", source)
+            return 2
+        store = SnapshotStore(args.store, keep=args.keep)
+        info = store.publish(
+            payload_from_checkpoint(source),
+            meta={"source": str(source)},
+        )
+        logger.info("published     : v%d (%d bytes, sha256 %s...) to %s",
+                    info.version, info.n_bytes, info.sha256[:12],
+                    args.store)
+        return 0
+    store = SnapshotStore(args.store)
+    versions = store.versions()
+    if not versions:
+        logger.info("store %s is empty", args.store)
+        return 0
+    latest = store.latest_version()
+    for version in versions:
+        info = store.info(version)
+        marker = " (latest)" if version == latest else ""
+        logger.info("v%-6d %10d bytes  sha256 %s...  %s%s",
+                    version, info.n_bytes, info.sha256[:12],
+                    json.dumps(info.meta, separators=(",", ":")),
+                    marker)
+    return 0
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
     from repro.core.features import FeatureExtractor, LabelEncoder
 
@@ -753,6 +956,8 @@ _COMMANDS = {
     "run": _cmd_run,
     "classify": _cmd_classify,
     "simulate": _cmd_simulate,
+    "serve": _cmd_serve,
+    "snapshot": _cmd_snapshot,
 }
 
 

@@ -9,12 +9,15 @@ history, sampler reservoir, and counters — to a JSON file, such that a
 resumed pipeline continues the stream *exactly* as the original would
 have (verified by the equivalence tests).
 
-Checkpoint files are written *atomically* (:func:`atomic_write_json`):
-the payload goes to a ``*.tmp`` file in the same directory, is fsynced,
-and is moved over the target with ``os.replace``. A crash mid-save
+Checkpoint files are written *atomically and durably*
+(:func:`atomic_write_json`): the payload goes to a ``*.tmp`` file in
+the same directory, is fsynced, and is moved over the target with
+``os.replace``, with the parent directory fsynced around the rename so
+the swap survives power loss, not just process crash. A crash mid-save
 therefore leaves either the previous good checkpoint or the new one,
 never a torn file — the invariant the stream supervisor's
-checkpoint-resume guarantee rests on.
+checkpoint-resume guarantee and the serving layer's snapshot store
+rest on.
 
 The serialization helpers for the alert manager and the boosted sampler
 (:func:`alert_manager_to_dict` / :func:`sampler_to_dict` and their
@@ -58,16 +61,39 @@ CHECKPOINT_VERSION = 2
 PathLike = Union[str, Path]
 
 
+def _fsync_dir(directory: Path) -> None:
+    """fsync a directory so its entries (renames) reach stable storage.
+
+    Some filesystems (and non-POSIX platforms) refuse to open or fsync
+    directories; durability degrades gracefully there — the rename is
+    still atomic, it just rides the next metadata flush.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
 def atomic_write_text(path: PathLike, text: str) -> int:
-    """Write ``text`` to ``path`` atomically; returns the byte size.
+    """Write ``text`` to ``path`` atomically and durably; returns bytes.
 
     Writes to ``<name>.tmp`` in the *same directory* (``os.replace``
-    must not cross filesystems), flushes and fsyncs the data, then
-    replaces the target in one atomic rename. A crash at any point
-    leaves the previous file contents intact; the stale ``*.tmp`` is
-    overwritten by the next attempt. Shared by the checkpoint writers
-    and the flight recorder's post-mortem dumps — anything that must
-    never leave a torn file behind.
+    must not cross filesystems), flushes and fsyncs the data, fsyncs
+    the parent directory (so the temp file's *entry* is on disk before
+    the rename references it), replaces the target in one atomic
+    rename, then fsyncs the parent directory again so the rename
+    itself survives power loss — not just process crash. A failure at
+    any point leaves the previous file contents intact; the stale
+    ``*.tmp`` is overwritten by the next attempt. Shared by the
+    checkpoint writers, the snapshot store and the flight recorder's
+    post-mortem dumps — anything that must never leave a torn file
+    behind.
     """
     target = Path(path)
     data = text.encode("utf-8")
@@ -76,7 +102,10 @@ def atomic_write_text(path: PathLike, text: str) -> int:
         handle.write(data)
         handle.flush()
         os.fsync(handle.fileno())
+    parent = target.parent if str(target.parent) else Path(".")
+    _fsync_dir(parent)
     os.replace(tmp, target)
+    _fsync_dir(parent)
     return len(data)
 
 

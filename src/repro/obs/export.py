@@ -141,6 +141,19 @@ METRIC_HELP: Dict[str, str] = {
     "ingest_queue_depth": "Tweets waiting in the bounded ingest queue.",
     "degrade_level": "Current feature-degradation tier (0 = full).",
     "controller_n_partitions": "Partition count chosen by the controller.",
+    "checkpoint_corrupt_total": "Corrupt checkpoint files skipped on resume.",
+    "requests_total": "Serving requests answered, by endpoint and status.",
+    "request_seconds": "Serving request latency, by endpoint.",
+    "requests_degraded_total": "Requests answered below FULL feature tier.",
+    "requests_error_total": "Requests that failed in the handler (500s).",
+    "requests_shed_total": "Requests shed by admission control (429s).",
+    "admission_queue_depth": "Requests waiting in the admission room.",
+    "inflight_requests": "Requests currently being handled.",
+    "snapshots_published_total": "Model snapshots published to the store.",
+    "snapshot_rejected_total": "Snapshots refused (checksum/structure).",
+    "snapshot_swaps_total": "Hot model swaps completed by the server.",
+    "snapshot_latest_version": "Newest snapshot version in the store.",
+    "serving_snapshot_version": "Snapshot version currently serving.",
 }
 
 

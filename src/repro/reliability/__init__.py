@@ -51,6 +51,7 @@ _EXPORTS = {
     "QueueEntry": "repro.reliability.overload",
     "SHED_POLICIES": "repro.reliability.overload",
     "register_shed_policy": "repro.reliability.overload",
+    "DEFAULT_KEEP_CHECKPOINTS": "repro.reliability.supervisor",
     "RetryPolicy": "repro.reliability.supervisor",
     "StreamSupervisor": "repro.reliability.supervisor",
     "SupervisedRun": "repro.reliability.supervisor",

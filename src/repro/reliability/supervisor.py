@@ -109,6 +109,11 @@ from repro.streamml.serialize import (
 SUPERVISOR_CHECKPOINT_VERSION = 5
 _READABLE_CHECKPOINT_VERSIONS = (1, 2, 3, 4, 5)
 CHECKPOINT_FILENAME = "checkpoint.json"
+#: History checkpoints ride alongside the rolling file as
+#: ``checkpoint-NNNNNNNN.json`` (chunk-stamped); resume falls back
+#: over them newest-first when a file is truncated or bit-flipped.
+CHECKPOINT_HISTORY_PREFIX = "checkpoint-"
+DEFAULT_KEEP_CHECKPOINTS = 3
 
 logger = get_logger("supervisor")
 
@@ -331,6 +336,9 @@ class SupervisedRun:
     result: Any  # EngineResult or SequentialRunResult
     health: StreamHealth
     dead_letters: DeadLetterQueue = field(default_factory=DeadLetterQueue)
+    #: True when the run ended early via :meth:`StreamSupervisor.
+    #: request_stop` (graceful drain) rather than stream exhaustion.
+    stopped: bool = False
 
     @property
     def metrics(self) -> Dict[str, float]:
@@ -399,9 +407,13 @@ class StreamSupervisor:
         slos: Optional[SLOTracker] = None,
         console: Optional[OpsConsole] = None,
         recorder: Optional[FlightRecorder] = None,
+        keep_checkpoints: int = DEFAULT_KEEP_CHECKPOINTS,
+        snapshot_store: Optional[Any] = None,
     ) -> None:
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if keep_checkpoints < 1:
+            raise ValueError("keep_checkpoints must be >= 1")
         self.engine = engine
         self.checkpoint_dir = (
             Path(checkpoint_dir) if checkpoint_dir is not None else None
@@ -435,6 +447,13 @@ class StreamSupervisor:
         self.slo_tracker = slos
         self.console = console
         self.recorder = recorder
+        self.keep_checkpoints = keep_checkpoints
+        #: Optional :class:`~repro.serve.snapshot.SnapshotStore` (duck
+        #: typed: anything with ``publish(payload, meta=...)``); every
+        #: checkpoint also publishes a verified serving snapshot, so a
+        #: live server hot-swaps models while training continues.
+        self.snapshot_store = snapshot_store
+        self._stop_requested = False
         self._server_free_s = 0.0  # simulated-clock cursor (run_timed)
         # Holds the controller while run_timed's model mode detaches it
         # from the engine, so checkpoints still capture its state.
@@ -515,7 +534,18 @@ class StreamSupervisor:
                 ),
                 "server_free_s": self._server_free_s,
             }
-        size = atomic_write_json(path, payload)
+        text = json.dumps(payload, separators=(",", ":"))
+        # History first, rolling file last: readers always find the
+        # newest state at the canonical name, and resume can fall back
+        # over the chunk-stamped history when a file is corrupt.
+        from repro.core.checkpoint import atomic_write_text
+
+        history = self.checkpoint_dir / (
+            f"{CHECKPOINT_HISTORY_PREFIX}{self._chunks_done:08d}.json"
+        )
+        atomic_write_text(history, text)
+        size = atomic_write_text(path, text)
+        self._gc_checkpoints()
         self.n_checkpoints += 1
         self.last_checkpoint_chunk = self._chunks_done
         self._m_checkpoints.inc()
@@ -530,7 +560,44 @@ class StreamSupervisor:
                 cursor=self._cursor,
                 bytes=size,
             )
+        if self.snapshot_store is not None:
+            self._publish_snapshot()
         return size
+
+    def _gc_checkpoints(self) -> None:
+        """Bound history retention: keep the newest K, unlink the rest."""
+        assert self.checkpoint_dir is not None
+        stale = sorted(
+            self.checkpoint_dir.glob(f"{CHECKPOINT_HISTORY_PREFIX}*.json"),
+            reverse=True,
+        )[self.keep_checkpoints:]
+        for path in stale:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            logger.debug("checkpoint history GC: %s", path.name)
+
+    def _publish_snapshot(self) -> None:
+        """Publish the engine's scoring state to the snapshot store."""
+        from repro.serve.snapshot import payload_from_source
+
+        try:
+            info = self.snapshot_store.publish(
+                payload_from_source(self.engine),
+                meta={"chunk": self._chunks_done, "cursor": self._cursor},
+            )
+        except Exception:
+            # Publishing is a best-effort side channel; a full disk on
+            # the store must not kill the training run.
+            logger.exception("snapshot publish failed; training continues")
+            return
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "snapshot_published",
+                version=info.version,
+                chunk=self._chunks_done,
+            )
 
     @classmethod
     def resume(
@@ -549,16 +616,115 @@ class StreamSupervisor:
         speculate: Optional[float] = None,
         console: Optional[OpsConsole] = None,
         recorder: Optional[FlightRecorder] = None,
+        keep_checkpoints: int = DEFAULT_KEEP_CHECKPOINTS,
+        snapshot_store: Optional[Any] = None,
     ) -> "StreamSupervisor":
-        """Rebuild a supervisor from the last good checkpoint.
+        """Rebuild a supervisor from the newest *verifiable* checkpoint.
+
+        The rolling ``checkpoint.json`` is tried first, then the
+        chunk-stamped history files newest-first: a truncated or
+        bit-flipped file is skipped with one WARNING (and counted in
+        ``checkpoint_corrupt_total``) and the next older candidate is
+        tried — corrupt state costs recent progress, never the whole
+        run. :class:`~repro.streamml.serialize.SerializationError` is
+        raised only when *no* retained file verifies.
 
         The returned supervisor's next :meth:`run` call must receive
         the *same replayable stream* the original run did; it skips the
         already-consumed prefix and continues, reproducing the
         uninterrupted run's final metrics and alert list exactly.
         """
-        path = Path(checkpoint_dir) / CHECKPOINT_FILENAME
-        payload = json.loads(path.read_text(encoding="utf-8"))
+        directory = Path(checkpoint_dir)
+        candidates = [directory / CHECKPOINT_FILENAME]
+        candidates.extend(sorted(
+            directory.glob(f"{CHECKPOINT_HISTORY_PREFIX}*.json"),
+            reverse=True,
+        ))
+        candidates = [path for path in candidates if path.exists()]
+        if not candidates:
+            raise FileNotFoundError(
+                f"no checkpoint files in {directory}"
+            )
+        failures: List[Tuple[str, BaseException]] = []
+        supervisor: Optional["StreamSupervisor"] = None
+        resumed_from: Optional[Path] = None
+        for candidate in candidates:
+            try:
+                payload = json.loads(
+                    candidate.read_text(encoding="utf-8")
+                )
+                supervisor = cls._resume_from_payload(
+                    payload,
+                    checkpoint_dir=checkpoint_dir,
+                    checkpoint_every=checkpoint_every,
+                    runner=runner,
+                    n_workers=n_workers,
+                    retry_policy=retry_policy,
+                    dead_letters=dead_letters,
+                    max_poison_rate=max_poison_rate,
+                    validate=validate,
+                    telemetry=telemetry,
+                    metrics_every=metrics_every,
+                    partition_deadline_s=partition_deadline_s,
+                    speculate=speculate,
+                    console=console,
+                    recorder=recorder,
+                    keep_checkpoints=keep_checkpoints,
+                    snapshot_store=snapshot_store,
+                )
+                resumed_from = candidate
+                break
+            except Exception as exc:
+                failures.append((candidate.name, exc))
+        if supervisor is None:
+            detail = "; ".join(
+                f"{name}: {type(exc).__name__}: {exc}"
+                for name, exc in failures
+            )
+            raise SerializationError(
+                f"no verifiable checkpoint in {directory}: {detail}"
+            )
+        if failures:
+            logger.warning(
+                "skipped %d corrupt checkpoint file(s) (%s); resumed "
+                "from %s",
+                len(failures),
+                ", ".join(name for name, _ in failures),
+                resumed_from.name,
+            )
+            supervisor.metrics.counter("checkpoint_corrupt_total").inc(
+                len(failures)
+            )
+            if telemetry is not None:
+                telemetry.event(
+                    "checkpoint_corrupt",
+                    skipped=[name for name, _ in failures],
+                    resumed_from=resumed_from.name,
+                )
+        return supervisor
+
+    @classmethod
+    def _resume_from_payload(
+        cls,
+        payload: Dict[str, Any],
+        checkpoint_dir: PathLike,
+        checkpoint_every: int,
+        runner: Optional[Union[Runner, str]],
+        n_workers: Optional[int],
+        retry_policy: Optional[RetryPolicy],
+        dead_letters: Optional[DeadLetterQueue],
+        max_poison_rate: Optional[float],
+        validate: bool,
+        telemetry: Optional[TelemetrySink],
+        metrics_every: Optional[int],
+        partition_deadline_s: Optional[float],
+        speculate: Optional[float],
+        console: Optional[OpsConsole],
+        recorder: Optional[FlightRecorder],
+        keep_checkpoints: int,
+        snapshot_store: Optional[Any],
+    ) -> "StreamSupervisor":
+        """Rebuild a supervisor from one parsed checkpoint payload."""
         version = payload.get("supervisor_version")
         if version not in _READABLE_CHECKPOINT_VERSIONS:
             raise SerializationError(
@@ -665,6 +831,27 @@ class StreamSupervisor:
 
     # -- driving --------------------------------------------------------
 
+    def request_stop(self) -> None:
+        """Ask the running loop to stop gracefully (signal-safe).
+
+        The ingest loop stops drawing new tweets at the next iteration,
+        drains whatever is already buffered (partial chunk or ingest
+        queue) through the engine, writes a final checkpoint — and a
+        serving snapshot when a store is attached — and returns a
+        :class:`SupervisedRun` with ``stopped=True``. Nothing already
+        consumed is lost, and the cursor stays consistent, so a later
+        :meth:`resume` + :meth:`run` over the same stream continues
+        exactly. Safe to call from a signal handler: it only sets a
+        flag.
+        """
+        if not self._stop_requested:
+            logger.info("graceful stop requested; draining in-flight work")
+        self._stop_requested = True
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop_requested
+
     def _current_chunk_size(self) -> int:
         """Chunk size for the next engine call.
 
@@ -700,6 +887,8 @@ class StreamSupervisor:
             if queue is None:
                 chunk: List[Tweet] = []
                 for tweet in iterator:
+                    if self._stop_requested:
+                        break
                     self._cursor += 1
                     self._m_consumed.inc()
                     if self.validate and not self._admit(tweet):
@@ -712,6 +901,8 @@ class StreamSupervisor:
                     self._process_chunk(chunk)
             else:
                 for tweet in iterator:
+                    if self._stop_requested:
+                        break
                     self._cursor += 1
                     self._m_consumed.inc()
                     if self.validate and not self._admit(tweet):
@@ -794,6 +985,8 @@ class StreamSupervisor:
                 for _ in islice(iterator, self._cursor):
                     pass
             for tweet, arrival_s in iterator:
+                if self._stop_requested:
+                    break
                 self._catch_up(arrival_s, service_time_s, controller)
                 self._cursor += 1
                 self._m_consumed.inc()
@@ -980,13 +1173,23 @@ class StreamSupervisor:
                 self.metrics, tracker=self.slo_tracker, force=True
             )
         health = self.health()
+        if self._stop_requested:
+            logger.info(
+                "graceful stop complete: cursor=%d chunks=%d",
+                self._cursor, self._chunks_done,
+            )
         if self.telemetry is not None:
             self.telemetry.snapshot(self.metrics, reason="final")
-            self.telemetry.event("run_end", health=health.as_dict())
+            self.telemetry.event(
+                "run_end",
+                health=health.as_dict(),
+                stopped=self._stop_requested,
+            )
         return SupervisedRun(
             result=self.engine.result(),
             health=health,
             dead_letters=self.dead_letters,
+            stopped=self._stop_requested,
         )
 
     # -- reporting ------------------------------------------------------

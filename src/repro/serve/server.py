@@ -1,0 +1,783 @@
+"""Fault-tolerant real-time serving: asyncio HTTP/JSONL on one port.
+
+:class:`AggressionServer` answers "is this tweet aggressive?" while
+the conversation is still live (the paper's red-handed goal) and is
+built to keep answering through overload, corrupt state, and restarts:
+
+* **Hot model swap, zero drops.** A background poll watches the
+  :class:`~repro.serve.snapshot.SnapshotStore`; a new verified version
+  swaps in between requests, while every in-flight request stays
+  *pinned* to the snapshot it started on — the old version serves
+  until its last pinned request completes. Corrupt or torn snapshots
+  are refused (``snapshot_rejected_total`` + one WARNING + a flight
+  dump) and the previous version keeps serving.
+* **Degrade before erroring.** Per-request deadlines route through
+  the PR 4 degrade ladder (``FULL → NO_POS → TEXT_ONLY``) via the
+  model's per-tier cost EWMAs: deadline pressure costs feature
+  fidelity, never a 5xx.
+* **Shed before collapsing.** Admission control bounds concurrency
+  and the waiting room with the shared shed-policy vocabulary;
+  overflow is refused with ``429`` + ``Retry-After`` derived from the
+  observed service rate. A rolling per-endpoint circuit breaker stops
+  a faulting handler from burning the whole line.
+* **Drain before exiting.** SIGTERM stops accepting, lets in-flight
+  requests finish (bounded by ``drain_timeout_s``), then exits
+  cleanly.
+
+Wire format — both speak on the same port, sniffed per connection
+from the first byte:
+
+* HTTP/1.1: ``GET /health | /ready | /metrics``,
+  ``POST /classify | /explain`` with a Twitter-style JSON tweet (or
+  ``{"text": ...}`` shorthand), one request per connection;
+* JSONL: one JSON object per line
+  (``{"op": "classify", "text": "..."}``), one JSON reply per line,
+  connection persists — the firehose-friendly framing.
+
+Observability: per-request latency histograms and request counters on
+a :class:`~repro.obs.metrics.MetricsRegistry`, ``/metrics`` in the
+Prometheus text format, burn-rate SLOs via
+:func:`default_serve_slos`, and an optional
+:class:`~repro.obs.recorder.FlightRecorder` that dumps its ring on
+swap failures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
+
+from repro.data.tweet import Tweet
+from repro.obs.export import prometheus_exposition
+from repro.obs.logconfig import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import SLO, SLOTracker
+from repro.serve.admission import (
+    AdmissionController,
+    RequestShed,
+    RollingBreaker,
+    endpoint_breakers,
+)
+from repro.serve.model import ServingModel
+from repro.serve.snapshot import (
+    SnapshotInfo,
+    SnapshotIntegrityError,
+    SnapshotStore,
+)
+
+logger = get_logger("serve.server")
+
+#: Endpoint names (shared by dispatch, breakers, and metrics labels).
+ENDPOINTS = ("classify", "explain", "health", "ready", "metrics")
+
+#: Endpoints subject to admission control and deadline budgets.
+SCORING_ENDPOINTS = ("classify", "explain")
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def default_serve_slos(
+    request_p99_s: float = 0.25,
+    availability_budget: float = 0.01,
+    shed_budget: float = 0.05,
+) -> List[SLO]:
+    """Burn-rate objectives for a serving process.
+
+    Mirrors :func:`repro.obs.slo.default_slos` for the query path:
+    availability (5xx fraction), request p99, and shed fraction.
+    """
+    return [
+        SLO(
+            name="serve_availability",
+            kind="ratio",
+            budget=availability_budget,
+            bad=[("requests_error_total", {})],
+            total=[("requests_total", {})],
+        ),
+        SLO(
+            name="serve_latency_p99",
+            kind="quantile",
+            budget=0.1,
+            family="request_seconds",
+            quantile=0.99,
+            threshold=request_p99_s,
+        ),
+        SLO(
+            name="serve_shed_fraction",
+            kind="ratio",
+            budget=shed_budget,
+            bad=[("requests_shed_total", {})],
+            total=[("requests_total", {})],
+        ),
+    ]
+
+
+def tweet_from_payload(payload: Dict[str, Any]) -> Tweet:
+    """Build the tweet to score from a request payload.
+
+    Accepts a full Twitter-style tweet object (under ``tweet`` or
+    inline) or the ``{"text": "..."}`` shorthand, which synthesizes an
+    anonymous unlabeled tweet stamped now.
+    """
+    obj = payload.get("tweet", payload)
+    if not isinstance(obj, dict):
+        raise ValueError("tweet must be a JSON object")
+    if "text" not in obj:
+        raise ValueError("request needs a 'text' field")
+    if "created_at" not in obj:
+        obj = dict(obj, created_at=time.time())
+    tweet = Tweet.from_json(obj)
+    if not tweet.text:
+        raise ValueError("request needs a non-empty 'text' field")
+    return tweet
+
+
+@dataclass
+class _LoadedSnapshot:
+    """One verified snapshot resident in memory, with a pin count."""
+
+    info: SnapshotInfo
+    model: ServingModel
+    pins: int = 0
+    n_served: int = 0
+
+
+@dataclass
+class _Response:
+    """One endpoint reply, protocol-agnostic."""
+
+    status: int
+    body: Any  # dict (JSON) or str (text exposition)
+    headers: Dict[str, str] = field(default_factory=dict)
+    content_type: str = "application/json"
+
+
+class AggressionServer:
+    """Serves classify/explain/health/ready/metrics over HTTP + JSONL.
+
+    Args:
+        store: snapshot store to poll (its rejection counters are
+            published on this server's registry).
+        host, port: bind address; port 0 picks a free port
+            (``self.port`` holds the real one after :meth:`start`).
+        max_inflight, queue_capacity, shed_policy: admission control
+            (policy names shared with the streaming shed policies).
+        default_deadline_s: per-request latency budget when the
+            request does not carry ``deadline_ms``; ``None`` disables
+            budget-based degradation.
+        poll_interval_s: snapshot poll cadence.
+        drain_timeout_s: bound on the SIGTERM drain.
+        metrics / telemetry / recorder / slos: observability wiring;
+            a fresh registry and :func:`default_serve_slos` tracker by
+            default.
+        slo_every: sample the SLO tracker every N responses.
+        chaos_hook: optional ``async (endpoint) -> None`` awaited
+            before scoring — the chaos suite's fault-injection seam
+            (stalls, exceptions), never set in production.
+    """
+
+    def __init__(
+        self,
+        store: SnapshotStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = 8,
+        queue_capacity: int = 64,
+        shed_policy: str = "drop-newest",
+        default_deadline_s: Optional[float] = 0.05,
+        poll_interval_s: float = 0.25,
+        drain_timeout_s: float = 10.0,
+        metrics: Optional[MetricsRegistry] = None,
+        telemetry: Optional[Any] = None,
+        recorder: Optional[FlightRecorder] = None,
+        slos: Optional[SLOTracker] = None,
+        slo_every: int = 32,
+        breaker_window: int = 64,
+        breaker_max_failure_rate: float = 0.5,
+        chaos_hook: Optional[Callable[[str], Awaitable[None]]] = None,
+    ) -> None:
+        self.store = store
+        self.host = host
+        self.port = port
+        self.default_deadline_s = default_deadline_s
+        self.poll_interval_s = poll_interval_s
+        self.drain_timeout_s = drain_timeout_s
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if store.metrics is None:
+            store.metrics = self.metrics
+        self.telemetry = telemetry
+        self.recorder = recorder
+        self.slo_tracker = (
+            slos if slos is not None else SLOTracker(default_serve_slos())
+        )
+        self.slo_every = max(1, slo_every)
+        self.chaos_hook = chaos_hook
+        self.admission = AdmissionController(
+            max_inflight=max_inflight,
+            queue_capacity=queue_capacity,
+            policy=shed_policy,
+            metrics=self.metrics,
+        )
+        self.breakers: Dict[str, RollingBreaker] = endpoint_breakers(
+            SCORING_ENDPOINTS,
+            window=breaker_window,
+            max_failure_rate=breaker_max_failure_rate,
+        )
+        self._current: Optional[_LoadedSnapshot] = None
+        self._rejected_versions: set = set()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._poll_task: Optional[asyncio.Task] = None
+        self._writers: set = set()
+        self._inflight_requests = 0
+        self._draining = False
+        self._shutdown_event: Optional[asyncio.Event] = None
+        self._responses_since_slo = 0
+        self.n_requests = 0
+        self.n_swaps = 0
+        self.started_at = time.time()
+        self._m_degraded = self.metrics.counter("requests_degraded_total")
+        self._m_errors = self.metrics.counter("requests_error_total")
+        self._m_swaps = self.metrics.counter("snapshot_swaps_total")
+        self._g_version = self.metrics.gauge("serving_snapshot_version")
+        self._g_inflight = self.metrics.gauge("inflight_requests")
+
+    # -- snapshot lifecycle ---------------------------------------------
+
+    @property
+    def snapshot_version(self) -> Optional[int]:
+        return self._current.info.version if self._current else None
+
+    @property
+    def ready(self) -> bool:
+        return self._current is not None and not self._draining
+
+    def check_for_update(self) -> bool:
+        """Poll the store once; swap if a newer version verifies.
+
+        Returns True when a swap (or first load) happened. A corrupt
+        latest version is refused *once* (counter, WARNING, flight
+        dump) and remembered, so polling does not re-thrash it; the
+        previous snapshot keeps serving.
+        """
+        latest = self.store.latest_version()
+        if latest is None:
+            return False
+        current_version = self.snapshot_version
+        if latest == current_version or latest in self._rejected_versions:
+            return False
+        try:
+            info, payload = self.store.load_latest_verified()
+            model = ServingModel(payload)
+        except Exception as exc:
+            self._swap_failure(latest, exc)
+            return False
+        if info.version == current_version:
+            # The newest file was refused and fallback landed on what
+            # is already serving: not a swap, but worth the black box.
+            self._swap_failure(latest, None)
+            return False
+        previous = self._current
+        self._current = _LoadedSnapshot(info=info, model=model)
+        self.n_swaps += 1
+        if previous is not None:
+            self._m_swaps.inc()
+        self._g_version.set(info.version)
+        logger.info(
+            "snapshot v%s -> v%d live (%d bytes, sha256 %s...)",
+            previous.info.version if previous else "none",
+            info.version, info.n_bytes, info.sha256[:12],
+        )
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "snapshot_swap",
+                version=info.version,
+                previous=previous.info.version if previous else None,
+            )
+        if self.recorder is not None:
+            self.recorder.event("snapshot_swap", version=info.version)
+        return True
+
+    def _swap_failure(
+        self, version: int, exc: Optional[Exception]
+    ) -> None:
+        """Refuse a version once: counter, WARNING, flight dump."""
+        self._rejected_versions.add(version)
+        if exc is not None and not isinstance(exc, SnapshotIntegrityError):
+            # Digest verified but the payload would not rebuild — count
+            # it the same way (the store only counts digest/parse).
+            self.store.n_rejected += 1
+            self.metrics.counter("snapshot_rejected_total").inc()
+            logger.warning(
+                "snapshot v%d refused (rebuild failed: %s); continuing "
+                "on v%s", version, exc, self.snapshot_version,
+            )
+        if self.recorder is not None:
+            self.recorder.event(
+                "snapshot_rejected",
+                version=version,
+                serving=self.snapshot_version,
+            )
+            self.recorder.auto_dump("snapshot_rejected")
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "snapshot_rejected",
+                version=version,
+                serving=self.snapshot_version,
+            )
+
+    async def _poll_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.poll_interval_s)
+            try:
+                self.check_for_update()
+            except Exception:  # pragma: no cover - defensive
+                logger.exception("snapshot poll failed; retrying")
+
+    def _pin(self) -> _LoadedSnapshot:
+        snap = self._current
+        assert snap is not None
+        snap.pins += 1
+        return snap
+
+    def _unpin(self, snap: _LoadedSnapshot) -> None:
+        snap.pins -= 1
+        snap.n_served += 1
+        if snap.pins == 0 and snap is not self._current:
+            logger.info(
+                "snapshot v%d retired after %d requests",
+                snap.info.version, snap.n_served,
+            )
+            if self.recorder is not None:
+                self.recorder.event(
+                    "snapshot_retired",
+                    version=snap.info.version,
+                    served=snap.n_served,
+                )
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind, load the initial snapshot if one exists, start polling."""
+        self._shutdown_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        try:
+            self.check_for_update()
+        except Exception:  # pragma: no cover - defensive
+            logger.exception("initial snapshot load failed; will poll")
+        self._poll_task = asyncio.create_task(self._poll_loop())
+        logger.info(
+            "serving on %s:%d (snapshot %s, ready=%s)",
+            self.host, self.port,
+            f"v{self.snapshot_version}" if self._current else "none",
+            self.ready,
+        )
+        return self.host, self.port
+
+    def request_shutdown(self) -> None:
+        """Signal-safe shutdown request (SIGTERM/SIGINT handler)."""
+        if self._shutdown_event is not None:
+            self._shutdown_event.set()
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT to a graceful drain (best effort)."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+
+    async def serve_forever(self) -> None:
+        """Start, serve until SIGTERM/SIGINT, drain, return."""
+        await self.start()
+        self.install_signal_handlers()
+        assert self._shutdown_event is not None
+        await self._shutdown_event.wait()
+        await self.shutdown()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight, close."""
+        if self._draining:
+            return
+        self._draining = True
+        logger.info(
+            "drain: stopped accepting (%d in flight)",
+            self._inflight_requests,
+        )
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._poll_task is not None:
+            self._poll_task.cancel()
+            try:
+                await self._poll_task
+            except asyncio.CancelledError:
+                pass
+        deadline = time.monotonic() + self.drain_timeout_s
+        while self._inflight_requests > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        leaked = self._inflight_requests
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+        if self.telemetry is not None:
+            self.telemetry.snapshot(self.metrics, reason="drain")
+            self.telemetry.event(
+                "drain_complete",
+                n_requests=self.n_requests,
+                leaked_inflight=leaked,
+            )
+        if leaked:
+            logger.warning(
+                "drain timeout: %d requests abandoned after %.1fs",
+                leaked, self.drain_timeout_s,
+            )
+        else:
+            logger.info(
+                "drain complete: %d requests served, 0 in flight",
+                self.n_requests,
+            )
+
+    # -- connection handling --------------------------------------------
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            first = await reader.readline()
+            if not first:
+                return
+            if first.lstrip().startswith(b"{"):
+                await self._serve_jsonl(first, reader, writer)
+            else:
+                await self._serve_http(first, reader, writer)
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            pass
+        finally:
+            self._writers.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _serve_jsonl(
+        self,
+        first: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Persistent one-JSON-per-line session."""
+        line: Optional[bytes] = first
+        while line:
+            response = await self._dispatch_jsonl_line(line)
+            body = dict(response.body) if isinstance(
+                response.body, dict
+            ) else {"text": response.body}
+            body.setdefault("status", response.status)
+            if "retry-after" in {k.lower() for k in response.headers}:
+                body.setdefault(
+                    "retry_after_s",
+                    float(response.headers.get("Retry-After", 0)),
+                )
+            writer.write(
+                json.dumps(body, separators=(",", ":")).encode("utf-8")
+                + b"\n"
+            )
+            await writer.drain()
+            if self._draining:
+                break
+            line = await reader.readline()
+
+    async def _dispatch_jsonl_line(self, line: bytes) -> _Response:
+        try:
+            payload = json.loads(line.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("request must be a JSON object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            return self._count(
+                "classify",
+                _Response(400, {"error": f"bad request: {exc}"}),
+                elapsed=0.0,
+            )
+        endpoint = payload.get("op", "classify")
+        if endpoint not in ENDPOINTS:
+            return self._count(
+                "classify",
+                _Response(404, {"error": f"unknown op {endpoint!r}"}),
+                elapsed=0.0,
+            )
+        return await self._dispatch(endpoint, payload)
+
+    async def _serve_http(
+        self,
+        first: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """One HTTP/1.1 request, ``Connection: close`` semantics."""
+        try:
+            method, path, _ = first.decode("latin-1").split(None, 2)
+        except ValueError:
+            await self._write_http(
+                writer, _Response(400, {"error": "malformed request line"})
+            )
+            return
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            length = 0
+        if length > 0:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                return
+        endpoint = path.split("?", 1)[0].strip("/") or "health"
+        if endpoint not in ENDPOINTS:
+            await self._write_http(
+                writer,
+                self._count(
+                    "health",
+                    _Response(404, {"error": f"no such endpoint /{endpoint}"}),
+                    elapsed=0.0,
+                ),
+            )
+            return
+        if endpoint in SCORING_ENDPOINTS and method.upper() != "POST":
+            await self._write_http(
+                writer,
+                _Response(405, {"error": f"/{endpoint} requires POST"}),
+            )
+            return
+        payload: Dict[str, Any] = {}
+        if body:
+            try:
+                parsed = json.loads(body.decode("utf-8"))
+                if not isinstance(parsed, dict):
+                    raise ValueError("request body must be a JSON object")
+                payload = parsed
+            except (ValueError, UnicodeDecodeError) as exc:
+                await self._write_http(
+                    writer,
+                    self._count(
+                        endpoint,
+                        _Response(400, {"error": f"bad request: {exc}"}),
+                        elapsed=0.0,
+                    ),
+                )
+                return
+        response = await self._dispatch(endpoint, payload)
+        await self._write_http(writer, response)
+
+    async def _write_http(
+        self, writer: asyncio.StreamWriter, response: _Response
+    ) -> None:
+        if isinstance(response.body, str):
+            data = response.body.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            data = json.dumps(
+                response.body, separators=(",", ":")
+            ).encode("utf-8")
+            content_type = response.content_type
+        reason = _REASONS.get(response.status, "Unknown")
+        head = [
+            f"HTTP/1.1 {response.status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(data)}",
+            "Connection: close",
+        ]
+        head.extend(f"{k}: {v}" for k, v in response.headers.items())
+        writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + data
+        )
+        await writer.drain()
+
+    # -- dispatch -------------------------------------------------------
+
+    async def _dispatch(
+        self, endpoint: str, payload: Dict[str, Any]
+    ) -> _Response:
+        start = time.perf_counter()
+        self._inflight_requests += 1
+        self._g_inflight.set(self._inflight_requests)
+        try:
+            if endpoint == "health":
+                return self._count(endpoint, self._health(), start=start)
+            if endpoint == "ready":
+                return self._count(endpoint, self._ready(), start=start)
+            if endpoint == "metrics":
+                return self._count(
+                    endpoint,
+                    _Response(200, prometheus_exposition(self.metrics)),
+                    start=start,
+                )
+            return await self._score(endpoint, payload, start)
+        finally:
+            self._inflight_requests -= 1
+            self._g_inflight.set(self._inflight_requests)
+
+    def _health(self) -> _Response:
+        if self._draining:
+            status = "draining"
+        elif self._current is None:
+            status = "waiting_for_snapshot"
+        else:
+            status = "serving"
+        return _Response(200, {
+            "status": status,
+            "snapshot_version": self.snapshot_version,
+            "n_requests": self.n_requests,
+            "inflight": self._inflight_requests,
+            "n_swaps": self.n_swaps,
+            "snapshots_rejected": self.store.n_rejected,
+            "uptime_s": time.time() - self.started_at,
+        })
+
+    def _ready(self) -> _Response:
+        if self.ready:
+            return _Response(
+                200, {"ready": True, "snapshot_version": self.snapshot_version}
+            )
+        reason = "draining" if self._draining else "no verified snapshot"
+        return _Response(503, {"ready": False, "reason": reason})
+
+    async def _score(
+        self, endpoint: str, payload: Dict[str, Any], start: float
+    ) -> _Response:
+        breaker = self.breakers[endpoint]
+        if not breaker.allow():
+            retry = self.admission.retry_after_s()
+            return self._count(endpoint, _Response(
+                503,
+                {"error": "circuit open", "retry_after_s": retry},
+                headers={"Retry-After": str(max(1, math.ceil(retry)))},
+            ), start=start)
+        if not self.ready:
+            return self._count(endpoint, _Response(
+                503,
+                {
+                    "error": (
+                        "draining" if self._draining
+                        else "no verified snapshot loaded"
+                    )
+                },
+            ), start=start)
+        try:
+            await self.admission.acquire(endpoint)
+        except RequestShed as shed:
+            return self._count(endpoint, _Response(
+                429,
+                {"error": "overloaded", "retry_after_s": shed.retry_after_s},
+                headers={
+                    "Retry-After": str(max(1, math.ceil(shed.retry_after_s)))
+                },
+            ), start=start)
+        snap = self._pin()
+        failed = False
+        try:
+            if self.chaos_hook is not None:
+                await self.chaos_hook(endpoint)
+            tweet = tweet_from_payload(payload)
+            deadline_s = self.default_deadline_s
+            if "deadline_ms" in payload:
+                deadline_s = max(float(payload["deadline_ms"]), 0.0) / 1000.0
+            budget_s: Optional[float] = None
+            if deadline_s is not None:
+                # Queue wait already spent part of the budget; what is
+                # left drives the tier choice. Never below a hair above
+                # zero — an exhausted budget degrades to the cheapest
+                # tier, it does not error.
+                spent = time.perf_counter() - start
+                budget_s = max(deadline_s - spent, 1e-4)
+            if endpoint == "classify":
+                result = snap.model.classify(tweet, budget_s=budget_s)
+            else:
+                result = snap.model.explain(tweet, budget_s=budget_s)
+            if result.get("degraded"):
+                self._m_degraded.inc()
+            result["snapshot_version"] = snap.info.version
+            return self._count(endpoint, _Response(200, result), start=start)
+        except ValueError as exc:
+            return self._count(
+                endpoint, _Response(400, {"error": str(exc)}), start=start
+            )
+        except Exception as exc:
+            failed = True
+            self._m_errors.inc()
+            logger.exception("%s handler failed", endpoint)
+            if self.recorder is not None:
+                self.recorder.event(
+                    "handler_error", endpoint=endpoint, error=repr(exc)
+                )
+            return self._count(
+                endpoint,
+                _Response(500, {"error": f"{type(exc).__name__}: {exc}"}),
+                start=start,
+            )
+        finally:
+            elapsed = time.perf_counter() - start
+            self._unpin(snap)
+            self.admission.release()
+            self.admission.note_service_time(elapsed)
+            breaker.record(failed)
+
+    def _count(
+        self,
+        endpoint: str,
+        response: _Response,
+        start: Optional[float] = None,
+        elapsed: Optional[float] = None,
+    ) -> _Response:
+        """Per-response bookkeeping: counters, latency, SLO cadence."""
+        if elapsed is None:
+            elapsed = time.perf_counter() - start if start is not None else 0.0
+        self.n_requests += 1
+        self.metrics.counter(
+            "requests_total", endpoint=endpoint, status=str(response.status)
+        ).inc()
+        self.metrics.histogram(
+            "request_seconds", endpoint=endpoint
+        ).observe(elapsed)
+        self._responses_since_slo += 1
+        if (
+            self.slo_tracker is not None
+            and self._responses_since_slo >= self.slo_every
+        ):
+            self._responses_since_slo = 0
+            self.slo_tracker.observe(self.metrics)
+        return response

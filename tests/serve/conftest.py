@@ -1,0 +1,109 @@
+"""Serving-layer fixtures and async client helpers.
+
+The server tests drive a real :class:`AggressionServer` bound to an
+ephemeral port inside ``asyncio.run`` — no mocked transports, the same
+byte streams a curl/netcat client would produce.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+import pytest
+
+from repro.data.synthetic import AbusiveDatasetGenerator
+from repro.engine.sequential import SequentialEngine
+from repro.serve.snapshot import payload_from_source
+
+
+@pytest.fixture(scope="session")
+def trained_payload() -> Dict[str, Any]:
+    """One verified-shape snapshot payload from a short training run."""
+    engine = SequentialEngine()
+    tweets = AbusiveDatasetGenerator(n_tweets=600, seed=11).generate_list()
+    engine.process_many(tweets)
+    return payload_from_source(engine)
+
+
+@pytest.fixture(scope="session")
+def trained_payload_v2() -> Dict[str, Any]:
+    """A second, distinguishable payload (longer training run)."""
+    engine = SequentialEngine()
+    tweets = AbusiveDatasetGenerator(n_tweets=1200, seed=23).generate_list()
+    engine.process_many(tweets)
+    return payload_from_source(engine)
+
+
+async def http_request(
+    port: int,
+    path: str,
+    body: Optional[Dict[str, Any]] = None,
+    method: str = "POST",
+    host: str = "127.0.0.1",
+) -> Tuple[int, Dict[str, str], Any]:
+    """One-shot HTTP/1.1 request; returns (status, headers, parsed body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    payload = json.dumps(body or {}).encode("utf-8")
+    request = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Content-Type: application/json\r\n"
+        "\r\n"
+    ).encode("ascii") + payload
+    writer.write(request)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    head, _, body_bytes = raw.partition(b"\r\n\r\n")
+    lines = head.decode("utf-8", "replace").split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    text = body_bytes.decode("utf-8", "replace")
+    if headers.get("content-type", "").startswith("application/json"):
+        return status, headers, json.loads(text)
+    return status, headers, text
+
+
+class JsonlClient:
+    """A persistent JSONL session against a running server."""
+
+    def __init__(self, port: int, host: str = "127.0.0.1") -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> "JsonlClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        assert self._writer is not None and self._reader is not None
+        self._writer.write(
+            (json.dumps(message, separators=(",", ":")) + "\n").encode()
+        )
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the session")
+        return json.loads(line)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
