@@ -46,6 +46,23 @@ benchmarks and the CLI.
 The updated global model (serialized well under 1 MB, as the paper
 notes) is "broadcast" — passed to the next batch's tasks.
 
+Tweets travel the same way: under a pickling (process) runner the
+driver encodes each micro-batch's partitions once into a pooled
+shared-memory :class:`~repro.engine.runners.TweetBlock`, and every
+partition task carries only an O(1) ``(segment, offset, length)``
+descriptor — N partitions no longer cost N tweet-list pickles through
+the pool's task pipe. Partition outputs ship compact aggregates on the
+way back (SLR locals reduce to a weights/bias/count triple; per-tweet
+stage telemetry is only measured and shipped when worker telemetry is
+on).
+
+With ``pipelined=True`` the engine double-buffers batches: after batch
+*k*'s partitions resolve, the driver merges *k* (so batch *k+1*'s
+broadcast sees the updated state), launches *k+1* on a background
+submit thread, and runs *k*'s per-record drain/telemetry finalize
+while *k+1* computes. Merge order — and therefore model state — is
+bit-identical to the synchronous path; see :meth:`submit_batch`.
+
 Reliability: a batch whose partition tasks fail with a *transient*
 error (lost pool worker, I/O hiccup, injected fault) is retried under
 the engine's :class:`~repro.reliability.supervisor.RetryPolicy` with
@@ -66,6 +83,7 @@ import os
 import random
 import time
 import traceback as traceback_module
+from concurrent.futures import Future, ThreadPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import (
@@ -101,9 +119,12 @@ from repro.engine.runners import (
     OUTCOME_WORKER_LOST,
     PartitionError,
     Runner,
+    SegmentPool,
     SerialRunner,
     StateBroadcast,
     TaskOutcome,
+    TweetBlock,
+    TweetSlice,
     make_runner,
     new_broadcast_key,
 )
@@ -111,6 +132,7 @@ from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.obs.profile import ProfileReport, ProfileSlice, profile_call
 from repro.obs.recorder import FlightRecorder
 from repro.obs.tracing import (
+    STAGE_SECONDS,
     WORKER_STAGE_SECONDS,
     Tracer,
     WorkerTelemetry,
@@ -141,6 +163,66 @@ BatchCallback = Callable[["MicroBatchResult"], None]
 TWEET_SKETCH_EVERY = 8
 
 
+class _NullHistogram:
+    """Observe sink used when worker telemetry is off.
+
+    The partition hot loops keep their ``observe`` call sites, but with
+    telemetry disabled the per-tweet stage timings are neither sketched
+    nor shipped back to the driver — the default-off path stops paying
+    for (and pickling) data it would discard.
+    """
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_HIST = _NullHistogram()
+
+
+class _SLRDelta:
+    """Compact SLR partition result: weights, bias, examples seen.
+
+    A trained partition-local :class:`StreamingLogisticRegression`
+    carries its full configuration (learning-rate schedule, lambda,
+    counters, fast-math state); the driver's iterative-parameter-mixing
+    merge reads only three fields, so the worker ships exactly those.
+    Duck-typed into :meth:`MicroBatchEngine._average_slr` — the merge
+    arithmetic is unchanged, byte for byte.
+    """
+
+    __slots__ = ("weights", "bias", "instances_seen")
+
+    def __init__(
+        self,
+        weights: List[List[float]],
+        bias: List[float],
+        instances_seen: int,
+    ) -> None:
+        self.weights = weights
+        self.bias = bias
+        self.instances_seen = instances_seen
+
+
+def _compact_local_model(model: StreamClassifier) -> object:
+    """Shrink a trained local model for the return trip when possible.
+
+    SLR locals reduce to an :class:`_SLRDelta`; tree/ensemble structure
+    copies *are* the delta (the driver grafts their accumulated
+    statistics) and ship whole, as do plain clones.
+    """
+    if isinstance(model, StreamingLogisticRegression) and not hasattr(
+        model, "structure_copy"
+    ):
+        return _SLRDelta(
+            weights=[list(row) for row in model.weights],
+            bias=list(model.bias),
+            instances_seen=model.instances_seen,
+        )
+    return model
+
+
 @dataclass
 class _PartitionOutput:
     """Everything a partition task sends back to the driver.
@@ -149,9 +231,13 @@ class _PartitionOutput:
     confusion matrix, normalizer statistics, counters) or the batch's
     unlabeled instances destined for the driver-side alert/sample
     drain. Raw feature vectors never leave the partition.
+
+    ``local_model`` is either a trained local classifier (tree/ensemble
+    structure copies, plain clones) or an :class:`_SLRDelta` — the
+    compact weights/bias/examples triple the SLR merge actually reads.
     """
 
-    local_model: Optional[StreamClassifier]
+    local_model: Optional[object]
     bow_delta: Optional[AdaptiveBagOfWords]
     local_stats: ConfusionMatrix
     local_normalizer: Normalizer
@@ -195,6 +281,53 @@ class _ExecStats:
         return self.n_timeouts + self.n_worker_lost
 
 
+@dataclass
+class _ExecBundle:
+    """Everything the partition-execute stage produced for one batch.
+
+    Built either inline (synchronous :meth:`process_batch`) or on the
+    pipeline submit thread; the merge/finalize phases consume it on the
+    driver thread in both cases, so the two paths share one code body.
+    """
+
+    outputs: List[_PartitionOutput]
+    indexed_outputs: List[Optional[_PartitionOutput]]
+    dropped: List[Tuple[int, TaskOutcome]]
+    exec_stats: Optional[_ExecStats]
+    retries_used: int
+    execute_seconds: float
+    #: perf_counter timestamp when the last partition resolved — the
+    #: anchor for the worker_idle_seconds measurement at next submit.
+    done_at: float
+
+
+@dataclass
+class _BatchState:
+    """One micro-batch's driver-side lifecycle record.
+
+    Created at launch (broadcast snapshot + partitioning + tweet-block
+    encode), carried through execute (``future``/``bundle``) and the
+    merge/finalize phases. In pipelined mode exactly one of these is in
+    flight at a time (double buffering: batch *k* finalizes while batch
+    *k+1* computes).
+    """
+
+    n_tweets: int
+    batch_tier: DegradeTier
+    broadcast: StateBroadcast
+    partitions: List[List[Tweet]]
+    block: TweetBlock
+    started: float
+    future: Optional["Future[_ExecBundle]"] = None
+    bundle: Optional[_ExecBundle] = None
+    #: Driver-tracer-observed execute duration (sync path only); the
+    #: pipelined path uses the bundle's own measurement.
+    execute_span_s: Optional[float] = None
+    model_merge_s: float = 0.0
+    bow_absorb_s: float = 0.0
+    normalizer_merge_s: float = 0.0
+
+
 def _maybe_span(tracer: Optional[Tracer], name: str) -> ContextManager:
     """A tracer span, or a no-op context when telemetry is off."""
     if tracer is None:
@@ -224,9 +357,11 @@ def _make_local_model(model: StreamClassifier) -> StreamClassifier:
 class _PartitionTask:
     """Picklable per-partition work unit (ops #1-#5 of Fig. 2).
 
-    Carries only this partition's tweet slice plus a handful of scalar
-    flags; the heavyweight batch-start state — model, normalizer
-    statistics, BoW lexicon delta — rides in the shared
+    A compact descriptor: this partition's
+    :class:`~repro.engine.runners.TweetSlice` (an O(1) shared-memory
+    coordinate under process runners, the live list otherwise) plus a
+    handful of scalar flags. The heavyweight batch-start state — model,
+    normalizer statistics, BoW lexicon delta — rides in the shared
     :class:`~repro.engine.runners.StateBroadcast` (pickled once per
     batch, decoded once per worker, read live under serial/thread
     runners). Everything resolved from the broadcast is treated as
@@ -235,7 +370,7 @@ class _PartitionTask:
 
     def __init__(
         self,
-        tweets: List[Tweet],
+        tweets: TweetSlice,
         broadcast: StateBroadcast,
         n_classes: int,
         preprocessing: bool,
@@ -299,6 +434,11 @@ class _PartitionTask:
             model, normalizer, bow_added, bow_removed = (
                 self.broadcast.value(metrics=registry)
             )
+            # Resolve the tweet slice in the same span: under a process
+            # runner this attaches the batch's shared tweet block and
+            # unpickles this partition's rows straight from the
+            # mapping; otherwise it returns the live list.
+            tweets = self.tweets.resolve()
         bow_words = (SWEAR_WORDS - bow_removed) | bow_added
         m_processed = registry.counter(
             "tweets_processed_total", engine="microbatch"
@@ -309,15 +449,24 @@ class _PartitionTask:
         m_unlabeled = registry.counter(
             "tweets_unlabeled_total", engine="microbatch"
         )
-        stage_hists = {
-            hist_stage: registry.histogram(
-                "tweet_stage_seconds",
-                sketch_every=TWEET_SKETCH_EVERY,
-                engine="microbatch",
-                stage=hist_stage,
-            )
-            for hist_stage in ("extract", "normalize", "predict")
-        }
+        # Per-tweet stage timings exist to be stitched into traces and
+        # shipped back on the snapshot; with telemetry off they would
+        # be measured, pickled, and discarded — skip them entirely.
+        if self.worker_telemetry:
+            stage_hists = {
+                hist_stage: registry.histogram(
+                    "tweet_stage_seconds",
+                    sketch_every=TWEET_SKETCH_EVERY,
+                    engine="microbatch",
+                    stage=hist_stage,
+                )
+                for hist_stage in ("extract", "normalize", "predict")
+            }
+        else:
+            stage_hists = {
+                hist_stage: _NULL_HIST
+                for hist_stage in ("extract", "normalize", "predict")
+            }
         with _maybe_span(tracer, "derive_state"):
             encoder = LabelEncoder(self.n_classes)
             bow_delta: Optional[AdaptiveBagOfWords] = None
@@ -360,7 +509,7 @@ class _PartitionTask:
             # "process_rows" span for the whole loop (per-stage cost is
             # still in the tweet_stage_seconds histograms).
             with _maybe_span(tracer, "process_rows"):
-                for tweet in self.tweets:
+                for tweet in tweets:
                     stage = "validate"
                     t_start = time.perf_counter()
                     try:
@@ -434,7 +583,7 @@ class _PartitionTask:
             instances: List[Instance] = []
             append_instance = instances.append
             with _maybe_span(tracer, "extract"):
-                for tweet in self.tweets:
+                for tweet in tweets:
                     t_start = perf_counter()
                     append_instance(extract(tweet))  # op #1 (extract)
                     hist_extract.observe(perf_counter() - t_start)
@@ -483,7 +632,7 @@ class _PartitionTask:
                         hist_predict.observe(per_predict)
                 m_processed.inc(n)
                 for normalized, proba, tweet in zip(
-                    normalized_block, probas, self.tweets
+                    normalized_block, probas, tweets
                 ):
                     predicted = max(
                         range(len(proba)), key=proba.__getitem__
@@ -511,7 +660,7 @@ class _PartitionTask:
         with _maybe_span(tracer, "learn"):
             t_learn = time.perf_counter()
             local_model.learn_many(labeled)  # op #3, local part
-            if labeled:
+            if labeled and self.worker_telemetry:
                 registry.histogram(
                     "tweet_stage_seconds",
                     sketch_every=TWEET_SKETCH_EVERY,
@@ -524,7 +673,7 @@ class _PartitionTask:
         local_normalizer.n_transformed = seen.n_transformed - base_transformed
         local_normalizer.n_clipped = seen.n_clipped - base_clipped
         return _PartitionOutput(
-            local_model=local_model,
+            local_model=_compact_local_model(local_model),
             bow_delta=bow_delta,
             local_stats=stats,
             local_normalizer=local_normalizer,
@@ -714,6 +863,20 @@ class MicroBatchEngine:
         recorder: optional :class:`~repro.obs.recorder.FlightRecorder`;
             the engine records one event per batch and auto-dumps the
             ring on quarantine, pool rebuild, or a crashed run.
+        pipelined: double-buffer batches — :meth:`run` (and callers
+            using :meth:`submit_batch`) overlap the driver's merge/
+            drain of batch *k* with the partition execution of batch
+            *k+1* on a background submit thread. Results are bit-exact
+            with the synchronous path (merges still happen on the
+            driver thread, in partition order, only after every
+            partition of a batch has resolved); the differences are
+            timing-shaped: the overload controller observes each batch
+            at merge time (so adopted batch sizes apply one batch
+            later), the circuit breaker may trip one batch late, and an
+            execution error surfaces on the *next* submit (or on
+            :meth:`drain`). Callers must :meth:`drain` (or let
+            :meth:`run`/:meth:`close` do it) before reading final
+            state.
     """
 
     def __init__(
@@ -734,6 +897,7 @@ class MicroBatchEngine:
         worker_telemetry: bool = True,
         profile_partitions: bool = False,
         recorder: Optional[FlightRecorder] = None,
+        pipelined: bool = False,
     ) -> None:
         if n_partitions < 1:
             raise ValueError("n_partitions must be >= 1")
@@ -876,6 +1040,40 @@ class MicroBatchEngine:
         self._partition_hist = self.metrics.histogram(
             "partition_seconds", engine="microbatch"
         )
+        # Pipelined execution: one in-flight batch max (double
+        # buffering), launched on a single background submit thread.
+        # The tweet-block segment pool is shared across batches so the
+        # per-batch transport cost is one encode pass, not an mmap.
+        self.pipelined = pipelined
+        self._inflight: Optional[_BatchState] = None
+        self._submit_pool: Optional[ThreadPoolExecutor] = None
+        self._segment_pool: Optional[SegmentPool] = None
+        self._last_execute_done: Optional[float] = None
+        self._pipeline_fill = self.metrics.gauge(
+            "pipeline_fill", engine="microbatch"
+        )
+        self._driver_idle_hist = self.metrics.histogram(
+            "driver_idle_seconds", engine="microbatch"
+        )
+        self._worker_idle_hist = self.metrics.histogram(
+            "worker_idle_seconds", engine="microbatch"
+        )
+        self._encode_hist = self.metrics.histogram(
+            "tweet_block_encode_seconds", engine="microbatch"
+        )
+        self._m_transport_tweets = self.metrics.counter(
+            "transport_bytes_total", engine="microbatch", channel="tweets"
+        )
+        self._m_transport_broadcast = self.metrics.counter(
+            "transport_bytes_total", engine="microbatch", channel="broadcast"
+        )
+        # The background thread must not touch the driver tracer (its
+        # span stack is single-threaded state), so the pipelined path
+        # books partition_execute time into the stage histogram
+        # directly — same child the tracer's span would create.
+        self._stage_execute_hist = self.metrics.histogram(
+            STAGE_SECONDS, engine="microbatch", stage="partition_execute"
+        )
 
     @property
     def stage_seconds(self) -> StageTimings:
@@ -932,7 +1130,17 @@ class MicroBatchEngine:
         Idempotent: calling it repeatedly (or after a failed :meth:`run`
         already closed the runner) is safe, and pooled runners lazily
         rebuild their pool if the engine is used again after a close.
+
+        A pipelined in-flight batch is *aborted*, not finalized: its
+        results are discarded (callers wanting them must :meth:`drain`
+        first). The submit thread and the tweet-block segment pool are
+        torn down with it, so a crashed pipelined run leaks neither
+        threads nor ``/dev/shm`` segments.
         """
+        self._abort_inflight()
+        if self._submit_pool is not None:
+            self._submit_pool.shutdown(wait=False)
+            self._submit_pool = None
         if self._broadcast is not None:
             self._broadcast.release()
             self._broadcast = None
@@ -942,6 +1150,9 @@ class MicroBatchEngine:
         self.runner.evict_broadcast(self._broadcast_key)
         if self._owns_runner:
             self.runner.close()
+        if self._segment_pool is not None:
+            self._segment_pool.close()
+            self._segment_pool = None
 
     def __enter__(self) -> "MicroBatchEngine":
         return self
@@ -953,7 +1164,7 @@ class MicroBatchEngine:
     # Model-parallel adapters (op #3: local train + global merge)
     # ------------------------------------------------------------------
 
-    def _combine_models(self, locals_: Sequence[StreamClassifier]) -> None:
+    def _combine_models(self, locals_: Sequence[object]) -> None:
         model = self.model
         trained = [m for m in locals_ if m.instances_seen > 0]
         if not trained:
@@ -973,16 +1184,17 @@ class MicroBatchEngine:
     @staticmethod
     def _average_slr(
         model: StreamingLogisticRegression,
-        locals_: Sequence[StreamClassifier],
+        locals_: Sequence[object],
     ) -> None:
         # Iterative parameter mixing: the new global weights are the
         # example-weighted average of the local weights (each local
-        # started from the old global weights).
+        # started from the old global weights). Locals are either full
+        # SLR models or _SLRDelta triples — only weights/bias/
+        # instances_seen are read, so the arithmetic is identical.
         total = sum(m.instances_seen for m in locals_)
         if total == 0:
             return
         first = locals_[0]
-        assert isinstance(first, StreamingLogisticRegression)
         if not first.weights:
             return
         n_classes = model.n_classes
@@ -990,7 +1202,6 @@ class MicroBatchEngine:
         new_weights = [[0.0] * n_features for _ in range(n_classes)]
         new_bias = [0.0] * n_classes
         for local in locals_:
-            assert isinstance(local, StreamingLogisticRegression)
             share = local.instances_seen / total
             for cls in range(n_classes):
                 row = local.weights[cls]
@@ -1035,44 +1246,44 @@ class MicroBatchEngine:
         )
         return self._broadcast
 
-    def _build_tasks(
-        self, tweets: Sequence[Tweet], broadcast: StateBroadcast
+    def _tasks_for(
+        self,
+        slices: Sequence[TweetSlice],
+        broadcast: StateBroadcast,
+        tier: DegradeTier,
     ) -> List[_PartitionTask]:
         """Fresh partition tasks for one batch attempt.
 
         Rebuilt from scratch on every retry attempt (they are cheap:
-        a tweet slice plus flags — the heavy state stays on the shared
-        broadcast); local models are created inside the task call, so a
+        an O(1) tweet-slice descriptor plus flags — the heavy state
+        stays on the shared broadcast and the batch's tweet block);
+        local models are created inside the task call, so a
         half-executed attempt can never leak trained state into the
-        next one.
+        next one. ``tier`` is passed explicitly: it is captured at
+        batch-prepare time on the driver thread, so the pipelined
+        submit thread never reads the engine's mutable tier.
         """
-        return self._tasks_for(
-            round_robin_partitions(tweets, self.n_partitions), broadcast
-        )
-
-    def _tasks_for(
-        self,
-        partitions: Sequence[List[Tweet]],
-        broadcast: StateBroadcast,
-    ) -> List[_PartitionTask]:
         return [
             _PartitionTask(
-                tweets=partition,
+                tweets=tweet_slice,
                 broadcast=broadcast,
                 n_classes=self.config.n_classes,
                 preprocessing=self.config.preprocessing,
                 deobfuscate=self.config.deobfuscate,
                 adaptive_bow=self.config.adaptive_bow,
                 quarantine=self.dead_letters is not None,
-                tier=self.degrade_tier,
+                tier=tier,
                 worker_telemetry=self.worker_telemetry,
                 profile=self.profile_partitions,
             )
-            for partition in partitions
+            for tweet_slice in slices
         ]
 
     def _execute_with_retry(
-        self, tweets: Sequence[Tweet], broadcast: StateBroadcast
+        self,
+        slices: Sequence[TweetSlice],
+        broadcast: StateBroadcast,
+        tier: DegradeTier,
     ) -> Tuple[List[_PartitionOutput], int]:
         """Run the partition stage, retrying transient failures.
 
@@ -1083,7 +1294,7 @@ class MicroBatchEngine:
         policy = self.retry_policy
         attempt = 0
         while True:
-            tasks = self._build_tasks(tweets, broadcast)
+            tasks = self._tasks_for(slices, broadcast, tier)
             try:
                 return self.runner.run(tasks), attempt
             except PartitionError as exc:
@@ -1100,10 +1311,12 @@ class MicroBatchEngine:
                 policy.sleep(delay)
 
     def _execute_partitioned(
-        self, tweets: Sequence[Tweet], broadcast: StateBroadcast
+        self,
+        slices: Sequence[TweetSlice],
+        broadcast: StateBroadcast,
+        tier: DegradeTier,
     ) -> Tuple[
         List[Optional[_PartitionOutput]],
-        List[List[Tweet]],
         List[Tuple[int, TaskOutcome]],
         _ExecStats,
     ]:
@@ -1114,27 +1327,27 @@ class MicroBatchEngine:
         treats each partition as its own fault domain: successful
         partitions keep their outputs while failed/timed-out/lost ones
         are retried alone under the :class:`RetryPolicy`'s seeded
-        backoff, against the *same* broadcast (engine state is frozen
-        for the whole batch, so late attempts see identical inputs).
+        backoff, against the *same* broadcast and tweet block (engine
+        state is frozen for the whole batch, so late attempts see
+        identical inputs).
 
-        Returns ``(outputs, partitions, dropped, stats)`` where
-        ``outputs[i]`` is partition ``i``'s output or ``None`` if it
-        was dropped, and ``dropped`` lists ``(partition_index, final
-        outcome)`` for partitions that exhausted their budget. A fatal
-        outcome — or any non-ok outcome when no dead-letter queue is
-        attached to absorb the drop — raises instead; no merge has
-        happened at that point, so the no-half-applied guarantee holds.
+        Returns ``(outputs, dropped, stats)`` where ``outputs[i]`` is
+        partition ``i``'s output or ``None`` if it was dropped, and
+        ``dropped`` lists ``(partition_index, final outcome)`` for
+        partitions that exhausted their budget. A fatal outcome — or
+        any non-ok outcome when no dead-letter queue is attached to
+        absorb the drop — raises instead; no merge has happened at
+        that point, so the no-half-applied guarantee holds.
         """
-        partitions = round_robin_partitions(tweets, self.n_partitions)
-        outputs: List[Optional[_PartitionOutput]] = [None] * len(partitions)
+        outputs: List[Optional[_PartitionOutput]] = [None] * len(slices)
         dropped: List[Tuple[int, TaskOutcome]] = []
         stats = _ExecStats()
         policy = self.retry_policy
-        pending = list(range(len(partitions)))
+        pending = list(range(len(slices)))
         attempt = 0
         while pending:
             tasks = self._tasks_for(
-                [partitions[i] for i in pending], broadcast
+                [slices[i] for i in pending], broadcast, tier
             )
             report = self.runner.run_with_deadline(
                 tasks,
@@ -1188,7 +1401,7 @@ class MicroBatchEngine:
                 raise retryable[0][1].to_error()
             dropped.extend(retryable)
             break
-        return outputs, partitions, dropped, stats
+        return outputs, dropped, stats
 
     def _stitch_trace(
         self,
@@ -1239,66 +1452,98 @@ class MicroBatchEngine:
             "partitions": partition_nodes,
         }
 
-    def process_batch(self, tweets: Sequence[Tweet]) -> MicroBatchResult:
-        """Run one micro-batch through the Fig. 2 dataflow.
+    def _prepare_batch(self, tweets: Sequence[Tweet]) -> _BatchState:
+        """Snapshot everything a batch needs before execution starts.
 
-        Raises:
-            repro.engine.runners.PartitionError: if any partition task
-                fails fatally, or transiently with retries exhausted (or
-                no ``retry_policy`` configured). No engine state is
-                mutated in that case: all merges happen only after every
-                partition has returned.
-            repro.reliability.deadletter.CircuitOpenError: quarantine
-                is enabled with ``max_poison_rate`` and the stream's
-                cumulative poison rate exceeded it. The batch's merges
-                have completed when this is raised — the breaker is a
-                stop signal, not a rollback.
-
-        With ``partition_deadline_s`` set, partitions are independent
-        fault domains: a partition that exhausts its per-partition
-        retries is quarantined to the dead-letter queue as one
-        partition-grain poison record (its tweets count as poisoned)
-        while its siblings' outputs merge normally, in partition order.
+        Runs on the driver thread (it reads mutable engine state: tier,
+        partition count, model/normalizer/BoW for the broadcast). The
+        tweets are partitioned once and — under a pickling runner —
+        encoded once into a pooled shared-memory tweet block; retries
+        and speculative copies all reuse the same block.
         """
-        start = time.perf_counter()
+        started = time.perf_counter()
         batch_tier = self.degrade_tier
         broadcast = self._broadcast_state()
-        # Everything below the execute stage mutates engine state;
-        # keeping it first means a PartitionError leaves the engine
-        # exactly as it was before the batch. Each driver stage runs
-        # under a tracer span that records into the stage_seconds
-        # histogram family; the per-batch StageTimings is built from the
-        # spans' raw durations, so both views see the same numbers.
+        partitions = round_robin_partitions(tweets, self.n_partitions)
+        if getattr(self.runner, "needs_pickled_tasks", False):
+            if self._segment_pool is None:
+                self._segment_pool = SegmentPool()
+            t_encode = time.perf_counter()
+            block = TweetBlock.encode(partitions, self._segment_pool)
+            self._encode_hist.observe(time.perf_counter() - t_encode)
+            self._m_transport_tweets.inc(block.n_bytes)
+        else:
+            block = TweetBlock.live(partitions)
+        return _BatchState(
+            n_tweets=len(tweets),
+            batch_tier=batch_tier,
+            broadcast=broadcast,
+            partitions=partitions,
+            block=block,
+            started=started,
+        )
+
+    def _run_partitions(self, state: _BatchState) -> _ExecBundle:
+        """Execute all partition tasks for one batch (no engine-state
+        mutation beyond counters — a raise here leaves the engine
+        exactly as it was before the batch).
+
+        Thread-agnostic: runs inline on the driver for the synchronous
+        path, on the pipeline submit thread otherwise. It must not
+        touch the driver tracer or any state the driver mutates during
+        merge/finalize; everything batch-specific rides on ``state``.
+        """
+        t_start = time.perf_counter()
         dropped: List[Tuple[int, TaskOutcome]] = []
-        partitions: Optional[List[List[Tweet]]] = None
         exec_stats: Optional[_ExecStats] = None
         indexed_outputs: List[Optional[_PartitionOutput]]
-        with self._tracer.span("partition_execute") as span_execute:
-            if self.partition_deadline_s is not None:
-                (
-                    maybe_outputs,
-                    partitions,
-                    dropped,
-                    exec_stats,
-                ) = self._execute_partitioned(tweets, broadcast)
-                # Dropped partitions leave holes; merging the survivors
-                # in partition order keeps the merge sequence (and thus
-                # the model state) deterministic.
-                outputs = [o for o in maybe_outputs if o is not None]
-                retries_used = exec_stats.retries
-                indexed_outputs = maybe_outputs
-            else:
-                outputs, retries_used = self._execute_with_retry(
-                    tweets, broadcast
-                )
-                indexed_outputs = list(outputs)
+        if self.partition_deadline_s is not None:
+            maybe_outputs, dropped, exec_stats = self._execute_partitioned(
+                state.block.slices, state.broadcast, state.batch_tier
+            )
+            # Dropped partitions leave holes; merging the survivors
+            # in partition order keeps the merge sequence (and thus
+            # the model state) deterministic.
+            outputs = [o for o in maybe_outputs if o is not None]
+            retries_used = exec_stats.retries
+            indexed_outputs = maybe_outputs
+        else:
+            outputs, retries_used = self._execute_with_retry(
+                state.block.slices, state.broadcast, state.batch_tier
+            )
+            indexed_outputs = list(outputs)
+        done = time.perf_counter()
+        return _ExecBundle(
+            outputs=outputs,
+            indexed_outputs=indexed_outputs,
+            dropped=dropped,
+            exec_stats=exec_stats,
+            retries_used=retries_used,
+            execute_seconds=done - t_start,
+            done_at=done,
+        )
 
+    def _merge_batch(self, state: _BatchState) -> None:
+        """Driver-thread merge of a fully-resolved batch (ops #3/#6).
+
+        Must run before the *next* batch is prepared: the next
+        broadcast snapshots the merged model/normalizer/BoW, and the
+        overload controller's adopted sizes apply from here. Recycles
+        the batch's tweet block — safe now that every retry and
+        speculative attempt has resolved.
+        """
+        bundle = state.bundle
+        assert bundle is not None
+        state.block.close()
+        outputs = bundle.outputs
         # One encode per batch (the payload is cached across retries);
         # serial/threads runners never pickle, so the field stays None.
+        broadcast = state.broadcast
         if broadcast.encode_seconds is not None:
             self.metrics.histogram(
                 "broadcast_encode_seconds", engine="microbatch"
             ).observe(broadcast.encode_seconds)
+            self._m_transport_broadcast.inc(broadcast.payload_bytes or 0)
 
         with self._tracer.span("model_merge") as span_model:
             self._combine_models(
@@ -1315,6 +1560,54 @@ class MicroBatchEngine:
         with self._tracer.span("normalizer_merge") as span_normalizer:
             for output in outputs:
                 self.normalizer.merge(output.local_normalizer)
+
+        state.model_merge_s = span_model.duration or 0.0
+        state.bow_absorb_s = span_bow.duration or 0.0
+        state.normalizer_merge_s = span_normalizer.duration or 0.0
+
+    def _adopt_controller(
+        self, elapsed: float, exec_stats: Optional[_ExecStats]
+    ) -> None:
+        """Report a batch to the overload controller and adopt its
+        (possibly resized) batch size and partition count for the next
+        discretization round."""
+        if self.controller is None:
+            return
+        queue = self.controller.queue
+        self.controller.observe_batch(
+            elapsed,
+            queue_fraction=(
+                queue.depth_fraction if queue is not None else None
+            ),
+            n_stragglers=(
+                exec_stats.n_stragglers if exec_stats is not None else 0
+            ),
+        )
+        self.batch_size = self.controller.batch_size
+        if self.controller.n_partitions is not None:
+            self.n_partitions = self.controller.n_partitions
+
+    def _finalize_batch(
+        self, state: _BatchState, observe_controller: bool = True
+    ) -> MicroBatchResult:
+        """Fold a merged batch's outputs into driver-side state.
+
+        Everything after the three merges: confusion/counter folds,
+        dead-letter quarantine, the alert/sample drain, metrics,
+        trace stitching, recorder/breaker/on_batch. In pipelined mode
+        this overlaps the next batch's partition execution
+        (``observe_controller=False`` there — the controller already
+        observed at merge time, before the next batch was sized).
+        """
+        bundle = state.bundle
+        assert bundle is not None
+        outputs = bundle.outputs
+        indexed_outputs = bundle.indexed_outputs
+        dropped = bundle.dropped
+        exec_stats = bundle.exec_stats
+        retries_used = bundle.retries_used
+        batch_tier = state.batch_tier
+        n_tweets = state.n_tweets
 
         n_labeled = 0
         n_unlabeled = 0
@@ -1340,11 +1633,12 @@ class MicroBatchEngine:
                         )
                     )
 
-        if dropped and self.dead_letters is not None and partitions:
+        if dropped and self.dead_letters is not None:
             # Partition-grain quarantine: one poison record per dropped
             # partition; its tweets count as poisoned so the driver's
             # accounting (n_processed + n_quarantined == ingested)
             # stays exact without per-tweet records.
+            partitions = state.partitions
             for index, outcome in dropped:
                 n_poisoned += len(partitions[index])
                 self._m_partition_quarantined.inc(len(partitions[index]))
@@ -1374,17 +1668,21 @@ class MicroBatchEngine:
             self._m_alerts.inc(self.alert_manager.n_alerts - alerts_before)
 
         timings = StageTimings(
-            partition_execute=span_execute.duration or 0.0,
-            model_merge=span_model.duration or 0.0,
-            bow_absorb=span_bow.duration or 0.0,
-            normalizer_merge=span_normalizer.duration or 0.0,
+            partition_execute=(
+                state.execute_span_s
+                if state.execute_span_s is not None
+                else bundle.execute_seconds
+            ),
+            model_merge=state.model_merge_s,
+            bow_absorb=state.bow_absorb_s,
+            normalizer_merge=state.normalizer_merge_s,
             drain=span_drain.duration or 0.0,
         )
-        self.n_processed += len(tweets) - n_poisoned
+        self.n_processed += n_tweets - n_poisoned
         self.n_labeled += n_labeled
         self.n_unlabeled += n_unlabeled
         self.n_quarantined += n_poisoned
-        self._m_ingested.inc(len(tweets))
+        self._m_ingested.inc(n_tweets)
         self._m_batches.inc()
         if retries_used:
             self._m_retries.inc(retries_used)
@@ -1402,27 +1700,13 @@ class MicroBatchEngine:
         self.last_trace = self._stitch_trace(
             indexed_outputs, dropped, exec_stats
         )
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - state.started
         self._batch_hist.observe(elapsed)
-        if self.controller is not None:
-            queue = self.controller.queue
-            self.controller.observe_batch(
-                elapsed,
-                queue_fraction=(
-                    queue.depth_fraction if queue is not None else None
-                ),
-                n_stragglers=(
-                    exec_stats.n_stragglers if exec_stats is not None else 0
-                ),
-            )
-            # Adopt the controller's (possibly resized) batch size and
-            # partition count for the next discretization round.
-            self.batch_size = self.controller.batch_size
-            if self.controller.n_partitions is not None:
-                self.n_partitions = self.controller.n_partitions
+        if observe_controller:
+            self._adopt_controller(elapsed, exec_stats)
         result = MicroBatchResult(
             batch_index=len(self.batches),
-            n_processed=len(tweets) - n_poisoned,
+            n_processed=n_tweets - n_poisoned,
             n_labeled=n_labeled,
             n_unlabeled=n_unlabeled,
             elapsed_seconds=elapsed,
@@ -1461,11 +1745,176 @@ class MicroBatchEngine:
                 )
                 self.recorder.auto_dump("pool_rebuild")
         if self.breaker is not None:
-            self.breaker.record_batch(len(tweets) - n_poisoned, n_poisoned)
+            self.breaker.record_batch(n_tweets - n_poisoned, n_poisoned)
             self.breaker.check()
         if self.on_batch is not None:
             self.on_batch(result)
         return result
+
+    def process_batch(self, tweets: Sequence[Tweet]) -> MicroBatchResult:
+        """Run one micro-batch through the Fig. 2 dataflow, synchronously.
+
+        Raises:
+            repro.engine.runners.PartitionError: if any partition task
+                fails fatally, or transiently with retries exhausted (or
+                no ``retry_policy`` configured). No engine state is
+                mutated in that case: all merges happen only after every
+                partition has returned.
+            repro.reliability.deadletter.CircuitOpenError: quarantine
+                is enabled with ``max_poison_rate`` and the stream's
+                cumulative poison rate exceeded it. The batch's merges
+                have completed when this is raised — the breaker is a
+                stop signal, not a rollback.
+
+        With ``partition_deadline_s`` set, partitions are independent
+        fault domains: a partition that exhausts its per-partition
+        retries is quarantined to the dead-letter queue as one
+        partition-grain poison record (its tweets count as poisoned)
+        while its siblings' outputs merge normally, in partition order.
+
+        A pipelined in-flight batch (from :meth:`submit_batch`) is
+        drained first, so mixing the two entry points never interleaves
+        two batches' merges.
+        """
+        if self._inflight is not None:
+            self.drain()
+        state = self._prepare_batch(tweets)
+        with self._tracer.span("partition_execute") as span_execute:
+            state.bundle = self._run_partitions(state)
+        state.execute_span_s = span_execute.duration or 0.0
+        self._merge_batch(state)
+        return self._finalize_batch(state)
+
+    # ------------------------------------------------------------------
+    # Pipelined execution (double-buffered batches)
+    # ------------------------------------------------------------------
+
+    def submit_batch(
+        self, tweets: Sequence[Tweet]
+    ) -> Optional[MicroBatchResult]:
+        """Pipelined submission: launch this batch, finalize the last.
+
+        The driver awaits the previous in-flight batch, merges it (so
+        this batch's broadcast sees the merged model/normalizer/BoW and
+        the controller's adopted sizes), launches this batch's
+        partition execution on the submit thread, and only *then* runs
+        the previous batch's finalize — the per-record alert/sample
+        drain and telemetry folds overlap this batch's compute.
+
+        Returns the previous batch's :class:`MicroBatchResult`, or
+        ``None`` on the first submission (call :meth:`drain` for the
+        final batch's result). A partition failure in batch *k*
+        surfaces here on submission *k+1* (with the new tweets left
+        unprocessed) or on :meth:`drain`; the engine's
+        no-half-applied-merge guarantee is unchanged.
+        """
+        prev = self._inflight
+        self._inflight = None
+        if prev is not None:
+            self._await(prev)
+            self._merge_batch(prev)
+            assert prev.bundle is not None
+            self._adopt_controller(
+                time.perf_counter() - prev.started, prev.bundle.exec_stats
+            )
+        state = self._prepare_batch(tweets)
+        self._launch(state)
+        self._inflight = state
+        if prev is None:
+            return None
+        return self._finalize_batch(prev, observe_controller=False)
+
+    def drain(self) -> Optional[MicroBatchResult]:
+        """Finish the in-flight pipelined batch, if any.
+
+        Awaits, merges and finalizes it on the calling (driver) thread;
+        afterwards the engine state is exactly what a synchronous run
+        over the same batches would have produced. Safe to call when
+        nothing is in flight (returns ``None``) — checkpointers call it
+        unconditionally before snapshotting.
+        """
+        state = self._inflight
+        if state is None:
+            return None
+        self._inflight = None
+        self._await(state)
+        self._merge_batch(state)
+        assert state.bundle is not None
+        self._adopt_controller(
+            time.perf_counter() - state.started, state.bundle.exec_stats
+        )
+        return self._finalize_batch(state, observe_controller=False)
+
+    def _await(self, state: _BatchState) -> None:
+        """Block until a launched batch's execution resolves.
+
+        The blocked time is the driver's pipeline stall — published as
+        ``driver_idle_seconds`` (zero when the workers finished before
+        the driver came back for the result).
+        """
+        assert state.future is not None
+        t_wait = time.perf_counter()
+        try:
+            state.bundle = state.future.result()
+        finally:
+            self._pipeline_fill.set(0)
+        self._driver_idle_hist.observe(time.perf_counter() - t_wait)
+
+    def _launch(self, state: _BatchState) -> None:
+        """Hand a prepared batch to the submit thread.
+
+        The gap since the previous batch's last partition resolved is
+        the workers' pipeline stall — published as
+        ``worker_idle_seconds`` (the driver-side merge/prepare time the
+        pipeline failed to hide).
+        """
+        if self._submit_pool is None:
+            self._submit_pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="microbatch-pipeline"
+            )
+        if self._last_execute_done is not None:
+            self._worker_idle_hist.observe(
+                max(0.0, time.perf_counter() - self._last_execute_done)
+            )
+        state.future = self._submit_pool.submit(self._execute_async, state)
+        self._pipeline_fill.set(1)
+
+    def _execute_async(self, state: _BatchState) -> _ExecBundle:
+        """Submit-thread body: run the partitions, book execute time.
+
+        Never touches the driver tracer (its span stack is
+        single-threaded); the stage histogram is observed directly, so
+        ``StageTimings.from_registry`` sees pipelined execute time too.
+        All other metric writes on this path (partition_seconds,
+        partition_timeouts_total, retry counters) are disjoint from the
+        keys the driver thread writes during merge/finalize.
+        """
+        bundle = self._run_partitions(state)
+        self._stage_execute_hist.observe(bundle.execute_seconds)
+        self._last_execute_done = bundle.done_at
+        return bundle
+
+    def _abort_inflight(self) -> None:
+        """Discard the in-flight batch (close/crash path).
+
+        Cancels the submitted work if it has not started; otherwise
+        waits a bounded moment for the submit thread (it is using the
+        runner this close is about to tear down), then abandons it —
+        its results are discarded either way, so engine state stays
+        exactly at the last finalized batch.
+        """
+        state = self._inflight
+        if state is None:
+            return
+        self._inflight = None
+        if state.future is not None:
+            state.future.cancel()
+            try:
+                state.future.result(timeout=30.0)
+            except Exception:
+                pass
+        state.block.close()
+        self._pipeline_fill.set(0)
 
     def run(self, tweets: Iterable[Tweet]) -> EngineResult:
         """Discretize a stream into micro-batches and process them all.
@@ -1477,17 +1926,25 @@ class MicroBatchEngine:
         closed before the exception propagates, so a crashed run can
         never leak a process pool (pooled runners rebuild lazily if the
         engine is reused afterwards).
+
+        With ``pipelined=True`` batches flow through
+        :meth:`submit_batch` (merge/drain of batch *k* overlapping the
+        execution of batch *k+1*) and the last batch is drained before
+        the result snapshot — callers see identical totals either way.
         """
         start = time.perf_counter()
+        submit = self.submit_batch if self.pipelined else self.process_batch
         try:
             batch: List[Tweet] = []
             for tweet in tweets:
                 batch.append(tweet)
                 if len(batch) >= self.batch_size:
-                    self.process_batch(batch)
+                    submit(batch)
                     batch = []
             if batch:
-                self.process_batch(batch)
+                submit(batch)
+            if self.pipelined:
+                self.drain()
         except BaseException as exc:
             if self.recorder is not None:
                 self.recorder.event("crash", error=repr(exc))

@@ -554,8 +554,240 @@ class StateBroadcast:
         self._encode_seconds = None
 
 
+def _round_up_segment(size: int) -> int:
+    """Round a segment size up to a 64 KiB multiple.
+
+    Tweet-block payloads drift a little from batch to batch; rounding
+    the allocation means a pooled segment absorbs that jitter instead
+    of being unlinked and re-created every time the payload grows by a
+    few bytes.
+    """
+    return max(1, (size + 0xFFFF) & ~0xFFFF)
+
+
+class SegmentPool:
+    """Reusable driver-owned shared-memory segments for tweet blocks.
+
+    A pipelined engine has at most two tweet blocks alive at once (the
+    batch being merged and the batch in flight), so the pool keeps up
+    to ``max_segments`` free segments and hands them back out:
+    segment creation — an mmap plus a resource-tracker registration —
+    happens a handful of times per engine lifetime instead of once per
+    batch. Pooled segments stay registered in the module's live-segment
+    table, so the ``atexit`` sweep still covers a crashed driver, and
+    :meth:`close` unlinks everything the pool holds.
+    """
+
+    def __init__(self, max_segments: int = 2) -> None:
+        if max_segments < 1:
+            raise ValueError("max_segments must be >= 1")
+        self.max_segments = max_segments
+        self._free: List["shared_memory.SharedMemory"] = []
+        self._closed = False
+
+    def acquire(self, size: int) -> Optional["shared_memory.SharedMemory"]:
+        """A segment of at least ``size`` bytes, pooled or fresh.
+
+        Returns ``None`` when shared memory is unavailable (no usable
+        ``/dev/shm``); callers fall back to inline transport.
+        """
+        while self._free:
+            segment = self._free.pop()
+            if segment.size >= size:
+                return segment
+            # Too small to reuse; retire it and keep looking.
+            _release_segment(segment.name)
+        try:
+            segment = shared_memory.SharedMemory(
+                create=True, size=_round_up_segment(size)
+            )
+        except (OSError, ValueError):
+            return None
+        _LIVE_SEGMENTS[segment.name] = segment
+        return segment
+
+    def recycle(self, segment: "shared_memory.SharedMemory") -> None:
+        """Return a segment for reuse (or unlink it past the bound)."""
+        if self._closed or len(self._free) >= self.max_segments:
+            _release_segment(segment.name)
+        else:
+            self._free.append(segment)
+
+    def close(self) -> None:
+        """Unlink every pooled segment (idempotent)."""
+        self._closed = True
+        while self._free:
+            _release_segment(self._free.pop().name)
+
+
+class TweetSlice:
+    """One partition's tweets, resolvable driver- or worker-side.
+
+    Driver-side (serial/thread runners, where tasks are never pickled)
+    the slice wraps the live partition list and :meth:`resolve` returns
+    it unchanged. Under a process runner the driver encodes the whole
+    batch once into a :class:`TweetBlock` and each slice pickles to an
+    O(1) ``(segment name, offset, length)`` descriptor; the worker
+    attaches the segment, unpickles its partition straight out of the
+    shared mapping, and detaches. When shared memory is unavailable the
+    block falls back to inline transport — the descriptor then carries
+    the partition's pickled payload itself.
+    """
+
+    __slots__ = ("_live", "_segment_name", "_offset", "_length", "_inline")
+
+    def __init__(
+        self,
+        live: Optional[list] = None,
+        segment_name: Optional[str] = None,
+        offset: int = 0,
+        length: int = 0,
+        inline: Optional[bytes] = None,
+    ) -> None:
+        self._live = live
+        self._segment_name = segment_name
+        self._offset = offset
+        self._length = length
+        self._inline = inline
+
+    @property
+    def n_bytes(self) -> int:
+        """Encoded transport size (0 for a live, never-encoded slice)."""
+        if self._inline is not None:
+            return len(self._inline)
+        return self._length
+
+    def resolve(self) -> list:
+        """The partition's tweet list (decoded at most once)."""
+        if self._live is not None:
+            return self._live
+        if self._segment_name is not None:
+            segment = shared_memory.SharedMemory(name=self._segment_name)
+            try:
+                view = segment.buf[self._offset:self._offset + self._length]
+                try:
+                    value = pickle.loads(view)
+                finally:
+                    view.release()
+            finally:
+                segment.close()
+        else:
+            assert self._inline is not None
+            value = pickle.loads(self._inline)
+        self._live = value
+        return value
+
+    def __getstate__(
+        self,
+    ) -> Tuple[Optional[str], int, int, Optional[bytes]]:
+        if self._segment_name is not None:
+            return (self._segment_name, self._offset, self._length, None)
+        if self._inline is not None:
+            return (None, 0, 0, self._inline)
+        # A live-only slice pickled directly (a custom pool runner that
+        # never went through TweetBlock.encode): ship the bytes inline.
+        return (
+            None, 0, 0,
+            pickle.dumps(self._live, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    def __setstate__(
+        self, state: Tuple[Optional[str], int, int, Optional[bytes]]
+    ) -> None:
+        self._live = None
+        (self._segment_name, self._offset, self._length, self._inline) = state
+
+
+class TweetBlock:
+    """One micro-batch's tweets, encoded once for all partitions.
+
+    :meth:`encode` pickles each partition's tweet list once and lays
+    the payloads out back-to-back in a single pooled shared-memory
+    segment; the block's ``slices`` are :class:`TweetSlice` descriptors
+    that pickle to O(1) coordinates. N partitions therefore cost one
+    encode pass and one segment write — not N tweet-list pickles
+    through the pool's task pipe.
+
+    Lifecycle mirrors :class:`StateBroadcast`: the segment is
+    driver-owned, registered for the ``atexit`` sweep, and recycled
+    into the owning :class:`SegmentPool` by :meth:`close`. Call
+    ``close()`` only after the batch — including every retry and
+    speculative attempt — has resolved: a recycled segment's buffer is
+    overwritten by the next batch, which is safe only because late
+    losing attempts have their results discarded.
+    """
+
+    __slots__ = ("slices", "n_bytes", "_segment", "_pool")
+
+    def __init__(
+        self,
+        slices: List[TweetSlice],
+        n_bytes: int,
+        segment: Optional["shared_memory.SharedMemory"],
+        pool: Optional[SegmentPool],
+    ) -> None:
+        self.slices = slices
+        self.n_bytes = n_bytes
+        self._segment = segment
+        self._pool = pool
+
+    @classmethod
+    def live(cls, partitions: Sequence[list]) -> "TweetBlock":
+        """A no-transport block: slices wrap the live partition lists.
+
+        Used with runners that never pickle their tasks (serial,
+        threads) — resolution is a pointer dereference and ``n_bytes``
+        stays 0.
+        """
+        return cls([TweetSlice(live=list(p)) for p in partitions], 0, None, None)
+
+    @classmethod
+    def encode(
+        cls,
+        partitions: Sequence[list],
+        pool: Optional[SegmentPool] = None,
+    ) -> "TweetBlock":
+        """Encode partition tweet lists into one shared segment."""
+        payloads = [
+            pickle.dumps(list(p), protocol=pickle.HIGHEST_PROTOCOL)
+            for p in partitions
+        ]
+        total = sum(len(p) for p in payloads)
+        segment = pool.acquire(total) if pool is not None else None
+        if segment is None:
+            slices = [TweetSlice(inline=payload) for payload in payloads]
+            return cls(slices, total, None, None)
+        offset = 0
+        slices = []
+        for payload in payloads:
+            segment.buf[offset:offset + len(payload)] = payload
+            slices.append(
+                TweetSlice(
+                    segment_name=segment.name,
+                    offset=offset,
+                    length=len(payload),
+                )
+            )
+            offset += len(payload)
+        return cls(slices, total, segment, pool)
+
+    def close(self) -> None:
+        """Recycle the segment into the pool (idempotent)."""
+        segment, self._segment = self._segment, None
+        if segment is not None and self._pool is not None:
+            self._pool.recycle(segment)
+
+
 class Runner(abc.ABC):
     """Executes partition tasks and returns results in input order."""
+
+    #: Whether this runner pickles tasks to ship them to workers. The
+    #: micro-batch engine consults this to pick the tweet transport:
+    #: pickling runners get a :class:`TweetBlock` (one shared-memory
+    #: encode per batch, O(1) descriptors per task); in-process runners
+    #: get live tweet lists. Custom backends that serialize tasks
+    #: should set this to ``True`` to opt into the block transport.
+    needs_pickled_tasks = False
 
     @abc.abstractmethod
     def run(self, tasks: Sequence[Task]) -> List:
@@ -720,12 +952,21 @@ class ThreadPoolRunner(Runner):
 class ProcessPoolRunner(Runner):
     """Runs tasks on worker processes (tasks must be picklable).
 
+    Workers are *persistent*: the pool is created lazily on the first
+    run and survives across batches until :meth:`close` (or a rebuild
+    after a worker death), so per-batch cost is task descriptors and
+    results through the pool pipe — the decoded :class:`StateBroadcast`
+    stays resident in each worker's cache and tweet payloads travel via
+    :class:`TweetBlock` segments.
+
     ``evict_timeout_s`` bounds how long :meth:`evict_broadcast` waits on
     each worker's tombstone task. ``max_rebuilds_per_run`` caps how many
     times one :meth:`run_with_deadline` call replaces a broken pool
     before classifying the surviving partitions as ``worker_lost``;
     ``n_pool_rebuilds`` counts rebuilds over the runner's lifetime.
     """
+
+    needs_pickled_tasks = True
 
     def __init__(
         self,

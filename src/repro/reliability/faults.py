@@ -228,6 +228,11 @@ class FaultInjectingRunner(Runner):
         self.owns_inner = owns_inner
         self.n_calls = 0
 
+    @property
+    def needs_pickled_tasks(self) -> bool:
+        """Transport choice follows the wrapped runner, not the wrapper."""
+        return self.inner.needs_pickled_tasks
+
     def _wrap(self, tasks: Sequence[Task]) -> List[Task]:
         """Consume one call index and wrap the chosen tasks.
 

@@ -1,0 +1,229 @@
+"""Pipelined execution parity: double-buffering is invisible in results.
+
+``MicroBatchEngine(pipelined=True)`` overlaps the driver's merge of
+batch *k* with the workers' execution of batch *k+1*. The contract
+under test: pipelining is a *throughput* knob and never a *results*
+knob — the merged model digest, cumulative metrics, and alert stream
+are bit-identical to the synchronous path, across every fault domain
+(retry, speculation/straggler healing, deadline quarantine, elastic
+resize) and through checkpoint/resume (the in-flight batch is drained
+exactly once, never lost, never double-merged).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.engine.microbatch import MicroBatchEngine
+from repro.engine.replay import model_state_digest, run_chaos_scenario
+from repro.engine.runners import SerialRunner, live_segment_names
+from repro.reliability.faults import FaultInjectingRunner, FaultInjector
+from repro.reliability.supervisor import RetryPolicy, StreamSupervisor
+
+
+def _engine(pipelined, runner=None, workers=None, **kwargs):
+    return MicroBatchEngine(
+        PipelineConfig(n_classes=2),
+        n_partitions=3,
+        batch_size=400,
+        runner=runner,
+        n_workers=workers,
+        pipelined=pipelined,
+        **kwargs,
+    )
+
+
+def _digest_and_metrics(engine, tweets):
+    with engine:
+        result = engine.run(tweets)
+        return model_state_digest(engine.model), result.metrics
+
+
+class TestPipelinedParity:
+    def test_pipelined_serial_matches_sync(self, small_stream):
+        tweets = small_stream[:1600]
+        sync_digest, sync_metrics = _digest_and_metrics(
+            _engine(False), tweets
+        )
+        pipe_digest, pipe_metrics = _digest_and_metrics(
+            _engine(True), tweets
+        )
+        assert pipe_digest == sync_digest
+        assert pipe_metrics == pytest.approx(sync_metrics)
+
+    def test_pipelined_processes_matches_sync_serial(self, small_stream):
+        tweets = small_stream[:1600]
+        sync_digest, sync_metrics = _digest_and_metrics(
+            _engine(False), tweets
+        )
+        pipe_digest, pipe_metrics = _digest_and_metrics(
+            _engine(True, runner="processes", workers=2), tweets
+        )
+        assert pipe_digest == sync_digest
+        assert pipe_metrics == pytest.approx(sync_metrics)
+
+    def test_pipelined_retry_matches_sync(self, small_stream):
+        """Same injected transient fault, same healed state."""
+        tweets = small_stream[:1200]
+
+        def run(pipelined):
+            runner = FaultInjectingRunner(
+                SerialRunner(), FaultInjector(schedule={1: [0]})
+            )
+            return _digest_and_metrics(
+                _engine(
+                    pipelined,
+                    runner=runner,
+                    retry_policy=RetryPolicy(max_retries=2, seed=5),
+                ),
+                tweets,
+            )
+
+        sync_digest, sync_metrics = run(False)
+        pipe_digest, pipe_metrics = run(True)
+        assert pipe_digest == sync_digest
+        assert pipe_metrics == pytest.approx(sync_metrics)
+
+    def test_pipelined_elastic_resize_matches_sync(self, small_stream):
+        """A partition-count change between batches lands on the same
+        batch in both modes (the next prepared batch)."""
+        chunks = [small_stream[i : i + 400] for i in range(0, 1600, 400)]
+
+        def run(pipelined):
+            with _engine(pipelined) as engine:
+                for i, chunk in enumerate(chunks):
+                    if pipelined:
+                        engine.submit_batch(chunk)
+                    else:
+                        engine.process_batch(chunk)
+                    if i == 1:
+                        engine.n_partitions = 5
+                if pipelined:
+                    engine.drain()
+                assert engine.n_partitions == 5
+                return model_state_digest(engine.model)
+
+        assert run(True) == run(False)
+
+
+@pytest.mark.chaos
+class TestPipelinedChaosParity:
+    def test_straggler_speculation_heals_bit_exact(self, small_stream):
+        tweets = small_stream[:1200]
+        baseline = run_chaos_scenario(tweets, every_n_calls=0)
+        report = run_chaos_scenario(
+            tweets,
+            fault_kind="slow_partition",
+            every_n_calls=3,
+            partition_deadline_s=8.0,
+            speculate=0.05,
+            slow_s=1.0,
+            pipelined=True,
+        )
+        assert report.n_injected >= 1
+        assert report.model_digest == baseline.model_digest
+        assert report.n_batches == baseline.n_batches
+        assert report.n_quarantined == 0
+
+    def test_hang_quarantine_path_heals_bit_exact(self, small_stream):
+        tweets = small_stream[:1200]
+        baseline = run_chaos_scenario(tweets, every_n_calls=0)
+        report = run_chaos_scenario(
+            tweets,
+            fault_kind="worker_hang",
+            every_n_calls=3,
+            partition_deadline_s=1.0,
+            hang_s=8.0,
+            pipelined=True,
+        )
+        assert report.n_injected >= 1
+        assert report.n_partition_timeouts >= 1
+        assert report.model_digest == baseline.model_digest
+        assert report.n_quarantined == 0
+
+
+class TestPipelinedLifecycle:
+    def test_submit_returns_previous_batch_result(self, small_stream):
+        with _engine(True) as engine:
+            first = engine.submit_batch(small_stream[:400])
+            assert first is None
+            second = engine.submit_batch(small_stream[400:800])
+            assert second is not None and second.n_processed == 400
+            last = engine.drain()
+            assert last is not None and last.n_processed == 400
+            assert engine.drain() is None
+
+    def test_close_aborts_inflight_without_leaks(self, small_stream):
+        stale = set(live_segment_names())
+        engine = _engine(True, runner="processes", workers=2)
+        engine.submit_batch(small_stream[:400])
+        engine.close()
+        assert set(live_segment_names()) - stale == set()
+
+    def test_no_leaked_segments_after_pipelined_run(self, small_stream):
+        stale = set(live_segment_names())
+        with _engine(True, runner="processes", workers=2) as engine:
+            engine.run(small_stream[:1200])
+        assert set(live_segment_names()) - stale == set()
+
+    def test_sync_process_batch_drains_pending_pipeline(self, small_stream):
+        """Mixing modes never interleaves: process_batch drains first."""
+        with _engine(True) as engine:
+            engine.submit_batch(small_stream[:400])
+            result = engine.process_batch(small_stream[400:800])
+            assert result.n_processed == 400
+            assert engine.drain() is None
+            assert len(engine.batches) == 2
+
+
+class _Crash(RuntimeError):
+    pass
+
+
+def _crashing(tweets, at):
+    for i, tweet in enumerate(tweets):
+        if i == at:
+            raise _Crash(f"injected crash at tweet {i}")
+        yield tweet
+
+
+class TestPipelinedCheckpointResume:
+    def test_mid_pipeline_crash_resumes_bit_exact(
+        self, tmp_path, small_stream
+    ):
+        """The checkpoint drains the in-flight batch exactly once: the
+        resumed run replays to the same state as an uninterrupted
+        synchronous run."""
+        tweets = small_stream[:1600]
+
+        baseline_engine = _engine(False)
+        baseline = StreamSupervisor(
+            baseline_engine,
+            checkpoint_dir=tmp_path / "base",
+            checkpoint_every=1,
+            chunk_size=400,
+        ).run(tweets)
+
+        crashed = StreamSupervisor(
+            _engine(True),
+            checkpoint_dir=tmp_path / "crash",
+            checkpoint_every=1,
+            chunk_size=400,
+        )
+        with pytest.raises(_Crash):
+            crashed.run(_crashing(tweets, at=900))
+        assert crashed.n_checkpoints >= 2
+        crashed.engine.close()
+
+        resumed = StreamSupervisor.resume(
+            tmp_path / "crash", checkpoint_every=1
+        )
+        assert resumed.engine.pipelined
+        rerun = resumed.run(tweets)
+        assert rerun.result.metrics == pytest.approx(baseline.result.metrics)
+        assert rerun.health.n_processed == baseline.health.n_processed
+        assert model_state_digest(resumed.engine.model) == model_state_digest(
+            baseline_engine.model
+        )
+        resumed.engine.close()

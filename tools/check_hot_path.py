@@ -22,6 +22,12 @@ two patterns that are harmless elsewhere are throughput bugs there:
   the fast-math kernels hoist allocations out of per-row loops and
   reuse buffers (``out=``, in-place ops); an allocation per tweet
   re-introduces the per-row overhead the columnar layout removed.
+* ``pickle.dumps``/``pickle.dump`` inside ``engine/`` outside
+  ``engine/runners.py`` — tweet and broadcast payloads are encoded
+  exactly once per batch by the shared-memory transports
+  (``StateBroadcast``, ``TweetBlock``); ad-hoc pickling in engine code
+  re-introduces the per-partition (or per-batch-per-task) serialization
+  this transport exists to remove.
 
 Walks the AST so occurrences in docstrings and comments don't
 false-positive, and exits non-zero listing any offending call sites.
@@ -47,6 +53,11 @@ DEFAULT_ROOTS = (
 
 #: The one module allowed to attach shared-memory segments.
 SHM_ALLOWED_FILES = ("runners.py",)
+
+#: The one engine module allowed to call pickle directly (it owns the
+#: one-encode-per-batch transports); everything else in engine/ must go
+#: through StateBroadcast / TweetBlock.
+PICKLE_ALLOWED_FILES = ("runners.py",)
 
 NUMPY_MODULE_NAMES = {"np", "numpy", "_np"}
 NUMPY_ALLOCATORS = {
@@ -78,6 +89,15 @@ def _is_shared_memory_call(node: ast.Call) -> bool:
     )
 
 
+def _is_pickle_call(node: ast.Call) -> bool:
+    return (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("dumps", "dump")
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "pickle"
+    )
+
+
 def _is_numpy_allocation(node: ast.Call) -> bool:
     return (
         isinstance(node.func, ast.Attribute)
@@ -92,8 +112,9 @@ def find_hot_path_offenses(
 ) -> Iterator[Tuple[int, int, str]]:
     """Yield (line, column, message) for every offending call.
 
-    ``filename`` (basename is enough) gates the file-scoped rules:
-    shared-memory attach is legal only in :data:`SHM_ALLOWED_FILES`.
+    ``filename`` gates the file-scoped rules: shared-memory attach is
+    legal only in :data:`SHM_ALLOWED_FILES`, and direct pickling inside
+    an ``engine/`` directory only in :data:`PICKLE_ALLOWED_FILES`.
     """
     tree = ast.parse(source)
     # re.compile is only an offense inside a function body; module-level
@@ -116,6 +137,10 @@ def find_hot_path_offenses(
                 if node is not loop:
                     in_loop.add(id(node))
     shm_allowed = Path(filename).name in SHM_ALLOWED_FILES
+    in_engine = "engine" in Path(filename).parts
+    pickle_allowed = (
+        not in_engine or Path(filename).name in PICKLE_ALLOWED_FILES
+    )
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
@@ -140,6 +165,13 @@ def find_hot_path_offenses(
                 node.col_offset,
                 "SharedMemory attach in partition code (attach once per "
                 "(worker, version) via StateBroadcast.value())",
+            )
+        elif _is_pickle_call(node) and not pickle_allowed:
+            yield (
+                node.lineno,
+                node.col_offset,
+                "direct pickle in engine code (encode once per batch "
+                "via StateBroadcast / TweetBlock)",
             )
         elif _is_numpy_allocation(node) and id(node) in in_loop:
             yield (
